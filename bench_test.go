@@ -1,0 +1,187 @@
+// Package slidb_test contains the repository-level benchmark harness: one
+// testing.B target per figure of the paper's evaluation section, plus
+// ablation benchmarks for the SLI design choices discussed in §4.2/§4.4.
+//
+// Each benchmark regenerates its figure at a reduced ("quick") scale and
+// reports the figure's headline numbers as benchmark metrics, so
+//
+//	go test -bench=Fig -benchtime=1x
+//
+// prints a compact reproduction of the whole evaluation. cmd/slibench runs
+// the same code at configurable scale and prints the full tables.
+package slidb_test
+
+import (
+	"strings"
+	"testing"
+
+	"slidb/internal/figures"
+)
+
+// benchWorkloads is the subset of workloads used by the per-workload figure
+// benchmarks: the short transactions the paper focuses on plus the two large
+// TPC-C transactions that act as negative controls.
+var benchWorkloads = []string{
+	figures.WLGetSub, figures.WLGetAccess, figures.WLNDBBMix,
+	figures.WLTPCB, figures.WLPayment, figures.WLNewOrder,
+	figures.WLStockLevel,
+}
+
+func quickOptions() figures.Options {
+	o := figures.DefaultOptions().Quick()
+	o.Workloads = benchWorkloads
+	return o
+}
+
+func reportTable(b *testing.B, tbl figures.Table, metricCols map[string]string) {
+	b.Helper()
+	sanitize := func(s string) string {
+		s = strings.Map(func(r rune) rune {
+			switch r {
+			case ' ', '(', ')':
+				return '_'
+			default:
+				return r
+			}
+		}, s)
+		return s
+	}
+	for _, row := range tbl.Rows {
+		for col, unit := range metricCols {
+			v := tbl.Value(row.Label, col)
+			b.ReportMetric(v, sanitize(row.Label)+"/"+unit)
+		}
+	}
+}
+
+// BenchmarkFig01LockMgrOverheadVsLoad regenerates Figure 1: the lock
+// manager's share of execution time as offered load grows (NDBB mix,
+// baseline). The contention share should grow with the agent count.
+func BenchmarkFig01LockMgrOverheadVsLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.Figure1(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{"lockmgr-contention-%": "lm-cont-pct", "tps": "tps"})
+	}
+}
+
+// BenchmarkFig06BaselineBreakdown regenerates Figure 6: per-workload
+// execution time breakdowns at peak load with SLI off.
+func BenchmarkFig06BaselineBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.Figure6(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{"lockmgr-cont-%": "lm-cont-pct"})
+	}
+}
+
+// BenchmarkFig07ThroughputVsLoad regenerates Figure 7: throughput of the
+// NDBB mix, TPC-B and TPC-C Payment as the number of agents grows.
+func BenchmarkFig07ThroughputVsLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.Figure7(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{figures.WLNDBBMix: "ndbb-tps", figures.WLTPCB: "tpcb-tps"})
+	}
+}
+
+// BenchmarkFig08LockBreakdown regenerates Figure 8: classification of lock
+// acquisitions (hot/heritable/row) and average locks per transaction.
+func BenchmarkFig08LockBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.Figure8(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{"locks-per-xct": "locks-per-xct", "hot-heritable-%": "hot-heritable-pct"})
+	}
+}
+
+// BenchmarkFig09SLIOutcomes regenerates Figure 9: what happened to the locks
+// SLI passed between transactions (reclaimed, invalidated, discarded).
+func BenchmarkFig09SLIOutcomes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.Figure9(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{"reclaimed-%": "reclaimed-pct", "discarded-%": "discarded-pct"})
+	}
+}
+
+// BenchmarkFig10SLIBreakdown regenerates Figure 10: execution time breakdowns
+// on a fully loaded system with SLI enabled; lock-manager contention should
+// be near zero for every workload.
+func BenchmarkFig10SLIBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.Figure10(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{"lockmgr-cont-%": "lm-cont-pct", "sli-%": "sli-pct"})
+	}
+}
+
+// BenchmarkFig11Speedup regenerates Figure 11: SLI vs baseline throughput per
+// workload (the paper's 10-40% headline result for short transactions).
+func BenchmarkFig11Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.Figure11(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{"speedup-%": "speedup-pct"})
+	}
+}
+
+// BenchmarkAblationHotThreshold varies SLI's hot-lock threshold (criterion 2).
+func BenchmarkAblationHotThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.AblationHotThreshold(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{"tps": "tps"})
+	}
+}
+
+// BenchmarkAblationLevels compares table-only inheritance with the paper's
+// page-and-above rule (criterion 1).
+func BenchmarkAblationLevels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.AblationEligibleLevels(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{"tps": "tps", "passed-per-1k-xct": "passed-per-1k-xct"})
+	}
+}
+
+// BenchmarkAblationBimodal reproduces the §4.4 bimodal-workload discussion.
+func BenchmarkAblationBimodal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.AblationBimodal(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{"tps": "tps", "reclaimed-%": "reclaimed-pct"})
+	}
+}
+
+// BenchmarkAblationRovingHotspot reproduces the §4.4 roving-hotspot
+// discussion with an append-only history table.
+func BenchmarkAblationRovingHotspot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := figures.AblationRovingHotspot(quickOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tbl, map[string]string{"tps": "tps"})
+	}
+}

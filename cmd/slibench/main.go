@@ -1,0 +1,133 @@
+// Command slibench regenerates the evaluation figures of "Improving OLTP
+// Scalability using Speculative Lock Inheritance" (VLDB 2009) against the
+// slidb storage manager, and can also run individual workloads.
+//
+// Usage examples:
+//
+//	slibench -figure 1                     # lock manager contention vs load
+//	slibench -figure 11 -scale paper       # SLI speedups at paper-like scale
+//	slibench -ablation hot-threshold       # SLI design-choice ablation
+//	slibench -workload ndbb/mix -agents 16 -sli -duration 5s
+//	slibench -list                         # show available workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"slidb/internal/figures"
+)
+
+func main() {
+	var (
+		figureN  = flag.Int("figure", 0, "paper figure to regenerate (1, 6, 7, 8, 9, 10, 11); 0 = none")
+		ablation = flag.String("ablation", "", "ablation study to run (hot-threshold, levels, bimodal, roving-hotspot)")
+		wl       = flag.String("workload", "", "single workload to run, e.g. ndbb/mix, tpcb/tpcb, tpcc/Payment")
+		scale    = flag.String("scale", "quick", "dataset/measurement scale: quick, default, or paper")
+		agents   = flag.Int("agents", 0, "agent (worker) count for -workload runs; 0 = scale default")
+		sli      = flag.Bool("sli", false, "enable Speculative Lock Inheritance for -workload runs")
+		duration = flag.Duration("duration", 0, "override measurement duration")
+		warmup   = flag.Duration("warmup", 0, "override warmup duration")
+		list     = flag.Bool("list", false, "list available workloads, figures and ablations")
+		all      = flag.Bool("all-figures", false, "regenerate every figure")
+		subset   = flag.String("workloads", "", "comma-separated workload keys to restrict per-workload figures to")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range figures.AllWorkloads() {
+			fmt.Println("  " + w)
+		}
+		fmt.Println("figures: 1 6 7 8 9 10 11")
+		fmt.Println("ablations: " + strings.Join(figures.Ablations(), " "))
+		return
+	}
+
+	opt := optionsForScale(*scale)
+	if *duration > 0 {
+		opt.Duration = *duration
+	}
+	if *warmup > 0 {
+		opt.Warmup = *warmup
+	}
+	if *subset != "" {
+		for _, w := range strings.Split(*subset, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				opt.Workloads = append(opt.Workloads, w)
+			}
+		}
+	}
+
+	switch {
+	case *all:
+		for _, n := range []int{1, 6, 7, 8, 9, 10, 11} {
+			emitFigure(n, opt)
+		}
+	case *figureN != 0:
+		emitFigure(*figureN, opt)
+	case *ablation != "":
+		tbl, err := figures.Ablation(*ablation, opt)
+		exitOn(err)
+		fmt.Println(tbl)
+	case *wl != "":
+		runSingle(*wl, opt, *agents, *sli)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func optionsForScale(scale string) figures.Options {
+	switch scale {
+	case "paper":
+		return figures.PaperOptions()
+	case "default":
+		return figures.DefaultOptions()
+	case "quick":
+		return figures.DefaultOptions().Quick()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q (use quick, default, or paper)\n", scale)
+		os.Exit(2)
+		return figures.Options{}
+	}
+}
+
+func emitFigure(n int, opt figures.Options) {
+	start := time.Now()
+	tbl, err := figures.Figure(n, opt)
+	exitOn(err)
+	fmt.Println(tbl)
+	fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runSingle(wl string, opt figures.Options, agents int, sli bool) {
+	if agents <= 0 {
+		agents = opt.PeakAgents
+	}
+	opt.Workloads = []string{wl}
+	// Reuse the Figure 6/10 machinery for a single workload: it reports both
+	// throughput and the breakdown.
+	var (
+		tbl figures.Table
+		err error
+	)
+	opt.PeakAgents = agents
+	if sli {
+		tbl, err = figures.Figure10(opt)
+	} else {
+		tbl, err = figures.Figure6(opt)
+	}
+	exitOn(err)
+	fmt.Println(tbl)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slibench:", err)
+		os.Exit(1)
+	}
+}

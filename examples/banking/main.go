@@ -1,0 +1,130 @@
+// Banking: a TPC-B style deposits/withdrawals application. It demonstrates
+// multi-row update transactions, the money-conservation invariant, and the
+// effect of SLI on a short update-heavy workload by running the same burst
+// with SLI off and on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"slidb"
+)
+
+const (
+	branches           = 20
+	accountsPerBranch  = 500
+	tellersPerBranch   = 10
+	workers            = 8
+	transfersPerWorker = 3000
+)
+
+func main() {
+	for _, sli := range []bool{false, true} {
+		tps, stats := run(sli)
+		mode := "baseline"
+		if sli {
+			mode = "with SLI"
+		}
+		fmt.Printf("%-9s  %8.0f transactions/s   lock-manager acquisitions: %8d   latch collisions: %6d\n",
+			mode, tps, stats.TotalAcquires(), stats.LatchContended)
+	}
+}
+
+func run(sli bool) (float64, slidb.LockStats) {
+	db := slidb.Open(slidb.Config{Agents: workers, SLI: sli})
+	defer db.Close()
+	load(db)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfersPerWorker; i++ {
+				branch := int64(1 + rng.Intn(branches))
+				teller := (branch-1)*tellersPerBranch + int64(rng.Intn(tellersPerBranch)) + 1
+				account := (branch-1)*accountsPerBranch + int64(rng.Intn(accountsPerBranch)) + 1
+				delta := float64(rng.Intn(2000)-1000) / 100
+				err := db.Exec(func(tx *slidb.Tx) error {
+					add := func(table string, id int64, col int, d float64) error {
+						return tx.Update(table, []slidb.Value{slidb.Int(id)}, func(r slidb.Row) (slidb.Row, error) {
+							r[col] = slidb.Float(r[col].AsFloat() + d)
+							return r, nil
+						})
+					}
+					if err := add("accounts", account, 2, delta); err != nil {
+						return err
+					}
+					if err := add("tellers", teller, 2, delta); err != nil {
+						return err
+					}
+					return add("branches", branch, 1, delta)
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Verify the invariant: the three balance sums must agree.
+	var branchSum, accountSum float64
+	err := db.Exec(func(tx *slidb.Tx) error {
+		if err := tx.ScanTable("branches", func(r slidb.Row) bool { branchSum += r[1].AsFloat(); return true }); err != nil {
+			return err
+		}
+		return tx.ScanTable("accounts", func(r slidb.Row) bool { accountSum += r[2].AsFloat(); return true })
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if diff := branchSum - accountSum; diff > 1e-6 || diff < -1e-6 {
+		log.Fatalf("money not conserved: branches %.2f vs accounts %.2f", branchSum, accountSum)
+	}
+
+	total := float64(workers * transfersPerWorker)
+	return total / elapsed.Seconds(), db.LockStats()
+}
+
+func load(db *slidb.Engine) {
+	balance := func(name string) slidb.Column { return slidb.Column{Name: name, Type: slidb.TypeFloat} }
+	id := func(name string) slidb.Column { return slidb.Column{Name: name, Type: slidb.TypeInt} }
+
+	must(db.CreateTable("branches", slidb.MustSchema(id("b_id"), balance("b_balance")), []string{"b_id"}))
+	must(db.CreateTable("tellers", slidb.MustSchema(id("t_id"), id("b_id"), balance("t_balance")), []string{"t_id"}))
+	must(db.CreateTable("accounts", slidb.MustSchema(id("a_id"), id("b_id"), balance("a_balance")), []string{"a_id"}))
+
+	for b := int64(1); b <= branches; b++ {
+		bID := b
+		must(db.Exec(func(tx *slidb.Tx) error {
+			if err := tx.Insert("branches", slidb.Row{slidb.Int(bID), slidb.Float(0)}); err != nil {
+				return err
+			}
+			for t := int64(0); t < tellersPerBranch; t++ {
+				if err := tx.Insert("tellers", slidb.Row{slidb.Int((bID-1)*tellersPerBranch + t + 1), slidb.Int(bID), slidb.Float(0)}); err != nil {
+					return err
+				}
+			}
+			for a := int64(0); a < accountsPerBranch; a++ {
+				if err := tx.Insert("accounts", slidb.Row{slidb.Int((bID-1)*accountsPerBranch + a + 1), slidb.Int(bID), slidb.Float(0)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

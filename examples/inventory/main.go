@@ -1,0 +1,136 @@
+// Inventory: a TPC-C-flavoured order-entry application. It demonstrates
+// secondary indexes, range scans, multi-table transactions with rollback on
+// business-rule violations (out-of-stock orders), and concurrent order entry
+// against a shared product catalog.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slidb"
+)
+
+const (
+	products       = 500
+	customers      = 200
+	orderClerks    = 6
+	ordersPerClerk = 2000
+)
+
+var errOutOfStock = errors.New("out of stock")
+
+func main() {
+	db := slidb.Open(slidb.Config{Agents: orderClerks, SLI: true})
+	defer db.Close()
+	setup(db)
+
+	var placed, rejected atomic.Int64
+	var orderSeq atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for clerk := 0; clerk < orderClerks; clerk++ {
+		wg.Add(1)
+		go func(clerk int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(clerk)))
+			for i := 0; i < ordersPerClerk; i++ {
+				customer := int64(1 + rng.Intn(customers))
+				product := int64(1 + rng.Intn(products))
+				qty := int64(1 + rng.Intn(5))
+				oid := orderSeq.Add(1)
+				err := db.Exec(func(tx *slidb.Tx) error {
+					// Check and decrement stock.
+					if err := tx.Update("stock", []slidb.Value{slidb.Int(product)}, func(r slidb.Row) (slidb.Row, error) {
+						if r[1].AsInt() < qty {
+							return nil, errOutOfStock
+						}
+						r[1] = slidb.Int(r[1].AsInt() - qty)
+						return r, nil
+					}); err != nil {
+						return err
+					}
+					// Record the order.
+					return tx.Insert("orders", slidb.Row{
+						slidb.Int(oid), slidb.Int(customer), slidb.Int(product), slidb.Int(qty),
+					})
+				})
+				switch {
+				case err == nil:
+					placed.Add(1)
+				case errors.Is(err, errOutOfStock):
+					rejected.Add(1)
+				default:
+					log.Fatal(err)
+				}
+			}
+		}(clerk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Report: orders per customer via the secondary index, and totals.
+	var busiestCustomer int64
+	var busiestCount int
+	err := db.Exec(func(tx *slidb.Tx) error {
+		for c := int64(1); c <= customers; c++ {
+			rows, err := tx.LookupIndex("orders_by_customer", slidb.Int(c))
+			if err != nil {
+				return err
+			}
+			if len(rows) > busiestCount {
+				busiestCount = len(rows)
+				busiestCustomer = c
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("placed %d orders (%d rejected for stock) in %v — %.0f orders/s\n",
+		placed.Load(), rejected.Load(), elapsed.Round(time.Millisecond),
+		float64(placed.Load())/elapsed.Seconds())
+	fmt.Printf("busiest customer: #%d with %d orders\n", busiestCustomer, busiestCount)
+	stats := db.LockStats()
+	fmt.Printf("lock manager: %d acquisitions, SLI passed %d / reclaimed %d / invalidated %d\n",
+		stats.TotalAcquires(), stats.SLIPassed, stats.SLIReclaimed, stats.SLIInvalidated)
+}
+
+func setup(db *slidb.Engine) {
+	must(db.CreateTable("stock", slidb.MustSchema(
+		slidb.Column{Name: "product_id", Type: slidb.TypeInt},
+		slidb.Column{Name: "quantity", Type: slidb.TypeInt},
+		slidb.Column{Name: "name", Type: slidb.TypeString},
+	), []string{"product_id"}))
+	must(db.CreateTable("orders", slidb.MustSchema(
+		slidb.Column{Name: "order_id", Type: slidb.TypeInt},
+		slidb.Column{Name: "customer_id", Type: slidb.TypeInt},
+		slidb.Column{Name: "product_id", Type: slidb.TypeInt},
+		slidb.Column{Name: "quantity", Type: slidb.TypeInt},
+	), []string{"order_id"}))
+	must(db.CreateIndex("orders_by_customer", "orders", []string{"customer_id"}, false))
+
+	must(db.Exec(func(tx *slidb.Tx) error {
+		for p := 1; p <= products; p++ {
+			if err := tx.Insert("stock", slidb.Row{
+				slidb.Int(int64(p)), slidb.Int(10000), slidb.String(fmt.Sprintf("product-%03d", p)),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Quickstart: open an engine, create a table, write and read a few rows in
+// transactions, and print the lock-manager statistics. This is the minimal
+// end-to-end tour of the public slidb API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slidb"
+)
+
+func main() {
+	// Two agent worker threads, Speculative Lock Inheritance enabled.
+	db := slidb.Open(slidb.Config{Agents: 2, SLI: true})
+	defer db.Close()
+
+	schema := slidb.MustSchema(
+		slidb.Column{Name: "id", Type: slidb.TypeInt},
+		slidb.Column{Name: "name", Type: slidb.TypeString},
+		slidb.Column{Name: "balance", Type: slidb.TypeFloat},
+	)
+	if err := db.CreateTable("accounts", schema, []string{"id"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Insert a few rows in one transaction.
+	err := db.Exec(func(tx *slidb.Tx) error {
+		for i, name := range []string{"alice", "bob", "carol"} {
+			row := slidb.Row{slidb.Int(int64(i + 1)), slidb.String(name), slidb.Float(100)}
+			if err := tx.Insert("accounts", row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Transfer money between two accounts atomically.
+	err = db.Exec(func(tx *slidb.Tx) error {
+		move := func(id int64, delta float64) error {
+			return tx.Update("accounts", []slidb.Value{slidb.Int(id)}, func(r slidb.Row) (slidb.Row, error) {
+				r[2] = slidb.Float(r[2].AsFloat() + delta)
+				return r, nil
+			})
+		}
+		if err := move(1, -25); err != nil {
+			return err
+		}
+		return move(2, +25)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Read everything back.
+	err = db.Exec(func(tx *slidb.Tx) error {
+		return tx.ScanTable("accounts", func(r slidb.Row) bool {
+			fmt.Printf("account %d (%s): %.2f\n", r[0].AsInt(), r[1].AsString(), r[2].AsFloat())
+			return true
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats := db.LockStats()
+	fmt.Printf("\nlock acquisitions: %d (%.1f per transaction), SLI passed/reclaimed: %d/%d\n",
+		stats.TotalAcquires(), stats.LocksPerTransaction(), stats.SLIPassed, stats.SLIReclaimed)
+}

@@ -1,0 +1,142 @@
+// Telecom: a Home-Location-Register style application modelled on the
+// workload that motivates the paper (NDBB/TM1). It stores subscribers and
+// their call-forwarding rules, then simulates a burst of lookups and location
+// updates from many concurrent handsets — the "many extremely short
+// transactions" pattern where the lock manager becomes the bottleneck and
+// SLI pays off.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"slidb"
+)
+
+const subscribers = 5000
+
+func main() {
+	db := slidb.Open(slidb.Config{Agents: 8, SLI: true})
+	defer db.Close()
+
+	setup(db)
+
+	// Simulate 8 cell towers handling calls concurrently.
+	var lookups, locationUpdates, misses int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for tower := 0; tower < 8; tower++ {
+		wg.Add(1)
+		go func(tower int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tower)))
+			for i := 0; i < 3000; i++ {
+				sid := int64(1 + rng.Intn(subscribers))
+				if rng.Float64() < 0.8 {
+					// Route a call: look up the subscriber and any forwarding rule.
+					err := db.Exec(func(tx *slidb.Tx) error {
+						if _, found, err := tx.Get("subscriber", slidb.Int(sid)); err != nil || !found {
+							return errOr(err, errors.New("missing subscriber"))
+						}
+						_, found, err := tx.Get("call_forwarding", slidb.Int(sid))
+						if err != nil {
+							return err
+						}
+						if !found {
+							mu.Lock()
+							misses++
+							mu.Unlock()
+						}
+						return nil
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					mu.Lock()
+					lookups++
+					mu.Unlock()
+				} else {
+					// The handset moved: record its new location.
+					err := db.Exec(func(tx *slidb.Tx) error {
+						return tx.Update("subscriber", []slidb.Value{slidb.Int(sid)}, func(r slidb.Row) (slidb.Row, error) {
+							r[2] = slidb.Int(int64(tower))
+							return r, nil
+						})
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					mu.Lock()
+					locationUpdates++
+					mu.Unlock()
+				}
+			}
+		}(tower)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats := db.LockStats()
+	total := lookups + locationUpdates
+	fmt.Printf("handled %d HLR requests in %v (%.0f req/s): %d call routings (%d unforwarded), %d location updates\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), lookups, misses, locationUpdates)
+	fmt.Printf("lock manager: %.1f locks/transaction, %d latch collisions, SLI passed %d / reclaimed %d\n",
+		stats.LocksPerTransaction(), stats.LatchContended, stats.SLIPassed, stats.SLIReclaimed)
+}
+
+func setup(db *slidb.Engine) {
+	subscriber := slidb.MustSchema(
+		slidb.Column{Name: "s_id", Type: slidb.TypeInt},
+		slidb.Column{Name: "sub_nbr", Type: slidb.TypeString},
+		slidb.Column{Name: "location", Type: slidb.TypeInt},
+	)
+	forwarding := slidb.MustSchema(
+		slidb.Column{Name: "s_id", Type: slidb.TypeInt},
+		slidb.Column{Name: "forward_to", Type: slidb.TypeString},
+	)
+	if err := db.CreateTable("subscriber", subscriber, []string{"s_id"}); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.CreateTable("call_forwarding", forwarding, []string{"s_id"}); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for lo := 1; lo <= subscribers; lo += 1000 {
+		hi := lo + 999
+		if hi > subscribers {
+			hi = subscribers
+		}
+		err := db.Exec(func(tx *slidb.Tx) error {
+			for s := lo; s <= hi; s++ {
+				if err := tx.Insert("subscriber", slidb.Row{
+					slidb.Int(int64(s)), slidb.String(fmt.Sprintf("%015d", s)), slidb.Int(0),
+				}); err != nil {
+					return err
+				}
+				if rng.Float64() < 0.25 {
+					if err := tx.Insert("call_forwarding", slidb.Row{
+						slidb.Int(int64(s)), slidb.String(fmt.Sprintf("%015d", rng.Intn(subscribers)+1)),
+					}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func errOr(err, fallback error) error {
+	if err != nil {
+		return err
+	}
+	return fallback
+}

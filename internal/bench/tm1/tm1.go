@@ -1,0 +1,417 @@
+// Package tm1 implements the Nokia Network Database Benchmark (NDBB, also
+// known as TM1), the telecom workload the paper leans on most heavily: seven
+// very short transactions over four Home Location Register tables, many of
+// which fail on invalid input by design (paper §5.1).
+package tm1
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"slidb/internal/core"
+	"slidb/internal/record"
+	"slidb/internal/workload"
+)
+
+// Table names.
+const (
+	TableSubscriber      = "subscriber"
+	TableAccessInfo      = "access_info"
+	TableSpecialFacility = "special_facility"
+	TableCallForwarding  = "call_forwarding"
+	IndexSubscriberByNbr = "subscriber_by_nbr"
+)
+
+// Transaction names, matching the paper's abbreviations.
+const (
+	TxGetSubscriberData    = "getSub"
+	TxGetNewDestination    = "getDest"
+	TxGetAccessData        = "getAccess"
+	TxUpdateSubscriberData = "updateSub"
+	TxUpdateLocation       = "updateLoc"
+	TxInsertCallForwarding = "insertCF"
+	TxDeleteCallForwarding = "deleteCF"
+	// MixNDBB is the full specified mix (35/10/35/2/14/2/2).
+	MixNDBB = "mix"
+	// MixForward is the 71.4/14.3/14.3 getDest/insertCF/deleteCF mix.
+	MixForward = "forward"
+)
+
+// Transactions lists the individually runnable transaction names, in the
+// order the paper's figures present them.
+func Transactions() []string {
+	return []string{
+		TxGetSubscriberData, TxGetNewDestination, TxGetAccessData,
+		TxUpdateSubscriberData, TxUpdateLocation,
+	}
+}
+
+// Mixes lists the runnable mix names.
+func Mixes() []string { return []string{MixForward, MixNDBB} }
+
+// Config sizes the NDBB dataset.
+type Config struct {
+	// Subscribers is the dataset size (the paper uses 100,000).
+	Subscribers int
+	// Seed seeds the data generator.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Subscribers <= 0 {
+		c.Subscribers = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+func subNbr(sid int64) string { return fmt.Sprintf("%015d", sid) }
+
+// Schemas returns the four NDBB table schemas keyed by table name, mainly
+// for documentation and tests.
+func Schemas() map[string]*record.Schema {
+	return map[string]*record.Schema{
+		TableSubscriber: record.MustSchema(
+			record.Column{Name: "s_id", Type: record.TypeInt},
+			record.Column{Name: "sub_nbr", Type: record.TypeString},
+			record.Column{Name: "bit_1", Type: record.TypeInt},
+			record.Column{Name: "hex_1", Type: record.TypeInt},
+			record.Column{Name: "byte2_1", Type: record.TypeInt},
+			record.Column{Name: "msc_location", Type: record.TypeInt},
+			record.Column{Name: "vlr_location", Type: record.TypeInt},
+		),
+		TableAccessInfo: record.MustSchema(
+			record.Column{Name: "s_id", Type: record.TypeInt},
+			record.Column{Name: "ai_type", Type: record.TypeInt},
+			record.Column{Name: "data1", Type: record.TypeInt},
+			record.Column{Name: "data2", Type: record.TypeInt},
+			record.Column{Name: "data3", Type: record.TypeString},
+			record.Column{Name: "data4", Type: record.TypeString},
+		),
+		TableSpecialFacility: record.MustSchema(
+			record.Column{Name: "s_id", Type: record.TypeInt},
+			record.Column{Name: "sf_type", Type: record.TypeInt},
+			record.Column{Name: "is_active", Type: record.TypeInt},
+			record.Column{Name: "error_cntrl", Type: record.TypeInt},
+			record.Column{Name: "data_a", Type: record.TypeInt},
+			record.Column{Name: "data_b", Type: record.TypeString},
+		),
+		TableCallForwarding: record.MustSchema(
+			record.Column{Name: "s_id", Type: record.TypeInt},
+			record.Column{Name: "sf_type", Type: record.TypeInt},
+			record.Column{Name: "start_time", Type: record.TypeInt},
+			record.Column{Name: "end_time", Type: record.TypeInt},
+			record.Column{Name: "numberx", Type: record.TypeString},
+		),
+	}
+}
+
+// Load creates the NDBB tables and populates them according to the spec's
+// distributions: 1–4 access_info rows and 1–4 special_facility rows per
+// subscriber, 0–3 call_forwarding rows per special facility.
+func Load(e *core.Engine, cfg Config) error {
+	cfg = cfg.withDefaults()
+	schemas := Schemas()
+	if err := e.CreateTable(TableSubscriber, schemas[TableSubscriber], []string{"s_id"}); err != nil {
+		return err
+	}
+	if err := e.CreateIndex(IndexSubscriberByNbr, TableSubscriber, []string{"sub_nbr"}, true); err != nil {
+		return err
+	}
+	if err := e.CreateTable(TableAccessInfo, schemas[TableAccessInfo], []string{"s_id", "ai_type"}); err != nil {
+		return err
+	}
+	if err := e.CreateTable(TableSpecialFacility, schemas[TableSpecialFacility], []string{"s_id", "sf_type"}); err != nil {
+		return err
+	}
+	if err := e.CreateTable(TableCallForwarding, schemas[TableCallForwarding], []string{"s_id", "sf_type", "start_time"}); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const batch = 500
+	for lo := 1; lo <= cfg.Subscribers; lo += batch {
+		hi := lo + batch - 1
+		if hi > cfg.Subscribers {
+			hi = cfg.Subscribers
+		}
+		err := e.Exec(func(tx *core.Tx) error {
+			for sid := lo; sid <= hi; sid++ {
+				s := int64(sid)
+				if err := tx.Insert(TableSubscriber, record.Row{
+					record.Int(s), record.String(subNbr(s)),
+					record.Int(int64(rng.Intn(2))), record.Int(int64(rng.Intn(16))),
+					record.Int(int64(rng.Intn(256))),
+					record.Int(rng.Int63n(1 << 31)), record.Int(rng.Int63n(1 << 31)),
+				}); err != nil {
+					return err
+				}
+				for _, ai := range pickTypes(rng) {
+					if err := tx.Insert(TableAccessInfo, record.Row{
+						record.Int(s), record.Int(int64(ai)),
+						record.Int(int64(rng.Intn(256))), record.Int(int64(rng.Intn(256))),
+						record.String(randString(rng, 3)), record.String(randString(rng, 5)),
+					}); err != nil {
+						return err
+					}
+				}
+				for _, sf := range pickTypes(rng) {
+					active := int64(1)
+					if rng.Float64() >= 0.85 {
+						active = 0
+					}
+					if err := tx.Insert(TableSpecialFacility, record.Row{
+						record.Int(s), record.Int(int64(sf)), record.Int(active),
+						record.Int(int64(rng.Intn(256))), record.Int(int64(rng.Intn(256))),
+						record.String(randString(rng, 5)),
+					}); err != nil {
+						return err
+					}
+					// 0-3 call forwarding rows with distinct start times.
+					starts := []int64{0, 8, 16}
+					rng.Shuffle(len(starts), func(i, j int) { starts[i], starts[j] = starts[j], starts[i] })
+					for _, st := range starts[:rng.Intn(4)] {
+						if err := tx.Insert(TableCallForwarding, record.Row{
+							record.Int(s), record.Int(int64(sf)), record.Int(st),
+							record.Int(st + int64(rng.Intn(8)) + 1),
+							record.String(randString(rng, 15)),
+						}); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("tm1: loading subscribers %d-%d: %w", lo, hi, err)
+		}
+	}
+	return nil
+}
+
+// pickTypes returns 1-4 distinct values from {1,2,3,4}, uniformly sized.
+func pickTypes(rng *rand.Rand) []int {
+	n := 1 + rng.Intn(4)
+	types := []int{1, 2, 3, 4}
+	rng.Shuffle(4, func(i, j int) { types[i], types[j] = types[j], types[i] })
+	return types[:n]
+}
+
+const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+func randString(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// NewGenerator returns a workload generator for the named transaction or mix
+// ("mix", "forward", or one of the Tx* names).
+func NewGenerator(cfg Config, name string) (workload.Generator, error) {
+	cfg = cfg.withDefaults()
+	single := func(entry workload.MixEntry) workload.Generator { return workload.Mix{entry} }
+	entries := map[string]workload.MixEntry{
+		TxGetSubscriberData:    {Name: TxGetSubscriberData, Weight: 35, Make: func(rng *rand.Rand) workload.TxFunc { return getSubscriberData(cfg, rng) }},
+		TxGetNewDestination:    {Name: TxGetNewDestination, Weight: 10, Make: func(rng *rand.Rand) workload.TxFunc { return getNewDestination(cfg, rng) }},
+		TxGetAccessData:        {Name: TxGetAccessData, Weight: 35, Make: func(rng *rand.Rand) workload.TxFunc { return getAccessData(cfg, rng) }},
+		TxUpdateSubscriberData: {Name: TxUpdateSubscriberData, Weight: 2, Make: func(rng *rand.Rand) workload.TxFunc { return updateSubscriberData(cfg, rng) }},
+		TxUpdateLocation:       {Name: TxUpdateLocation, Weight: 14, Make: func(rng *rand.Rand) workload.TxFunc { return updateLocation(cfg, rng) }},
+		TxInsertCallForwarding: {Name: TxInsertCallForwarding, Weight: 2, Make: func(rng *rand.Rand) workload.TxFunc { return insertCallForwarding(cfg, rng) }},
+		TxDeleteCallForwarding: {Name: TxDeleteCallForwarding, Weight: 2, Make: func(rng *rand.Rand) workload.TxFunc { return deleteCallForwarding(cfg, rng) }},
+	}
+	switch name {
+	case MixNDBB:
+		var mix workload.Mix
+		for _, n := range []string{TxGetSubscriberData, TxGetNewDestination, TxGetAccessData,
+			TxUpdateSubscriberData, TxUpdateLocation, TxInsertCallForwarding, TxDeleteCallForwarding} {
+			mix = append(mix, entries[n])
+		}
+		return mix, nil
+	case MixForward:
+		return workload.Mix{
+			{Name: TxGetNewDestination, Weight: 71.4, Make: entries[TxGetNewDestination].Make},
+			{Name: TxInsertCallForwarding, Weight: 14.3, Make: entries[TxInsertCallForwarding].Make},
+			{Name: TxDeleteCallForwarding, Weight: 14.3, Make: entries[TxDeleteCallForwarding].Make},
+		}, nil
+	default:
+		e, ok := entries[name]
+		if !ok {
+			return nil, fmt.Errorf("tm1: unknown transaction %q", name)
+		}
+		return single(e), nil
+	}
+}
+
+func randSID(cfg Config, rng *rand.Rand) int64 { return 1 + rng.Int63n(int64(cfg.Subscribers)) }
+
+// getSubscriberData retrieves one subscriber row (read-only, never fails).
+func getSubscriberData(cfg Config, rng *rand.Rand) workload.TxFunc {
+	sid := randSID(cfg, rng)
+	return func(tx *core.Tx) error {
+		_, found, err := tx.Get(TableSubscriber, record.Int(sid))
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("tm1: subscriber %d missing", sid)
+		}
+		return nil
+	}
+}
+
+// getNewDestination retrieves the active call-forwarding destination; it
+// fails (by spec, ~76% of the time) when the facility is inactive or no
+// forwarding entry covers the requested interval.
+func getNewDestination(cfg Config, rng *rand.Rand) workload.TxFunc {
+	sid := randSID(cfg, rng)
+	sfType := int64(1 + rng.Intn(4))
+	startTime := int64(8 * rng.Intn(3))
+	endTime := int64(1 + rng.Intn(24))
+	return func(tx *core.Tx) error {
+		sf, found, err := tx.Get(TableSpecialFacility, record.Int(sid), record.Int(sfType))
+		if err != nil {
+			return err
+		}
+		if !found || sf[2].AsInt() != 1 {
+			return core.Abort
+		}
+		got := false
+		err = tx.ScanRange(TableCallForwarding,
+			[]record.Value{record.Int(sid), record.Int(sfType), record.Int(0)},
+			[]record.Value{record.Int(sid), record.Int(sfType), record.Int(23)},
+			func(row record.Row) bool {
+				if row[2].AsInt() <= startTime && row[3].AsInt() > endTime {
+					got = true
+					return false
+				}
+				return true
+			})
+		if err != nil {
+			return err
+		}
+		if !got {
+			return core.Abort
+		}
+		return nil
+	}
+}
+
+// getAccessData reads one access_info row; fails (~37.5%) when the requested
+// ai_type does not exist for the subscriber.
+func getAccessData(cfg Config, rng *rand.Rand) workload.TxFunc {
+	sid := randSID(cfg, rng)
+	aiType := int64(1 + rng.Intn(4))
+	return func(tx *core.Tx) error {
+		_, found, err := tx.Get(TableAccessInfo, record.Int(sid), record.Int(aiType))
+		if err != nil {
+			return err
+		}
+		if !found {
+			return core.Abort
+		}
+		return nil
+	}
+}
+
+// updateSubscriberData updates subscriber.bit_1 and special_facility.data_a;
+// fails (~37.5%) when the facility row does not exist.
+func updateSubscriberData(cfg Config, rng *rand.Rand) workload.TxFunc {
+	sid := randSID(cfg, rng)
+	sfType := int64(1 + rng.Intn(4))
+	bit := int64(rng.Intn(2))
+	dataA := int64(rng.Intn(256))
+	return func(tx *core.Tx) error {
+		if err := tx.Update(TableSubscriber, []record.Value{record.Int(sid)}, func(r record.Row) (record.Row, error) {
+			r[2] = record.Int(bit)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		err := tx.Update(TableSpecialFacility, []record.Value{record.Int(sid), record.Int(sfType)}, func(r record.Row) (record.Row, error) {
+			r[4] = record.Int(dataA)
+			return r, nil
+		})
+		if errors.Is(err, core.ErrNotFound) {
+			return core.Abort
+		}
+		return err
+	}
+}
+
+// updateLocation updates a subscriber's location, looking the subscriber up
+// by its phone number through the secondary index (never fails).
+func updateLocation(cfg Config, rng *rand.Rand) workload.TxFunc {
+	sid := randSID(cfg, rng)
+	nbr := subNbr(sid)
+	loc := rng.Int63n(1 << 31)
+	return func(tx *core.Tx) error {
+		// Lock the subscriber exclusively right away (SELECT ... FOR UPDATE):
+		// acquiring S first and upgrading would expose two concurrent
+		// UPDATE_LOCATIONs on the same subscriber to a conversion deadlock.
+		rows, err := tx.LookupIndexForUpdate(IndexSubscriberByNbr, record.String(nbr))
+		if err != nil {
+			return err
+		}
+		if len(rows) != 1 {
+			return fmt.Errorf("tm1: subscriber %s not found by number", nbr)
+		}
+		return tx.Update(TableSubscriber, []record.Value{rows[0][0]}, func(r record.Row) (record.Row, error) {
+			r[6] = record.Int(loc)
+			return r, nil
+		})
+	}
+}
+
+// insertCallForwarding adds a call-forwarding entry; it fails (~69%) when the
+// target special facility does not exist or the entry is a duplicate.
+func insertCallForwarding(cfg Config, rng *rand.Rand) workload.TxFunc {
+	sid := randSID(cfg, rng)
+	nbr := subNbr(sid)
+	sfType := int64(1 + rng.Intn(4))
+	startTime := int64(8 * rng.Intn(3))
+	endTime := startTime + int64(1+rng.Intn(8))
+	numberx := randString(rand.New(rand.NewSource(sid)), 15)
+	return func(tx *core.Tx) error {
+		rows, err := tx.LookupIndex(IndexSubscriberByNbr, record.String(nbr))
+		if err != nil {
+			return err
+		}
+		if len(rows) != 1 {
+			return core.Abort
+		}
+		if _, found, err := tx.Get(TableSpecialFacility, record.Int(sid), record.Int(sfType)); err != nil {
+			return err
+		} else if !found {
+			return core.Abort
+		}
+		err = tx.Insert(TableCallForwarding, record.Row{
+			record.Int(sid), record.Int(sfType), record.Int(startTime),
+			record.Int(endTime), record.String(numberx),
+		})
+		if errors.Is(err, core.ErrDuplicateKey) {
+			return core.Abort
+		}
+		return err
+	}
+}
+
+// deleteCallForwarding removes a call-forwarding entry; it fails (~69%) when
+// the entry does not exist.
+func deleteCallForwarding(cfg Config, rng *rand.Rand) workload.TxFunc {
+	sid := randSID(cfg, rng)
+	sfType := int64(1 + rng.Intn(4))
+	startTime := int64(8 * rng.Intn(3))
+	return func(tx *core.Tx) error {
+		err := tx.Delete(TableCallForwarding, record.Int(sid), record.Int(sfType), record.Int(startTime))
+		if errors.Is(err, core.ErrNotFound) {
+			return core.Abort
+		}
+		return err
+	}
+}

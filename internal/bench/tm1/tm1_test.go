@@ -1,0 +1,154 @@
+package tm1
+
+import (
+	"testing"
+	"time"
+
+	"slidb/internal/core"
+	"slidb/internal/record"
+	"slidb/internal/workload"
+)
+
+func loadSmall(t testing.TB, engineCfg core.Config, subscribers int) *core.Engine {
+	t.Helper()
+	e := core.Open(engineCfg)
+	t.Cleanup(func() { e.Close() })
+	if err := Load(e, Config{Subscribers: subscribers}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	e := loadSmall(t, core.Config{Agents: 1}, 200)
+	counts := map[string]int{}
+	err := e.Exec(func(tx *core.Tx) error {
+		for _, tbl := range []string{TableSubscriber, TableAccessInfo, TableSpecialFacility, TableCallForwarding} {
+			n := 0
+			if err := tx.ScanTable(tbl, func(record.Row) bool { n++; return true }); err != nil {
+				return err
+			}
+			counts[tbl] = n
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[TableSubscriber] != 200 {
+		t.Fatalf("subscribers = %d, want 200", counts[TableSubscriber])
+	}
+	// 1-4 rows per subscriber, so expect roughly 2.5x subscribers.
+	if counts[TableAccessInfo] < 200 || counts[TableAccessInfo] > 800 {
+		t.Fatalf("access_info = %d, outside [200,800]", counts[TableAccessInfo])
+	}
+	if counts[TableSpecialFacility] < 200 || counts[TableSpecialFacility] > 800 {
+		t.Fatalf("special_facility = %d, outside [200,800]", counts[TableSpecialFacility])
+	}
+	if counts[TableCallForwarding] == 0 {
+		t.Fatal("call_forwarding empty")
+	}
+	if len(Schemas()) != 4 {
+		t.Fatal("Schemas() should describe 4 tables")
+	}
+	if len(Transactions()) != 5 || len(Mixes()) != 2 {
+		t.Fatal("transaction/mix listings wrong")
+	}
+}
+
+func TestGeneratorUnknownName(t *testing.T) {
+	if _, err := NewGenerator(Config{}, "nope"); err == nil {
+		t.Fatal("unknown transaction accepted")
+	}
+}
+
+// runNamed runs a short burst of the named transaction and returns the result.
+func runNamed(t *testing.T, e *core.Engine, name string, d time.Duration) workload.Result {
+	t.Helper()
+	gen, err := NewGenerator(Config{Subscribers: 500}, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workload.Run(e, gen, workload.Options{Clients: 4, Duration: d, Seed: 5})
+}
+
+func TestReadOnlyTransactionsRun(t *testing.T) {
+	e := loadSmall(t, core.Config{Agents: 4}, 500)
+	res := runNamed(t, e, TxGetSubscriberData, 150*time.Millisecond)
+	if res.Committed == 0 || res.Errors > 0 {
+		t.Fatalf("getSub: %+v", res)
+	}
+	if res.FailureRate() != 0 {
+		t.Fatalf("getSub should never fail, got %.2f", res.FailureRate())
+	}
+
+	res = runNamed(t, e, TxGetAccessData, 150*time.Millisecond)
+	if res.Errors > 0 || res.Committed == 0 {
+		t.Fatalf("getAccess: %+v", res)
+	}
+	// Spec failure rate 37.5%; allow a generous band.
+	if res.FailureRate() < 0.2 || res.FailureRate() > 0.55 {
+		t.Fatalf("getAccess failure rate %.2f, expected ~0.375", res.FailureRate())
+	}
+
+	res = runNamed(t, e, TxGetNewDestination, 150*time.Millisecond)
+	if res.Errors > 0 || res.Committed == 0 {
+		t.Fatalf("getDest: %+v", res)
+	}
+	// Spec failure rate 76.1%.
+	if res.FailureRate() < 0.55 || res.FailureRate() > 0.95 {
+		t.Fatalf("getDest failure rate %.2f, expected ~0.76", res.FailureRate())
+	}
+}
+
+func TestUpdateTransactionsRun(t *testing.T) {
+	e := loadSmall(t, core.Config{Agents: 4}, 500)
+	res := runNamed(t, e, TxUpdateLocation, 150*time.Millisecond)
+	if res.Errors > 0 || res.Committed == 0 || res.FailureRate() != 0 {
+		t.Fatalf("updateLoc: %+v", res)
+	}
+	res = runNamed(t, e, TxUpdateSubscriberData, 150*time.Millisecond)
+	if res.Errors > 0 || res.Committed == 0 {
+		t.Fatalf("updateSub: %+v", res)
+	}
+	if res.FailureRate() < 0.2 || res.FailureRate() > 0.55 {
+		t.Fatalf("updateSub failure rate %.2f, expected ~0.375", res.FailureRate())
+	}
+}
+
+func TestCallForwardingTransactionsRun(t *testing.T) {
+	e := loadSmall(t, core.Config{Agents: 4}, 300)
+	res := runNamed(t, e, TxInsertCallForwarding, 150*time.Millisecond)
+	if res.Errors > 0 || res.Committed == 0 {
+		t.Fatalf("insertCF: %+v", res)
+	}
+	res = runNamed(t, e, TxDeleteCallForwarding, 150*time.Millisecond)
+	if res.Errors > 0 || res.Committed == 0 {
+		t.Fatalf("deleteCF: %+v", res)
+	}
+	if res.FailureRate() < 0.4 {
+		t.Fatalf("deleteCF failure rate %.2f, expected ~0.69", res.FailureRate())
+	}
+}
+
+func TestMixesRunWithAndWithoutSLI(t *testing.T) {
+	for _, sli := range []bool{false, true} {
+		e := loadSmall(t, core.Config{Agents: 4, SLI: sli}, 500)
+		for _, mix := range Mixes() {
+			gen, err := NewGenerator(Config{Subscribers: 500}, mix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := workload.Run(e, gen, workload.Options{Clients: 4, Duration: 200 * time.Millisecond, Seed: 3})
+			if res.Errors > 0 {
+				t.Fatalf("mix %s (sli=%v): %d unexpected errors", mix, sli, res.Errors)
+			}
+			if res.Committed == 0 {
+				t.Fatalf("mix %s (sli=%v): nothing committed", mix, sli)
+			}
+		}
+		if sli && e.LockStats().SLIPassed == 0 {
+			t.Log("note: SLI never engaged in this short run (no hot locks detected)")
+		}
+	}
+}

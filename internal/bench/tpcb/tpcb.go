@@ -1,0 +1,201 @@
+// Package tpcb implements the TPC-B database stress test used in the paper:
+// a single short update transaction (a customer deposit/withdrawal) over
+// four tables — branches, tellers, accounts and history (paper §5.1).
+package tpcb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"slidb/internal/core"
+	"slidb/internal/record"
+	"slidb/internal/workload"
+)
+
+// Table names.
+const (
+	TableBranches = "branches"
+	TableTellers  = "tellers"
+	TableAccounts = "accounts"
+	TableHistory  = "history"
+)
+
+// TxAccountUpdate is the benchmark's single transaction type.
+const TxAccountUpdate = "tpcb"
+
+// Config sizes the TPC-B dataset. The paper uses 1000 branches with the
+// standard 100,000 accounts per branch (20 GB); defaults here are scaled so
+// tests stay fast, and the ratios stay spec-proportional.
+type Config struct {
+	// Branches is the scale factor.
+	Branches int
+	// TellersPerBranch defaults to the spec's 10.
+	TellersPerBranch int
+	// AccountsPerBranch defaults to 1000 (the spec uses 100,000).
+	AccountsPerBranch int
+	// Seed seeds the data generator.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Branches <= 0 {
+		c.Branches = 10
+	}
+	if c.TellersPerBranch <= 0 {
+		c.TellersPerBranch = 10
+	}
+	if c.AccountsPerBranch <= 0 {
+		c.AccountsPerBranch = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	return c
+}
+
+// Schemas returns the four TPC-B table schemas.
+func Schemas() map[string]*record.Schema {
+	return map[string]*record.Schema{
+		TableBranches: record.MustSchema(
+			record.Column{Name: "b_id", Type: record.TypeInt},
+			record.Column{Name: "b_balance", Type: record.TypeFloat},
+			record.Column{Name: "filler", Type: record.TypeString},
+		),
+		TableTellers: record.MustSchema(
+			record.Column{Name: "t_id", Type: record.TypeInt},
+			record.Column{Name: "b_id", Type: record.TypeInt},
+			record.Column{Name: "t_balance", Type: record.TypeFloat},
+			record.Column{Name: "filler", Type: record.TypeString},
+		),
+		TableAccounts: record.MustSchema(
+			record.Column{Name: "a_id", Type: record.TypeInt},
+			record.Column{Name: "b_id", Type: record.TypeInt},
+			record.Column{Name: "a_balance", Type: record.TypeFloat},
+			record.Column{Name: "filler", Type: record.TypeString},
+		),
+		TableHistory: record.MustSchema(
+			record.Column{Name: "h_id", Type: record.TypeInt},
+			record.Column{Name: "t_id", Type: record.TypeInt},
+			record.Column{Name: "b_id", Type: record.TypeInt},
+			record.Column{Name: "a_id", Type: record.TypeInt},
+			record.Column{Name: "delta", Type: record.TypeFloat},
+			record.Column{Name: "filler", Type: record.TypeString},
+		),
+	}
+}
+
+// historyID hands out unique history primary keys; TPC-B's history table has
+// no natural key.
+var historyID atomic.Int64
+
+// Load creates and populates the TPC-B tables.
+func Load(e *core.Engine, cfg Config) error {
+	cfg = cfg.withDefaults()
+	schemas := Schemas()
+	if err := e.CreateTable(TableBranches, schemas[TableBranches], []string{"b_id"}); err != nil {
+		return err
+	}
+	if err := e.CreateTable(TableTellers, schemas[TableTellers], []string{"t_id"}); err != nil {
+		return err
+	}
+	if err := e.CreateTable(TableAccounts, schemas[TableAccounts], []string{"a_id"}); err != nil {
+		return err
+	}
+	if err := e.CreateTable(TableHistory, schemas[TableHistory], []string{"h_id"}); err != nil {
+		return err
+	}
+	filler := "xxxxxxxxxxxxxxxxxxxxxxxx"
+	for b := 1; b <= cfg.Branches; b++ {
+		bID := int64(b)
+		err := e.Exec(func(tx *core.Tx) error {
+			if err := tx.Insert(TableBranches, record.Row{record.Int(bID), record.Float(0), record.String(filler)}); err != nil {
+				return err
+			}
+			for t := 0; t < cfg.TellersPerBranch; t++ {
+				tID := (bID-1)*int64(cfg.TellersPerBranch) + int64(t) + 1
+				if err := tx.Insert(TableTellers, record.Row{record.Int(tID), record.Int(bID), record.Float(0), record.String(filler)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("tpcb: loading branch %d: %w", b, err)
+		}
+		// Accounts go in separate batches to bound transaction size.
+		const batch = 1000
+		for lo := 0; lo < cfg.AccountsPerBranch; lo += batch {
+			hi := lo + batch
+			if hi > cfg.AccountsPerBranch {
+				hi = cfg.AccountsPerBranch
+			}
+			err := e.Exec(func(tx *core.Tx) error {
+				for a := lo; a < hi; a++ {
+					aID := (bID-1)*int64(cfg.AccountsPerBranch) + int64(a) + 1
+					if err := tx.Insert(TableAccounts, record.Row{record.Int(aID), record.Int(bID), record.Float(0), record.String(filler)}); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("tpcb: loading accounts of branch %d: %w", b, err)
+			}
+		}
+	}
+	return nil
+}
+
+// NewGenerator returns the TPC-B workload generator (there is only one
+// transaction type, so name must be TxAccountUpdate or empty).
+func NewGenerator(cfg Config, name string) (workload.Generator, error) {
+	cfg = cfg.withDefaults()
+	if name != "" && name != TxAccountUpdate {
+		return nil, fmt.Errorf("tpcb: unknown transaction %q", name)
+	}
+	return workload.Mix{{
+		Name:   TxAccountUpdate,
+		Weight: 1,
+		Make:   func(rng *rand.Rand) workload.TxFunc { return accountUpdate(cfg, rng) },
+	}}, nil
+}
+
+// accountUpdate is the TPC-B transaction: adjust an account, its teller and
+// its branch by a random delta and append a history row. 85% of accounts
+// belong to the teller's home branch, 15% to a remote branch.
+func accountUpdate(cfg Config, rng *rand.Rand) workload.TxFunc {
+	branch := 1 + rng.Int63n(int64(cfg.Branches))
+	teller := (branch-1)*int64(cfg.TellersPerBranch) + int64(rng.Intn(cfg.TellersPerBranch)) + 1
+	accountBranch := branch
+	if cfg.Branches > 1 && rng.Float64() < 0.15 {
+		accountBranch = 1 + rng.Int63n(int64(cfg.Branches))
+	}
+	account := (accountBranch-1)*int64(cfg.AccountsPerBranch) + rng.Int63n(int64(cfg.AccountsPerBranch)) + 1
+	delta := float64(rng.Intn(200000)-100000) / 100.0
+	hID := historyID.Add(1)
+	return func(tx *core.Tx) error {
+		if err := tx.Update(TableAccounts, []record.Value{record.Int(account)}, func(r record.Row) (record.Row, error) {
+			r[2] = record.Float(r[2].AsFloat() + delta)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		if err := tx.Update(TableTellers, []record.Value{record.Int(teller)}, func(r record.Row) (record.Row, error) {
+			r[2] = record.Float(r[2].AsFloat() + delta)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		if err := tx.Update(TableBranches, []record.Value{record.Int(accountBranch)}, func(r record.Row) (record.Row, error) {
+			r[1] = record.Float(r[1].AsFloat() + delta)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		return tx.Insert(TableHistory, record.Row{
+			record.Int(hID), record.Int(teller), record.Int(accountBranch),
+			record.Int(account), record.Float(delta), record.String("h"),
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package tpcb
+
+import (
+	"testing"
+	"time"
+
+	"slidb/internal/core"
+	"slidb/internal/record"
+	"slidb/internal/workload"
+)
+
+func TestLoadAndBalancesConserved(t *testing.T) {
+	e := core.Open(core.Config{Agents: 4})
+	defer e.Close()
+	cfg := Config{Branches: 3, AccountsPerBranch: 50}
+	if err := Load(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(cfg, TxAccountUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := workload.Run(e, gen, workload.Options{Clients: 4, Duration: 250 * time.Millisecond, Seed: 11})
+	if res.Errors > 0 {
+		t.Fatalf("unexpected errors: %d", res.Errors)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	// Invariant: sum(branch balances) == sum(teller balances) == sum(account
+	// balances) == sum(history deltas).
+	var branchSum, tellerSum, accountSum, historySum float64
+	var historyRows int
+	err = e.Exec(func(tx *core.Tx) error {
+		if err := tx.ScanTable(TableBranches, func(r record.Row) bool { branchSum += r[1].AsFloat(); return true }); err != nil {
+			return err
+		}
+		if err := tx.ScanTable(TableTellers, func(r record.Row) bool { tellerSum += r[2].AsFloat(); return true }); err != nil {
+			return err
+		}
+		if err := tx.ScanTable(TableAccounts, func(r record.Row) bool { accountSum += r[2].AsFloat(); return true }); err != nil {
+			return err
+		}
+		return tx.ScanTable(TableHistory, func(r record.Row) bool { historySum += r[4].AsFloat(); historyRows++; return true })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-6
+	if diff := branchSum - tellerSum; diff > eps || diff < -eps {
+		t.Fatalf("branch sum %v != teller sum %v", branchSum, tellerSum)
+	}
+	if diff := branchSum - accountSum; diff > eps || diff < -eps {
+		t.Fatalf("branch sum %v != account sum %v", branchSum, accountSum)
+	}
+	if diff := branchSum - historySum; diff > eps || diff < -eps {
+		t.Fatalf("branch sum %v != history sum %v", branchSum, historySum)
+	}
+	if uint64(historyRows) < res.Committed {
+		t.Fatalf("history rows %d < committed transactions %d", historyRows, res.Committed)
+	}
+}
+
+func TestGeneratorRejectsUnknownName(t *testing.T) {
+	if _, err := NewGenerator(Config{}, "nope"); err == nil {
+		t.Fatal("unknown transaction accepted")
+	}
+	if _, err := NewGenerator(Config{}, ""); err != nil {
+		t.Fatal("empty name should default to the account-update transaction")
+	}
+}
+
+func TestSchemasCoverFourTables(t *testing.T) {
+	if len(Schemas()) != 4 {
+		t.Fatal("TPC-B defines four tables")
+	}
+}
+
+func TestSLIRunMatchesBaselineInvariants(t *testing.T) {
+	e := core.Open(core.Config{Agents: 4, SLI: true})
+	defer e.Close()
+	cfg := Config{Branches: 2, AccountsPerBranch: 40}
+	if err := Load(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := NewGenerator(cfg, "")
+	res := workload.Run(e, gen, workload.Options{Clients: 4, Duration: 200 * time.Millisecond, Seed: 17})
+	if res.Errors > 0 || res.Committed == 0 {
+		t.Fatalf("SLI run failed: %+v", res)
+	}
+	var branchSum, accountSum float64
+	err := e.Exec(func(tx *core.Tx) error {
+		if err := tx.ScanTable(TableBranches, func(r record.Row) bool { branchSum += r[1].AsFloat(); return true }); err != nil {
+			return err
+		}
+		return tx.ScanTable(TableAccounts, func(r record.Row) bool { accountSum += r[2].AsFloat(); return true })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := branchSum - accountSum; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("SLI broke conservation: branches %v, accounts %v", branchSum, accountSum)
+	}
+}

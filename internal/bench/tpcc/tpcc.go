@@ -1,0 +1,332 @@
+// Package tpcc implements the TPC-C order-entry benchmark used in the paper:
+// nine tables and five transactions (New Order, Payment, Order Status,
+// Delivery, Stock Level), plus the paper's "Small Mix" of the three short
+// transactions (§5.1).
+//
+// Dataset sizes are configurable and default to a scaled-down but
+// proportionally faithful population so tests and CI stay fast; the paper's
+// 300-warehouse configuration can be requested explicitly.
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"slidb/internal/core"
+	"slidb/internal/record"
+	"slidb/internal/workload"
+)
+
+// Table names.
+const (
+	TableWarehouse = "warehouse"
+	TableDistrict  = "district"
+	TableCustomer  = "customer"
+	TableHistory   = "history"
+	TableOrders    = "orders"
+	TableNewOrder  = "new_order"
+	TableOrderLine = "order_line"
+	TableItem      = "item"
+	TableStock     = "stock"
+
+	IndexCustomerByName = "customer_by_name"
+	IndexOrdersByCust   = "orders_by_customer"
+)
+
+// Transaction and mix names.
+const (
+	TxNewOrder    = "NewOrder"
+	TxPayment     = "Payment"
+	TxOrderStatus = "OrderStatus"
+	TxDelivery    = "Delivery"
+	TxStockLevel  = "StockLevel"
+	// MixSmall is Payment/NewOrder/OrderStatus at 46.7/48.9/4.3% (§5.1).
+	MixSmall = "small-mix"
+	// MixFull is the five transactions at their specified frequencies.
+	MixFull = "tpcc-mix"
+)
+
+// Transactions lists the individually runnable transactions.
+func Transactions() []string {
+	return []string{TxNewOrder, TxPayment, TxOrderStatus, TxDelivery, TxStockLevel}
+}
+
+// Mixes lists the runnable mixes.
+func Mixes() []string { return []string{MixSmall, MixFull} }
+
+// Config sizes the TPC-C dataset.
+type Config struct {
+	// Warehouses is the scale factor (the paper uses 300).
+	Warehouses int
+	// DistrictsPerWarehouse defaults to the spec's 10.
+	DistrictsPerWarehouse int
+	// CustomersPerDistrict defaults to 60 (spec: 3000), scaled for test speed.
+	CustomersPerDistrict int
+	// Items defaults to 1000 (spec: 100,000).
+	Items int
+	// InitialOrdersPerDistrict defaults to CustomersPerDistrict, matching the
+	// spec's one-order-per-customer initial population.
+	InitialOrdersPerDistrict int
+	// Seed seeds the data generator.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Warehouses <= 0 {
+		c.Warehouses = 2
+	}
+	if c.DistrictsPerWarehouse <= 0 {
+		c.DistrictsPerWarehouse = 10
+	}
+	if c.CustomersPerDistrict <= 0 {
+		c.CustomersPerDistrict = 60
+	}
+	if c.Items <= 0 {
+		c.Items = 1000
+	}
+	if c.InitialOrdersPerDistrict <= 0 {
+		c.InitialOrdersPerDistrict = c.CustomersPerDistrict
+	}
+	if c.Seed == 0 {
+		c.Seed = 99
+	}
+	return c
+}
+
+// Schemas returns the nine TPC-C table schemas.
+func Schemas() map[string]*record.Schema {
+	i := func(n string) record.Column { return record.Column{Name: n, Type: record.TypeInt} }
+	f := func(n string) record.Column { return record.Column{Name: n, Type: record.TypeFloat} }
+	s := func(n string) record.Column { return record.Column{Name: n, Type: record.TypeString} }
+	return map[string]*record.Schema{
+		TableWarehouse: record.MustSchema(i("w_id"), s("w_name"), f("w_tax"), f("w_ytd")),
+		TableDistrict:  record.MustSchema(i("d_w_id"), i("d_id"), s("d_name"), f("d_tax"), f("d_ytd"), i("d_next_o_id")),
+		TableCustomer: record.MustSchema(i("c_w_id"), i("c_d_id"), i("c_id"), s("c_first"), s("c_last"),
+			f("c_balance"), f("c_ytd_payment"), i("c_payment_cnt"), i("c_delivery_cnt"), s("c_data"), f("c_discount"), s("c_credit")),
+		TableHistory:  record.MustSchema(i("h_id"), i("h_w_id"), i("h_d_id"), i("h_c_id"), f("h_amount"), s("h_data")),
+		TableOrders:   record.MustSchema(i("o_w_id"), i("o_d_id"), i("o_id"), i("o_c_id"), i("o_entry_d"), i("o_carrier_id"), i("o_ol_cnt")),
+		TableNewOrder: record.MustSchema(i("no_w_id"), i("no_d_id"), i("no_o_id")),
+		TableOrderLine: record.MustSchema(i("ol_w_id"), i("ol_d_id"), i("ol_o_id"), i("ol_number"),
+			i("ol_i_id"), i("ol_supply_w_id"), i("ol_quantity"), f("ol_amount"), s("ol_dist_info")),
+		TableItem:  record.MustSchema(i("i_id"), s("i_name"), f("i_price"), s("i_data")),
+		TableStock: record.MustSchema(i("s_w_id"), i("s_i_id"), i("s_quantity"), f("s_ytd"), i("s_order_cnt"), i("s_remote_cnt"), s("s_dist_01")),
+	}
+}
+
+// lastNameSyllables are the spec's customer last-name syllables.
+var lastNameSyllables = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName builds a TPC-C customer last name from a number in [0,999].
+func LastName(n int) string {
+	return lastNameSyllables[(n/100)%10] + lastNameSyllables[(n/10)%10] + lastNameSyllables[n%10]
+}
+
+var historyID atomic.Int64
+
+// Load creates the TPC-C tables and populates them.
+func Load(e *core.Engine, cfg Config) error {
+	cfg = cfg.withDefaults()
+	schemas := Schemas()
+	ddl := []struct {
+		name string
+		pk   []string
+	}{
+		{TableWarehouse, []string{"w_id"}},
+		{TableDistrict, []string{"d_w_id", "d_id"}},
+		{TableCustomer, []string{"c_w_id", "c_d_id", "c_id"}},
+		{TableHistory, []string{"h_id"}},
+		{TableOrders, []string{"o_w_id", "o_d_id", "o_id"}},
+		{TableNewOrder, []string{"no_w_id", "no_d_id", "no_o_id"}},
+		{TableOrderLine, []string{"ol_w_id", "ol_d_id", "ol_o_id", "ol_number"}},
+		{TableItem, []string{"i_id"}},
+		{TableStock, []string{"s_w_id", "s_i_id"}},
+	}
+	for _, d := range ddl {
+		if err := e.CreateTable(d.name, schemas[d.name], d.pk); err != nil {
+			return err
+		}
+	}
+	if err := e.CreateIndex(IndexCustomerByName, TableCustomer, []string{"c_w_id", "c_d_id", "c_last"}, false); err != nil {
+		return err
+	}
+	if err := e.CreateIndex(IndexOrdersByCust, TableOrders, []string{"o_w_id", "o_d_id", "o_c_id"}, false); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Items.
+	const itemBatch = 500
+	for lo := 1; lo <= cfg.Items; lo += itemBatch {
+		hi := min(lo+itemBatch-1, cfg.Items)
+		if err := e.Exec(func(tx *core.Tx) error {
+			for i := lo; i <= hi; i++ {
+				if err := tx.Insert(TableItem, record.Row{
+					record.Int(int64(i)), record.String(fmt.Sprintf("item-%d", i)),
+					record.Float(1 + rng.Float64()*99), record.String("data"),
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("tpcc: loading items: %w", err)
+		}
+	}
+
+	for w := 1; w <= cfg.Warehouses; w++ {
+		wID := int64(w)
+		if err := e.Exec(func(tx *core.Tx) error {
+			return tx.Insert(TableWarehouse, record.Row{
+				record.Int(wID), record.String(fmt.Sprintf("wh-%d", w)),
+				record.Float(rng.Float64() * 0.2), record.Float(300000),
+			})
+		}); err != nil {
+			return err
+		}
+		// Stock for every item.
+		for lo := 1; lo <= cfg.Items; lo += itemBatch {
+			hi := min(lo+itemBatch-1, cfg.Items)
+			if err := e.Exec(func(tx *core.Tx) error {
+				for i := lo; i <= hi; i++ {
+					if err := tx.Insert(TableStock, record.Row{
+						record.Int(wID), record.Int(int64(i)), record.Int(int64(10 + rng.Intn(91))),
+						record.Float(0), record.Int(0), record.Int(0), record.String("dist"),
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				return fmt.Errorf("tpcc: loading stock of warehouse %d: %w", w, err)
+			}
+		}
+		for d := 1; d <= cfg.DistrictsPerWarehouse; d++ {
+			dID := int64(d)
+			nextOID := int64(cfg.InitialOrdersPerDistrict + 1)
+			if err := e.Exec(func(tx *core.Tx) error {
+				return tx.Insert(TableDistrict, record.Row{
+					record.Int(wID), record.Int(dID), record.String(fmt.Sprintf("d-%d-%d", w, d)),
+					record.Float(rng.Float64() * 0.2), record.Float(30000), record.Int(nextOID),
+				})
+			}); err != nil {
+				return err
+			}
+			// Customers.
+			const custBatch = 100
+			for lo := 1; lo <= cfg.CustomersPerDistrict; lo += custBatch {
+				hi := min(lo+custBatch-1, cfg.CustomersPerDistrict)
+				if err := e.Exec(func(tx *core.Tx) error {
+					for c := lo; c <= hi; c++ {
+						credit := "GC"
+						if rng.Float64() < 0.1 {
+							credit = "BC"
+						}
+						if err := tx.Insert(TableCustomer, record.Row{
+							record.Int(wID), record.Int(dID), record.Int(int64(c)),
+							record.String(fmt.Sprintf("first-%d", c)), record.String(LastName(nonUniformCustomerName(rng, c))),
+							record.Float(-10), record.Float(10), record.Int(1), record.Int(0),
+							record.String("customer data"), record.Float(rng.Float64() * 0.5), record.String(credit),
+						}); err != nil {
+							return err
+						}
+					}
+					return nil
+				}); err != nil {
+					return fmt.Errorf("tpcc: loading customers: %w", err)
+				}
+			}
+			// Initial orders: one per customer, the most recent third still
+			// undelivered (present in new_order), 5-15 lines each.
+			const orderBatch = 50
+			for lo := 1; lo <= cfg.InitialOrdersPerDistrict; lo += orderBatch {
+				hi := min(lo+orderBatch-1, cfg.InitialOrdersPerDistrict)
+				if err := e.Exec(func(tx *core.Tx) error {
+					for o := lo; o <= hi; o++ {
+						oID := int64(o)
+						cID := int64(1 + rng.Intn(cfg.CustomersPerDistrict))
+						olCnt := int64(5 + rng.Intn(11))
+						carrier := int64(1 + rng.Intn(10))
+						undelivered := o > cfg.InitialOrdersPerDistrict*2/3
+						if undelivered {
+							carrier = 0
+						}
+						if err := tx.Insert(TableOrders, record.Row{
+							record.Int(wID), record.Int(dID), record.Int(oID), record.Int(cID),
+							record.Int(int64(o)), record.Int(carrier), record.Int(olCnt),
+						}); err != nil {
+							return err
+						}
+						if undelivered {
+							if err := tx.Insert(TableNewOrder, record.Row{record.Int(wID), record.Int(dID), record.Int(oID)}); err != nil {
+								return err
+							}
+						}
+						for ol := int64(1); ol <= olCnt; ol++ {
+							if err := tx.Insert(TableOrderLine, record.Row{
+								record.Int(wID), record.Int(dID), record.Int(oID), record.Int(ol),
+								record.Int(int64(1 + rng.Intn(cfg.Items))), record.Int(wID),
+								record.Int(5), record.Float(rng.Float64() * 9999 / 100), record.String("dist-info"),
+							}); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				}); err != nil {
+					return fmt.Errorf("tpcc: loading orders: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// nonUniformCustomerName maps a loading position to a last-name number with
+// the spec's NURand-ish skew (simplified).
+func nonUniformCustomerName(rng *rand.Rand, c int) int {
+	if c <= 1000 {
+		return c - 1
+	}
+	return rng.Intn(1000)
+}
+
+// NewGenerator returns a workload generator for the named transaction or mix.
+func NewGenerator(cfg Config, name string) (workload.Generator, error) {
+	cfg = cfg.withDefaults()
+	entries := map[string]workload.MixEntry{
+		TxNewOrder:    {Name: TxNewOrder, Weight: 45, Make: func(rng *rand.Rand) workload.TxFunc { return newOrder(cfg, rng) }},
+		TxPayment:     {Name: TxPayment, Weight: 43, Make: func(rng *rand.Rand) workload.TxFunc { return payment(cfg, rng) }},
+		TxOrderStatus: {Name: TxOrderStatus, Weight: 4, Make: func(rng *rand.Rand) workload.TxFunc { return orderStatus(cfg, rng) }},
+		TxDelivery:    {Name: TxDelivery, Weight: 4, Make: func(rng *rand.Rand) workload.TxFunc { return delivery(cfg, rng) }},
+		TxStockLevel:  {Name: TxStockLevel, Weight: 4, Make: func(rng *rand.Rand) workload.TxFunc { return stockLevel(cfg, rng) }},
+	}
+	switch name {
+	case MixFull:
+		var mix workload.Mix
+		for _, n := range Transactions() {
+			mix = append(mix, entries[n])
+		}
+		return mix, nil
+	case MixSmall:
+		return workload.Mix{
+			{Name: TxPayment, Weight: 46.7, Make: entries[TxPayment].Make},
+			{Name: TxNewOrder, Weight: 48.9, Make: entries[TxNewOrder].Make},
+			{Name: TxOrderStatus, Weight: 4.3, Make: entries[TxOrderStatus].Make},
+		}, nil
+	default:
+		e, ok := entries[name]
+		if !ok {
+			return nil, fmt.Errorf("tpcc: unknown transaction %q", name)
+		}
+		return workload.Mix{e}, nil
+	}
+}

@@ -1,0 +1,329 @@
+package tpcc
+
+import (
+	"errors"
+	"math/rand"
+
+	"slidb/internal/core"
+	"slidb/internal/record"
+	"slidb/internal/workload"
+)
+
+// newOrder is the TPC-C New Order transaction: reserve the next order id in
+// the district, create the order and its 5-15 order lines, and decrement the
+// stock of every ordered item. 1% of transactions reference an invalid item
+// and abort (the spec's intentional failure rate).
+func newOrder(cfg Config, rng *rand.Rand) workload.TxFunc {
+	wID := int64(1 + rng.Intn(cfg.Warehouses))
+	dID := int64(1 + rng.Intn(cfg.DistrictsPerWarehouse))
+	cID := int64(1 + rng.Intn(cfg.CustomersPerDistrict))
+	olCnt := 5 + rng.Intn(11)
+	type line struct {
+		item     int64
+		supplyW  int64
+		quantity int64
+	}
+	lines := make([]line, olCnt)
+	invalid := rng.Float64() < 0.01
+	for i := range lines {
+		item := int64(1 + rng.Intn(cfg.Items))
+		if invalid && i == len(lines)-1 {
+			item = int64(cfg.Items) + 1000 // unused item id → rollback
+		}
+		supply := wID
+		if cfg.Warehouses > 1 && rng.Float64() < 0.01 {
+			supply = int64(1 + rng.Intn(cfg.Warehouses))
+		}
+		lines[i] = line{item: item, supplyW: supply, quantity: int64(1 + rng.Intn(10))}
+	}
+	entryD := rng.Int63n(1 << 30)
+	return func(tx *core.Tx) error {
+		// Warehouse tax (read-only).
+		wh, found, err := tx.Get(TableWarehouse, record.Int(wID))
+		if err != nil || !found {
+			return firstErr(err, errors.New("tpcc: warehouse missing"))
+		}
+		_ = wh[2].AsFloat()
+		// District: read and bump next_o_id.
+		var oID int64
+		if err := tx.Update(TableDistrict, []record.Value{record.Int(wID), record.Int(dID)}, func(r record.Row) (record.Row, error) {
+			oID = r[5].AsInt()
+			r[5] = record.Int(oID + 1)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		// Customer discount (read-only).
+		if _, found, err := tx.Get(TableCustomer, record.Int(wID), record.Int(dID), record.Int(cID)); err != nil || !found {
+			return firstErr(err, errors.New("tpcc: customer missing"))
+		}
+		// Order + NewOrder rows.
+		if err := tx.Insert(TableOrders, record.Row{
+			record.Int(wID), record.Int(dID), record.Int(oID), record.Int(cID),
+			record.Int(entryD), record.Int(0), record.Int(int64(len(lines))),
+		}); err != nil {
+			return err
+		}
+		if err := tx.Insert(TableNewOrder, record.Row{record.Int(wID), record.Int(dID), record.Int(oID)}); err != nil {
+			return err
+		}
+		for i, l := range lines {
+			item, found, err := tx.Get(TableItem, record.Int(l.item))
+			if err != nil {
+				return err
+			}
+			if !found {
+				// Invalid item: the spec requires the whole order to roll back;
+				// this is an expected failure, not an error.
+				return core.Abort
+			}
+			price := item[2].AsFloat()
+			if err := tx.Update(TableStock, []record.Value{record.Int(l.supplyW), record.Int(l.item)}, func(r record.Row) (record.Row, error) {
+				q := r[2].AsInt()
+				if q >= l.quantity+10 {
+					q -= l.quantity
+				} else {
+					q = q - l.quantity + 91
+				}
+				r[2] = record.Int(q)
+				r[3] = record.Float(r[3].AsFloat() + float64(l.quantity))
+				r[4] = record.Int(r[4].AsInt() + 1)
+				if l.supplyW != wID {
+					r[5] = record.Int(r[5].AsInt() + 1)
+				}
+				return r, nil
+			}); err != nil {
+				return err
+			}
+			if err := tx.Insert(TableOrderLine, record.Row{
+				record.Int(wID), record.Int(dID), record.Int(oID), record.Int(int64(i + 1)),
+				record.Int(l.item), record.Int(l.supplyW), record.Int(l.quantity),
+				record.Float(price * float64(l.quantity)), record.String("dist-info"),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// payment is the TPC-C Payment transaction: record a customer payment in the
+// warehouse, district and customer rows and append a history row. 60% of
+// lookups are by customer id, 40% by last name through the secondary index.
+func payment(cfg Config, rng *rand.Rand) workload.TxFunc {
+	wID := int64(1 + rng.Intn(cfg.Warehouses))
+	dID := int64(1 + rng.Intn(cfg.DistrictsPerWarehouse))
+	amount := 1 + rng.Float64()*4999
+	byName := rng.Float64() < 0.4
+	cID := int64(1 + rng.Intn(cfg.CustomersPerDistrict))
+	lastName := LastName(rng.Intn(1000))
+	hID := historyID.Add(1)
+	return func(tx *core.Tx) error {
+		if err := tx.Update(TableWarehouse, []record.Value{record.Int(wID)}, func(r record.Row) (record.Row, error) {
+			r[3] = record.Float(r[3].AsFloat() + amount)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		if err := tx.Update(TableDistrict, []record.Value{record.Int(wID), record.Int(dID)}, func(r record.Row) (record.Row, error) {
+			r[4] = record.Float(r[4].AsFloat() + amount)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		targetC := cID
+		if byName {
+			// Lock matching customers exclusively up front (the spec's
+			// SELECT ... FOR UPDATE) to avoid S→X conversion deadlocks
+			// between concurrent payments to the same customer.
+			rows, err := tx.LookupIndexForUpdate(IndexCustomerByName, record.Int(wID), record.Int(dID), record.String(lastName))
+			if err != nil {
+				return err
+			}
+			if len(rows) == 0 {
+				// No customer with that name in this (scaled-down) district;
+				// treat as an input-dependent failure.
+				return core.Abort
+			}
+			// The spec picks the middle row ordered by first name.
+			targetC = rows[len(rows)/2][2].AsInt()
+		}
+		if err := tx.Update(TableCustomer, []record.Value{record.Int(wID), record.Int(dID), record.Int(targetC)}, func(r record.Row) (record.Row, error) {
+			r[5] = record.Float(r[5].AsFloat() - amount)
+			r[6] = record.Float(r[6].AsFloat() + amount)
+			r[7] = record.Int(r[7].AsInt() + 1)
+			return r, nil
+		}); err != nil {
+			if errors.Is(err, core.ErrNotFound) {
+				return core.Abort
+			}
+			return err
+		}
+		return tx.Insert(TableHistory, record.Row{
+			record.Int(hID), record.Int(wID), record.Int(dID), record.Int(targetC),
+			record.Float(amount), record.String("payment"),
+		})
+	}
+}
+
+// orderStatus is the read-only TPC-C Order Status transaction: find the
+// customer's most recent order and read its order lines.
+func orderStatus(cfg Config, rng *rand.Rand) workload.TxFunc {
+	wID := int64(1 + rng.Intn(cfg.Warehouses))
+	dID := int64(1 + rng.Intn(cfg.DistrictsPerWarehouse))
+	cID := int64(1 + rng.Intn(cfg.CustomersPerDistrict))
+	return func(tx *core.Tx) error {
+		if _, found, err := tx.Get(TableCustomer, record.Int(wID), record.Int(dID), record.Int(cID)); err != nil || !found {
+			return firstErr(err, core.Abort)
+		}
+		// Most recent order of this customer via the secondary index.
+		orders, err := tx.LookupIndex(IndexOrdersByCust, record.Int(wID), record.Int(dID), record.Int(cID))
+		if err != nil {
+			return err
+		}
+		if len(orders) == 0 {
+			return core.Abort
+		}
+		latest := orders[0]
+		for _, o := range orders[1:] {
+			if o[2].AsInt() > latest[2].AsInt() {
+				latest = o
+			}
+		}
+		oID := latest[2].AsInt()
+		count := 0
+		err = tx.ScanRange(TableOrderLine,
+			[]record.Value{record.Int(wID), record.Int(dID), record.Int(oID), record.Int(0)},
+			[]record.Value{record.Int(wID), record.Int(dID), record.Int(oID), record.Int(99)},
+			func(row record.Row) bool {
+				count++
+				return true
+			})
+		if err != nil {
+			return err
+		}
+		if count == 0 {
+			return core.Abort
+		}
+		return nil
+	}
+}
+
+// delivery is the TPC-C Delivery transaction: for every district of the
+// warehouse, deliver the oldest undelivered order (remove it from new_order,
+// stamp the carrier, sum its lines, and credit the customer).
+func delivery(cfg Config, rng *rand.Rand) workload.TxFunc {
+	wID := int64(1 + rng.Intn(cfg.Warehouses))
+	carrier := int64(1 + rng.Intn(10))
+	districts := cfg.DistrictsPerWarehouse
+	return func(tx *core.Tx) error {
+		delivered := 0
+		for d := 1; d <= districts; d++ {
+			dID := int64(d)
+			// Oldest undelivered order for the district, locked exclusively up
+			// front since it is about to be deleted (avoids conversion
+			// deadlocks between concurrent deliveries).
+			var oID int64 = -1
+			err := tx.ScanRangeForUpdate(TableNewOrder,
+				[]record.Value{record.Int(wID), record.Int(dID), record.Int(0)},
+				[]record.Value{record.Int(wID), record.Int(dID), record.Int(1 << 40)},
+				func(row record.Row) bool {
+					oID = row[2].AsInt()
+					return false // first = oldest (primary key order)
+				})
+			if err != nil {
+				return err
+			}
+			if oID < 0 {
+				continue // nothing to deliver in this district
+			}
+			if err := tx.Delete(TableNewOrder, record.Int(wID), record.Int(dID), record.Int(oID)); err != nil {
+				if errors.Is(err, core.ErrNotFound) {
+					continue // another delivery got it first
+				}
+				return err
+			}
+			var custID int64
+			if err := tx.Update(TableOrders, []record.Value{record.Int(wID), record.Int(dID), record.Int(oID)}, func(r record.Row) (record.Row, error) {
+				custID = r[3].AsInt()
+				r[5] = record.Int(carrier)
+				return r, nil
+			}); err != nil {
+				return err
+			}
+			total := 0.0
+			if err := tx.ScanRange(TableOrderLine,
+				[]record.Value{record.Int(wID), record.Int(dID), record.Int(oID), record.Int(0)},
+				[]record.Value{record.Int(wID), record.Int(dID), record.Int(oID), record.Int(99)},
+				func(row record.Row) bool {
+					total += row[7].AsFloat()
+					return true
+				}); err != nil {
+				return err
+			}
+			if err := tx.Update(TableCustomer, []record.Value{record.Int(wID), record.Int(dID), record.Int(custID)}, func(r record.Row) (record.Row, error) {
+				r[5] = record.Float(r[5].AsFloat() + total)
+				r[8] = record.Int(r[8].AsInt() + 1)
+				return r, nil
+			}); err != nil {
+				return err
+			}
+			delivered++
+		}
+		if delivered == 0 {
+			return core.Abort
+		}
+		return nil
+	}
+}
+
+// stockLevel is the read-only TPC-C Stock Level transaction: count the
+// distinct items in the district's last 20 orders whose stock is below a
+// threshold. It reads on the order of a couple of hundred order lines,
+// making it the paper's example of a transaction that amortizes high-level
+// locks over many row accesses.
+func stockLevel(cfg Config, rng *rand.Rand) workload.TxFunc {
+	wID := int64(1 + rng.Intn(cfg.Warehouses))
+	dID := int64(1 + rng.Intn(cfg.DistrictsPerWarehouse))
+	threshold := int64(10 + rng.Intn(11))
+	return func(tx *core.Tx) error {
+		district, found, err := tx.Get(TableDistrict, record.Int(wID), record.Int(dID))
+		if err != nil || !found {
+			return firstErr(err, errors.New("tpcc: district missing"))
+		}
+		nextOID := district[5].AsInt()
+		loOID := nextOID - 20
+		if loOID < 1 {
+			loOID = 1
+		}
+		items := map[int64]struct{}{}
+		if err := tx.ScanRange(TableOrderLine,
+			[]record.Value{record.Int(wID), record.Int(dID), record.Int(loOID), record.Int(0)},
+			[]record.Value{record.Int(wID), record.Int(dID), record.Int(nextOID), record.Int(99)},
+			func(row record.Row) bool {
+				items[row[4].AsInt()] = struct{}{}
+				return true
+			}); err != nil {
+			return err
+		}
+		low := 0
+		for item := range items {
+			stock, found, err := tx.Get(TableStock, record.Int(wID), record.Int(item))
+			if err != nil {
+				return err
+			}
+			if found && stock[2].AsInt() < threshold {
+				low++
+			}
+		}
+		_ = low
+		return nil
+	}
+}
+
+func firstErr(err error, fallback error) error {
+	if err != nil {
+		return err
+	}
+	return fallback
+}

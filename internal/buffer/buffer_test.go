@@ -1,0 +1,245 @@
+package buffer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"slidb/internal/profiler"
+)
+
+func TestFetchCreatesAndCachesPages(t *testing.T) {
+	p := NewPool(NewMemStore(), Config{Frames: 8})
+	id := PageID{Table: 1, Page: 0}
+	f, err := p.Fetch(nil, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID() != id {
+		t.Fatalf("frame id = %v, want %v", f.ID(), id)
+	}
+	if _, err := f.Page().Insert([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f, true)
+
+	// Second fetch must be a hit and see the data.
+	f2, err := p.Fetch(nil, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f {
+		t.Fatal("second fetch returned a different frame (not cached)")
+	}
+	rec, err := f2.Page().Get(0)
+	if err != nil || string(rec) != "hello" {
+		t.Fatalf("cached page lost data: %q, %v", rec, err)
+	}
+	p.Unpin(f2, false)
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", s)
+	}
+}
+
+func TestEvictionWritesBackDirtyPages(t *testing.T) {
+	store := NewMemStore()
+	p := NewPool(store, Config{Frames: 2})
+	// Dirty page 0.
+	f0, _ := p.Fetch(nil, PageID{1, 0})
+	f0.Page().Insert([]byte("zero"))
+	p.Unpin(f0, true)
+	// Fill the pool and force eviction of page 0.
+	for i := uint64(1); i <= 3; i++ {
+		f, err := p.Fetch(nil, PageID{1, i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(f, false)
+	}
+	if store.Len() == 0 {
+		t.Fatal("dirty page was evicted without writeback")
+	}
+	// Re-fetch page 0: must come back with its data.
+	f0b, err := p.Fetch(nil, PageID{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f0b.Page().Get(0)
+	if err != nil || string(rec) != "zero" {
+		t.Fatalf("page 0 lost data after eviction round trip: %q %v", rec, err)
+	}
+	p.Unpin(f0b, false)
+	if p.Stats().Writebacks == 0 || p.Stats().Evictions == 0 {
+		t.Fatalf("stats missing evictions/writebacks: %+v", p.Stats())
+	}
+}
+
+func TestAllFramesPinnedReturnsError(t *testing.T) {
+	p := NewPool(NewMemStore(), Config{Frames: 2})
+	f1, _ := p.Fetch(nil, PageID{1, 1})
+	f2, _ := p.Fetch(nil, PageID{1, 2})
+	if _, err := p.Fetch(nil, PageID{1, 3}); !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("err = %v, want ErrNoFrames", err)
+	}
+	p.Unpin(f1, false)
+	if _, err := p.Fetch(nil, PageID{1, 3}); err != nil {
+		t.Fatalf("fetch after unpin failed: %v", err)
+	}
+	p.Unpin(f2, false)
+}
+
+func TestUnpinWithoutPinPanics(t *testing.T) {
+	p := NewPool(NewMemStore(), Config{Frames: 2})
+	f, _ := p.Fetch(nil, PageID{1, 1})
+	p.Unpin(f, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double unpin")
+		}
+	}()
+	p.Unpin(f, false)
+}
+
+func TestFlushAllPersistsDirtyPages(t *testing.T) {
+	store := NewMemStore()
+	p := NewPool(store, Config{Frames: 8})
+	for i := uint64(0); i < 4; i++ {
+		f, _ := p.Fetch(nil, PageID{7, i})
+		f.Page().Insert([]byte{byte(i)})
+		p.Unpin(f, true)
+	}
+	if err := p.FlushAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 4 {
+		t.Fatalf("store has %d pages after flush, want 4", store.Len())
+	}
+	// Flushing again writes nothing new (pages are clean now).
+	before := p.Stats().Writebacks
+	if err := p.FlushAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Writebacks != before {
+		t.Fatal("clean pages were written again")
+	}
+}
+
+func TestIODelayCharged(t *testing.T) {
+	store := NewMemStore()
+	// Pre-populate the page so the fetch is a real read.
+	img := make([]byte, 8192)
+	if err := store.Write(PageID{1, 0}, img); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(store, Config{Frames: 2, IODelay: 5 * time.Millisecond})
+	prof := profiler.New(true)
+	h := prof.NewHandle()
+	start := time.Now()
+	f, err := p.Fetch(h, PageID{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	p.Unpin(f, false)
+	if elapsed < 4*time.Millisecond {
+		t.Fatalf("fetch took %v, expected >= ~5ms artificial delay", elapsed)
+	}
+	if prof.Aggregate().Get(profiler.IOWait) < 4*time.Millisecond {
+		t.Fatal("IO wait not attributed to the profiler")
+	}
+	// A hit must not pay the delay.
+	start = time.Now()
+	f, _ = p.Fetch(h, PageID{1, 0})
+	if time.Since(start) > 2*time.Millisecond {
+		t.Fatal("buffer hit paid the artificial I/O delay")
+	}
+	p.Unpin(f, false)
+}
+
+func TestConcurrentFetchSamePage(t *testing.T) {
+	p := NewPool(NewMemStore(), Config{Frames: 16})
+	id := PageID{3, 3}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := p.Fetch(nil, id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			f.Latch.RLock()
+			_ = f.Page().NumRecords()
+			f.Latch.RUnlock()
+			p.Unpin(f, false)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p.CachedPages() != 1 {
+		t.Fatalf("cached pages = %d, want 1", p.CachedPages())
+	}
+}
+
+func TestConcurrentFetchManyPagesWithEviction(t *testing.T) {
+	store := NewMemStore()
+	p := NewPool(store, Config{Frames: 8})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := PageID{Table: uint32(g % 2), Page: uint64(i % 32)}
+				f, err := p.Fetch(nil, id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				f.Latch.Lock()
+				if f.Page().NumRecords() == 0 {
+					f.Page().Insert([]byte{byte(g)})
+				}
+				f.Latch.Unlock()
+				p.Unpin(f, true)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if p.CachedPages() > 8 {
+		t.Fatalf("pool exceeded capacity: %d cached pages", p.CachedPages())
+	}
+}
+
+func TestMemStoreReadWriteIsolation(t *testing.T) {
+	s := NewMemStore()
+	buf := make([]byte, 4)
+	found, err := s.Read(PageID{1, 1}, buf)
+	if err != nil || found {
+		t.Fatal("read of missing page should report not found")
+	}
+	data := []byte{1, 2, 3, 4}
+	if err := s.Write(PageID{1, 1}, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99 // the store must have copied
+	found, _ = s.Read(PageID{1, 1}, buf)
+	if !found || buf[0] != 1 {
+		t.Fatalf("store did not isolate written data: %v", buf)
+	}
+	if (PageID{1, 1}).String() == "" {
+		t.Fatal("PageID.String empty")
+	}
+}

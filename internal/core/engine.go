@@ -1,0 +1,383 @@
+// Package core implements the storage-manager engine: it composes the lock
+// manager (with Speculative Lock Inheritance), write-ahead log, buffer pool,
+// heap files, B+tree indexes and catalog into a transactional embedded
+// database, and executes transactions on a pool of agent threads exactly as
+// Shore-MT does — one agent goroutine runs one transaction at a time, and
+// SLI passes hot locks from a committing transaction to the next transaction
+// on the same agent.
+//
+// The top-level package slidb re-exports this engine as the public API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slidb/internal/buffer"
+	"slidb/internal/catalog"
+	"slidb/internal/heap"
+	"slidb/internal/lockmgr"
+	"slidb/internal/profiler"
+	"slidb/internal/record"
+	"slidb/internal/wal"
+)
+
+// databaseID is the single database (volume) ID used by the engine.
+const databaseID uint32 = 1
+
+// Config configures an Engine.
+type Config struct {
+	// SLI enables Speculative Lock Inheritance (the paper's contribution).
+	SLI bool
+	// SLIHotThreshold is the contention ratio above which a lock is "hot"
+	// (criterion 2 of §4.2). Zero uses the lock manager default (0.25).
+	SLIHotThreshold float64
+	// SLIMinLevel is the finest lock level eligible for inheritance; zero
+	// uses the default (page level, per criterion 1).
+	SLIMinLevel lockmgr.Level
+	// Agents is the number of agent worker goroutines ("hardware contexts"
+	// in the paper's terms). Zero means transactions run inline on the
+	// calling goroutine without an agent (no SLI).
+	Agents int
+	// BufferFrames is the buffer pool size in pages (default 4096).
+	BufferFrames int
+	// IODelay is the artificial latency per page read/write, simulating the
+	// paper's 6 ms disk-seek penalty. Zero disables it (in-memory dataset).
+	IODelay time.Duration
+	// LogFlushDelay simulates the latency of forcing the log at commit.
+	LogFlushDelay time.Duration
+	// GroupCommitWindow batches concurrent commits (see wal.Config).
+	GroupCommitWindow time.Duration
+	// Profile enables the per-component time breakdown used by the figure
+	// harness. It adds a small overhead per operation.
+	Profile bool
+	// LockTimeout bounds lock waits; zero uses the default (10s).
+	LockTimeout time.Duration
+	// MaxDeadlockRetries is how many times Exec re-runs a transaction that
+	// was chosen as a deadlock victim before giving up (default 10).
+	MaxDeadlockRetries int
+	// DropLogAfterFlush discards flushed log records instead of retaining
+	// them in memory; enable for long benchmark runs.
+	DropLogAfterFlush bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferFrames <= 0 {
+		c.BufferFrames = 4096
+	}
+	if c.MaxDeadlockRetries <= 0 {
+		c.MaxDeadlockRetries = 10
+	}
+	return c
+}
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("core: engine is closed")
+
+// Engine is the storage manager.
+type Engine struct {
+	cfg  Config
+	cat  *catalog.Catalog
+	lm   *lockmgr.Manager
+	log  *wal.Log
+	pool *buffer.Pool
+	prof *profiler.Profiler
+
+	mu      sync.RWMutex
+	heaps   map[uint32]*heap.File
+	pkTrees map[uint32]*index
+	secs    map[string]*index
+
+	nextXID atomic.Uint64
+
+	jobs      chan job
+	workersMu sync.Mutex
+	workers   []*worker
+	closed    atomic.Bool
+
+	committed atomic.Uint64
+	aborted   atomic.Uint64
+}
+
+type job struct {
+	fn   func(*Tx) error
+	done chan error
+}
+
+type worker struct {
+	agent *lockmgr.Agent
+	prof  *profiler.Handle
+	quit  chan struct{}
+	done  chan struct{}
+}
+
+// Open creates an engine with the given configuration.
+func Open(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		cat:     catalog.New(),
+		prof:    profiler.New(cfg.Profile),
+		heaps:   make(map[uint32]*heap.File),
+		pkTrees: make(map[uint32]*index),
+		secs:    make(map[string]*index),
+		jobs:    make(chan job),
+	}
+	e.lm = lockmgr.New(lockmgr.Config{
+		SLI:             cfg.SLI,
+		SLIHotThreshold: cfg.SLIHotThreshold,
+		SLIMinLevel:     cfg.SLIMinLevel,
+		LockTimeout:     cfg.LockTimeout,
+	})
+	e.log = wal.New(wal.Config{
+		FlushDelay:        cfg.LogFlushDelay,
+		GroupCommitWindow: cfg.GroupCommitWindow,
+		DropAfterFlush:    cfg.DropLogAfterFlush,
+	})
+	e.pool = buffer.NewPool(buffer.NewMemStore(), buffer.Config{
+		Frames:  cfg.BufferFrames,
+		IODelay: cfg.IODelay,
+	})
+	e.SetConcurrency(cfg.Agents)
+	return e
+}
+
+// Close stops the agent pool and flushes the log and buffer pool.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.SetConcurrency(0)
+	if err := e.pool.FlushAll(nil); err != nil {
+		return err
+	}
+	return e.log.Close()
+}
+
+// Catalog exposes the schema catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// LockManager exposes the lock manager (for statistics and SLI control).
+func (e *Engine) LockManager() *lockmgr.Manager { return e.lm }
+
+// Profiler exposes the component-time profiler.
+func (e *Engine) Profiler() *profiler.Profiler { return e.prof }
+
+// BufferStats returns buffer pool counters.
+func (e *Engine) BufferStats() buffer.StatsSnapshot { return e.pool.Stats() }
+
+// LockStats returns a snapshot of the lock manager's counters.
+func (e *Engine) LockStats() lockmgr.StatsSnapshot { return e.lm.Stats().Snapshot() }
+
+// Committed returns the number of committed transactions.
+func (e *Engine) Committed() uint64 { return e.committed.Load() }
+
+// Aborted returns the number of aborted transactions (after retries).
+func (e *Engine) Aborted() uint64 { return e.aborted.Load() }
+
+// SetSLI toggles Speculative Lock Inheritance at runtime.
+func (e *Engine) SetSLI(enabled bool) { e.lm.SetSLI(enabled) }
+
+// SLIEnabled reports whether SLI is active.
+func (e *Engine) SLIEnabled() bool { return e.lm.SLIEnabled() }
+
+// Concurrency returns the current number of agent workers.
+func (e *Engine) Concurrency() int {
+	e.workersMu.Lock()
+	defer e.workersMu.Unlock()
+	return len(e.workers)
+}
+
+// SetConcurrency resizes the agent pool to n workers. It blocks until
+// removed workers have drained their current transaction.
+func (e *Engine) SetConcurrency(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.workersMu.Lock()
+	defer e.workersMu.Unlock()
+	for len(e.workers) < n {
+		w := &worker{
+			agent: e.lm.NewAgent(),
+			prof:  e.prof.NewHandle(),
+			quit:  make(chan struct{}),
+			done:  make(chan struct{}),
+		}
+		e.workers = append(e.workers, w)
+		go e.workerLoop(w)
+	}
+	var stopped []*worker
+	for len(e.workers) > n {
+		w := e.workers[len(e.workers)-1]
+		e.workers = e.workers[:len(e.workers)-1]
+		close(w.quit)
+		stopped = append(stopped, w)
+	}
+	for _, w := range stopped {
+		<-w.done
+	}
+}
+
+func (e *Engine) workerLoop(w *worker) {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.quit:
+			return
+		case j := <-e.jobs:
+			j.done <- e.runOnAgent(w, j.fn)
+		}
+	}
+}
+
+// Exec runs fn as one transaction. If the engine has agent workers the
+// transaction is queued to the pool (and benefits from SLI); otherwise it
+// runs inline on the calling goroutine. Deadlock victims are retried up to
+// MaxDeadlockRetries times. A non-nil error returned by fn aborts the
+// transaction and is returned to the caller.
+func (e *Engine) Exec(fn func(*Tx) error) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.Concurrency() == 0 {
+		return e.runOnAgent(nil, fn)
+	}
+	done := make(chan error, 1)
+	e.jobs <- job{fn: fn, done: done}
+	return <-done
+}
+
+// runOnAgent executes fn with retries on the given worker (nil for inline).
+func (e *Engine) runOnAgent(w *worker, fn func(*Tx) error) error {
+	var lastErr error
+	for attempt := 0; attempt <= e.cfg.MaxDeadlockRetries; attempt++ {
+		err := e.runOnce(w, fn)
+		if err == nil {
+			e.committed.Add(1)
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, lockmgr.ErrDeadlock) && !errors.Is(err, lockmgr.ErrLockTimeout) {
+			e.aborted.Add(1)
+			return err
+		}
+	}
+	e.aborted.Add(1)
+	return lastErr
+}
+
+func (e *Engine) runOnce(w *worker, fn func(*Tx) error) error {
+	var agent *lockmgr.Agent
+	var prof *profiler.Handle
+	if w != nil {
+		agent, prof = w.agent, w.prof
+	}
+	start := time.Now()
+	before := prof.Snapshot()
+
+	tx := &Tx{
+		e:     e,
+		xid:   e.nextXID.Add(1),
+		owner: e.lm.NewOwner(agent, prof),
+		prof:  prof,
+	}
+	err := fn(tx)
+	if err == nil {
+		err = tx.commit()
+	} else {
+		tx.abort()
+	}
+
+	// Attribute the transaction-body time not already accounted to a
+	// component as "other work" (TxWork), reproducing the figures' "work
+	// other" category.
+	if prof != nil {
+		wall := time.Since(start)
+		delta := prof.Snapshot().Sub(before)
+		accounted := time.Duration(0)
+		for c := profiler.Category(0); c < profiler.Category(len(delta)); c++ {
+			accounted += delta.Get(c)
+		}
+		if wall > accounted {
+			prof.Add(profiler.TxWork, wall-accounted)
+		}
+	}
+	return err
+}
+
+// index pairs catalog metadata with its B+tree. Non-unique indexes append
+// the RID to the key to keep entries distinct.
+type index struct {
+	meta *catalog.Index // nil for primary-key indexes
+	tree *indexTree
+}
+
+// CreateTable creates a table with the given schema and primary key. It must
+// be called before any transaction uses the table; DDL is not transactional.
+func (e *Engine) CreateTable(name string, schema *record.Schema, primaryKey []string) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	tbl, err := e.cat.CreateTable(name, schema, primaryKey)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.heaps[tbl.ID] = heap.NewFile(tbl.ID, e.pool)
+	e.pkTrees[tbl.ID] = &index{tree: newIndexTree()}
+	e.mu.Unlock()
+	return nil
+}
+
+// CreateIndex creates a secondary index on an existing (empty or populated)
+// table. Existing rows are indexed immediately.
+func (e *Engine) CreateIndex(name, table string, columns []string, unique bool) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	ix, err := e.cat.CreateIndex(name, table, columns, unique)
+	if err != nil {
+		return err
+	}
+	tbl, _ := e.cat.TableByID(ix.TableID)
+	idx := &index{meta: ix, tree: newIndexTree()}
+	e.mu.Lock()
+	e.secs[name] = idx
+	hf := e.heaps[ix.TableID]
+	e.mu.Unlock()
+	// Backfill from existing rows.
+	return hf.Scan(nil, func(rid heap.RID, rec []byte) bool {
+		row, derr := tbl.Schema.Decode(rec)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		idx.tree.insert(indexKey(ix.KeyOf(row), rid, unique), rid)
+		return true
+	})
+}
+
+// table bundle lookups used by Tx.
+type tableRuntime struct {
+	meta *catalog.Table
+	hf   *heap.File
+	pk   *index
+	secs []*index
+}
+
+func (e *Engine) tableRuntime(name string) (*tableRuntime, error) {
+	tbl, ok := e.cat.Table(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", name)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rt := &tableRuntime{meta: tbl, hf: e.heaps[tbl.ID], pk: e.pkTrees[tbl.ID]}
+	for _, ix := range e.cat.TableIndexes(tbl.ID) {
+		rt.secs = append(rt.secs, e.secs[ix.Name])
+	}
+	return rt, nil
+}

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"slidb/internal/btree"
+	"slidb/internal/heap"
+	"slidb/internal/lockmgr"
+	"slidb/internal/profiler"
+	"slidb/internal/record"
+	"slidb/internal/wal"
+	"time"
+)
+
+// ErrNotFound is returned by lookups that match no row.
+var ErrNotFound = errors.New("core: row not found")
+
+// ErrDuplicateKey is returned when an insert violates a primary-key or
+// unique-index constraint.
+var ErrDuplicateKey = errors.New("core: duplicate key")
+
+// ErrPrimaryKeyChange is returned when an update attempts to modify a
+// primary-key column.
+var ErrPrimaryKeyChange = errors.New("core: updates may not modify primary key columns")
+
+// Abort is a sentinel error transaction bodies can return to abort without
+// reporting a failure to the caller of Exec: Exec returns Abort itself, so
+// callers can distinguish business-rule aborts (e.g. the NDBB transactions
+// that fail on invalid input) from unexpected errors.
+var Abort = errors.New("core: transaction aborted by application")
+
+// indexTree wraps the generic B+tree used by all indexes.
+type indexTree struct {
+	t *btree.Tree[heap.RID]
+}
+
+func newIndexTree() *indexTree { return &indexTree{t: btree.New[heap.RID]()} }
+
+func (it *indexTree) insert(key string, rid heap.RID) bool { return it.t.InsertIfAbsent(key, rid) }
+func (it *indexTree) remove(key string) bool               { return it.t.Delete(key) }
+func (it *indexTree) get(key string) (heap.RID, bool)      { return it.t.Get(key) }
+func (it *indexTree) scanRange(lo, hi string, fn func(key string, rid heap.RID) bool) {
+	it.t.AscendRange(lo, hi, fn)
+}
+
+// indexKey builds the B+tree key for an index entry. Unique indexes (and the
+// primary key) use the column values alone; non-unique indexes append the
+// RID so that duplicate column values remain distinct entries.
+func indexKey(vals []record.Value, rid heap.RID, unique bool) string {
+	k := record.EncodeKey(vals...)
+	if unique {
+		return k
+	}
+	return k + record.EncodeKey(record.Int(int64(rid.Page)), record.Int(int64(rid.Slot)))
+}
+
+// undoAction rolls back one data modification during abort.
+type undoAction func(tx *Tx) error
+
+// Tx is a transaction handle passed to the function given to Engine.Exec.
+// It is only valid for the duration of that function and must not be used
+// from other goroutines.
+type Tx struct {
+	e     *Engine
+	xid   uint64
+	owner *lockmgr.Owner
+	prof  *profiler.Handle
+
+	undo    []undoAction
+	lastLSN wal.LSN
+	logged  bool
+}
+
+// XID returns the transaction identifier.
+func (tx *Tx) XID() uint64 { return tx.xid }
+
+// logAppend appends a WAL record, tracking the last LSN for commit.
+func (tx *Tx) logAppend(rec wal.Record) error {
+	start := time.Now()
+	rec.XID = tx.xid
+	if !tx.logged {
+		if _, err := tx.e.log.Append(wal.Record{XID: tx.xid, Type: wal.RecBegin}); err != nil {
+			return err
+		}
+		tx.logged = true
+	}
+	lsn, err := tx.e.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	tx.lastLSN = lsn
+	tx.prof.Add(profiler.LogWork, time.Since(start))
+	return nil
+}
+
+// commit makes the transaction durable and releases its locks (applying SLI
+// to eligible locks).
+func (tx *Tx) commit() error {
+	if tx.logged {
+		if err := tx.logAppend(wal.Record{Type: wal.RecCommit}); err != nil {
+			tx.abort()
+			return err
+		}
+		flushStart := time.Now()
+		if err := tx.e.log.Flush(tx.lastLSN); err != nil {
+			tx.abort()
+			return err
+		}
+		tx.prof.Add(profiler.LogContention, time.Since(flushStart))
+	}
+	tx.owner.ReleaseAll()
+	tx.undo = nil
+	return nil
+}
+
+// abort rolls back every modification (in reverse order) and releases locks.
+func (tx *Tx) abort() {
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		// Undo actions operate on data this transaction still holds X locks
+		// on; errors here indicate a bug and are surfaced by panicking in
+		// tests via the engine's abort counter rather than silently ignored.
+		_ = tx.undo[i](tx)
+	}
+	if tx.logged {
+		_ = tx.logAppendNoBegin(wal.Record{XID: tx.xid, Type: wal.RecAbort})
+	}
+	tx.owner.ReleaseAll()
+	tx.undo = nil
+}
+
+func (tx *Tx) logAppendNoBegin(rec wal.Record) error {
+	_, err := tx.e.log.Append(rec)
+	return err
+}
+
+// lockRecord acquires a record lock (and, implicitly, intention locks on the
+// record's page, table and the database).
+func (tx *Tx) lockRecord(tableID uint32, rid heap.RID, mode lockmgr.Mode) error {
+	return tx.owner.Lock(lockmgr.RecordLock(databaseID, tableID, rid.Page, rid.Slot), mode)
+}
+
+// lockTable acquires an explicit table-level lock.
+func (tx *Tx) lockTable(tableID uint32, mode lockmgr.Mode) error {
+	return tx.owner.Lock(lockmgr.TableLock(databaseID, tableID), mode)
+}
+
+// Insert adds a row to the table, returning ErrDuplicateKey if the primary
+// key (or a unique secondary index key) already exists.
+func (tx *Tx) Insert(table string, row record.Row) error {
+	rt, err := tx.e.tableRuntime(table)
+	if err != nil {
+		return err
+	}
+	if err := rt.meta.Schema.Validate(row); err != nil {
+		return err
+	}
+	// Announce write intent on the table before touching pages.
+	if err := tx.lockTable(rt.meta.ID, lockmgr.IX); err != nil {
+		return err
+	}
+	pkKey := record.EncodeKey(rt.meta.PrimaryKeyOf(row)...)
+	if _, exists := rt.pk.tree.get(pkKey); exists {
+		return fmt.Errorf("%w: %s in %s", ErrDuplicateKey, pkKey, table)
+	}
+	data, err := rt.meta.Schema.Encode(row)
+	if err != nil {
+		return err
+	}
+	rid, err := rt.hf.Insert(tx.prof, data)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockRecord(rt.meta.ID, rid, lockmgr.X); err != nil {
+		// The row is not yet visible through any index; undo the heap insert.
+		_ = rt.hf.Delete(tx.prof, rid)
+		return err
+	}
+	if !rt.pk.tree.insert(pkKey, rid) {
+		// Lost a race with a concurrent insert of the same key.
+		_ = rt.hf.Delete(tx.prof, rid)
+		return fmt.Errorf("%w: %s in %s", ErrDuplicateKey, pkKey, table)
+	}
+	secKeys := make([]string, len(rt.secs))
+	for i, sec := range rt.secs {
+		secKeys[i] = indexKey(sec.meta.KeyOf(row), rid, sec.meta.Unique)
+		if !sec.tree.insert(secKeys[i], rid) {
+			// Unique violation: roll back what we did so far.
+			for j := 0; j < i; j++ {
+				rt.secs[j].tree.remove(secKeys[j])
+			}
+			rt.pk.tree.remove(pkKey)
+			_ = rt.hf.Delete(tx.prof, rid)
+			return fmt.Errorf("%w: index %s", ErrDuplicateKey, rt.secs[i].meta.Name)
+		}
+	}
+	if err := tx.logAppend(wal.Record{Type: wal.RecInsert, Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, After: data}); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, func(tx *Tx) error {
+		for i, sec := range rt.secs {
+			sec.tree.remove(secKeys[i])
+		}
+		rt.pk.tree.remove(pkKey)
+		return rt.hf.Delete(tx.prof, rid)
+	})
+	return nil
+}
+
+// Get returns the row with the given primary key, locking it in share mode.
+// The boolean result reports whether the row exists.
+func (tx *Tx) Get(table string, key ...record.Value) (record.Row, bool, error) {
+	row, _, found, err := tx.get(table, lockmgr.S, key...)
+	return row, found, err
+}
+
+// GetForUpdate returns the row with the given primary key, locking it
+// exclusively so it can subsequently be updated or deleted.
+func (tx *Tx) GetForUpdate(table string, key ...record.Value) (record.Row, bool, error) {
+	row, _, found, err := tx.get(table, lockmgr.X, key...)
+	return row, found, err
+}
+
+func (tx *Tx) get(table string, mode lockmgr.Mode, key ...record.Value) (record.Row, heap.RID, bool, error) {
+	rt, err := tx.e.tableRuntime(table)
+	if err != nil {
+		return nil, heap.RID{}, false, err
+	}
+	rid, ok := rt.pk.tree.get(record.EncodeKey(key...))
+	if !ok {
+		// Lock the table in intention mode so the read of "not there" is at
+		// least protected against drops; record-level locking cannot lock a
+		// missing key (no next-key locking in this engine).
+		if err := tx.lockTable(rt.meta.ID, lockmgr.ParentMode(mode)); err != nil {
+			return nil, heap.RID{}, false, err
+		}
+		return nil, heap.RID{}, false, nil
+	}
+	if err := tx.lockRecord(rt.meta.ID, rid, mode); err != nil {
+		return nil, heap.RID{}, false, err
+	}
+	data, err := rt.hf.Get(tx.prof, rid)
+	if err != nil {
+		if errors.Is(err, heap.ErrNotFound) {
+			return nil, heap.RID{}, false, nil
+		}
+		return nil, heap.RID{}, false, err
+	}
+	row, err := rt.meta.Schema.Decode(data)
+	if err != nil {
+		return nil, heap.RID{}, false, err
+	}
+	return row, rid, true, nil
+}
+
+// Update looks up the row by primary key, locks it exclusively, applies
+// mutate to it and writes the result back. mutate receives a copy it may
+// modify in place and return. Primary-key columns must not change.
+func (tx *Tx) Update(table string, key []record.Value, mutate func(record.Row) (record.Row, error)) error {
+	rt, err := tx.e.tableRuntime(table)
+	if err != nil {
+		return err
+	}
+	oldRow, rid, found, err := tx.get(table, lockmgr.X, key...)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return ErrNotFound
+	}
+	newRow, err := mutate(oldRow.Clone())
+	if err != nil {
+		return err
+	}
+	if err := rt.meta.Schema.Validate(newRow); err != nil {
+		return err
+	}
+	oldPK := record.EncodeKey(rt.meta.PrimaryKeyOf(oldRow)...)
+	newPK := record.EncodeKey(rt.meta.PrimaryKeyOf(newRow)...)
+	if oldPK != newPK {
+		return ErrPrimaryKeyChange
+	}
+	oldData, err := rt.meta.Schema.Encode(oldRow)
+	if err != nil {
+		return err
+	}
+	newData, err := rt.meta.Schema.Encode(newRow)
+	if err != nil {
+		return err
+	}
+	if err := rt.hf.Update(tx.prof, rid, newData); err != nil {
+		return err
+	}
+	// Maintain secondary indexes whose key changed.
+	type secChange struct {
+		sec      *index
+		old, new string
+	}
+	var changes []secChange
+	for _, sec := range rt.secs {
+		oldKey := indexKey(sec.meta.KeyOf(oldRow), rid, sec.meta.Unique)
+		newKey := indexKey(sec.meta.KeyOf(newRow), rid, sec.meta.Unique)
+		if oldKey == newKey {
+			continue
+		}
+		sec.tree.remove(oldKey)
+		sec.tree.insert(newKey, rid)
+		changes = append(changes, secChange{sec, oldKey, newKey})
+	}
+	if err := tx.logAppend(wal.Record{Type: wal.RecUpdate, Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, Before: oldData, After: newData}); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, func(tx *Tx) error {
+		for _, ch := range changes {
+			ch.sec.tree.remove(ch.new)
+			ch.sec.tree.insert(ch.old, rid)
+		}
+		return rt.hf.Update(tx.prof, rid, oldData)
+	})
+	return nil
+}
+
+// Delete removes the row with the given primary key. It returns ErrNotFound
+// if the row does not exist.
+func (tx *Tx) Delete(table string, key ...record.Value) error {
+	rt, err := tx.e.tableRuntime(table)
+	if err != nil {
+		return err
+	}
+	oldRow, rid, found, err := tx.get(table, lockmgr.X, key...)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return ErrNotFound
+	}
+	oldData, err := rt.meta.Schema.Encode(oldRow)
+	if err != nil {
+		return err
+	}
+	pkKey := record.EncodeKey(rt.meta.PrimaryKeyOf(oldRow)...)
+	var secKeys []string
+	for _, sec := range rt.secs {
+		k := indexKey(sec.meta.KeyOf(oldRow), rid, sec.meta.Unique)
+		sec.tree.remove(k)
+		secKeys = append(secKeys, k)
+	}
+	rt.pk.tree.remove(pkKey)
+	if err := rt.hf.Delete(tx.prof, rid); err != nil {
+		return err
+	}
+	if err := tx.logAppend(wal.Record{Type: wal.RecDelete, Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, Before: oldData}); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, func(tx *Tx) error {
+		newRID, uerr := rt.hf.Insert(tx.prof, oldData)
+		if uerr != nil {
+			return uerr
+		}
+		rt.pk.tree.insert(pkKey, newRID)
+		for i, sec := range rt.secs {
+			_ = i
+			sec.tree.insert(indexKey(sec.meta.KeyOf(oldRow), newRID, sec.meta.Unique), newRID)
+		}
+		_ = secKeys
+		return nil
+	})
+	return nil
+}
+
+// LookupIndex returns every row whose indexed columns equal key, locking
+// each returned row in share mode.
+func (tx *Tx) LookupIndex(indexName string, key ...record.Value) ([]record.Row, error) {
+	return tx.lookupIndex(indexName, lockmgr.S, key...)
+}
+
+// LookupIndexForUpdate is LookupIndex with exclusive row locks.
+func (tx *Tx) LookupIndexForUpdate(indexName string, key ...record.Value) ([]record.Row, error) {
+	return tx.lookupIndex(indexName, lockmgr.X, key...)
+}
+
+func (tx *Tx) lookupIndex(indexName string, mode lockmgr.Mode, key ...record.Value) ([]record.Row, error) {
+	tx.e.mu.RLock()
+	idx, ok := tx.e.secs[indexName]
+	tx.e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown index %q", indexName)
+	}
+	tbl, _ := tx.e.cat.TableByID(idx.meta.TableID)
+	tx.e.mu.RLock()
+	hf := tx.e.heaps[idx.meta.TableID]
+	tx.e.mu.RUnlock()
+
+	prefix := record.EncodeKey(key...)
+	var rids []heap.RID
+	if idx.meta.Unique {
+		if rid, ok := idx.tree.get(prefix); ok {
+			rids = append(rids, rid)
+		}
+	} else {
+		idx.tree.scanRange(prefix, prefix+"\xff", func(k string, rid heap.RID) bool {
+			rids = append(rids, rid)
+			return true
+		})
+	}
+	var rows []record.Row
+	for _, rid := range rids {
+		if err := tx.lockRecord(idx.meta.TableID, rid, mode); err != nil {
+			return nil, err
+		}
+		data, err := hf.Get(tx.prof, rid)
+		if err != nil {
+			if errors.Is(err, heap.ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		row, err := tbl.Schema.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ScanRange visits every row whose primary key is in [lo, hi] in key order,
+// locking each visited row in share mode. Iteration stops early if fn
+// returns false.
+func (tx *Tx) ScanRange(table string, lo, hi []record.Value, fn func(record.Row) bool) error {
+	return tx.scanRange(table, lockmgr.S, lo, hi, fn)
+}
+
+// ScanRangeForUpdate is ScanRange with exclusive row locks, for transactions
+// that will modify or delete the rows they visit (SELECT ... FOR UPDATE).
+// Locking exclusively up front avoids share-to-exclusive conversion
+// deadlocks between concurrent writers.
+func (tx *Tx) ScanRangeForUpdate(table string, lo, hi []record.Value, fn func(record.Row) bool) error {
+	return tx.scanRange(table, lockmgr.X, lo, hi, fn)
+}
+
+func (tx *Tx) scanRange(table string, mode lockmgr.Mode, lo, hi []record.Value, fn func(record.Row) bool) error {
+	rt, err := tx.e.tableRuntime(table)
+	if err != nil {
+		return err
+	}
+	loKey := record.EncodeKey(lo...)
+	hiKey := ""
+	if len(hi) > 0 {
+		hiKey = record.EncodeKey(hi...) + "\xff"
+	}
+	type hit struct {
+		rid heap.RID
+	}
+	var hits []hit
+	rt.pk.tree.scanRange(loKey, hiKey, func(k string, rid heap.RID) bool {
+		hits = append(hits, hit{rid})
+		return true
+	})
+	for _, hh := range hits {
+		if err := tx.lockRecord(rt.meta.ID, hh.rid, mode); err != nil {
+			return err
+		}
+		data, err := rt.hf.Get(tx.prof, hh.rid)
+		if err != nil {
+			if errors.Is(err, heap.ErrNotFound) {
+				continue
+			}
+			return err
+		}
+		row, err := rt.meta.Schema.Decode(data)
+		if err != nil {
+			return err
+		}
+		if !fn(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanTable visits every row of the table under a table-level share lock
+// (no per-row locks), as a coarse-grained reader would.
+func (tx *Tx) ScanTable(table string, fn func(record.Row) bool) error {
+	rt, err := tx.e.tableRuntime(table)
+	if err != nil {
+		return err
+	}
+	if err := tx.lockTable(rt.meta.ID, lockmgr.S); err != nil {
+		return err
+	}
+	stop := false
+	err = rt.hf.Scan(tx.prof, func(rid heap.RID, rec []byte) bool {
+		row, derr := rt.meta.Schema.Decode(rec)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		if !fn(row) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	_ = stop
+	return err
+}

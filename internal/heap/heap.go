@@ -1,0 +1,248 @@
+// Package heap implements heap files: unordered collections of records
+// stored in slotted pages managed through the buffer pool, one heap file per
+// table. It also implements the free space manager, the centralized
+// structure that tracks how much room each page has left — the component the
+// paper observes absorbing contention from New Order once SLI removes the
+// lock-manager bottleneck (§7.2).
+package heap
+
+import (
+	"errors"
+	"fmt"
+
+	"slidb/internal/buffer"
+	"slidb/internal/latch"
+	"slidb/internal/page"
+	"slidb/internal/profiler"
+)
+
+// RID identifies a record within a table: page number plus slot.
+type RID struct {
+	Page uint64
+	Slot uint32
+}
+
+// String renders the RID for debugging.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// ErrNotFound is returned when a RID does not refer to a live record.
+var ErrNotFound = errors.New("heap: record not found")
+
+// freeSpaceManager tracks per-page free space so inserts can find a page
+// with room without scanning the file. It is a single latched structure per
+// heap file, mirroring Shore's free space manager.
+type freeSpaceManager struct {
+	latch     latch.Mutex
+	free      map[uint64]int // page -> free bytes (approximate)
+	numPages  uint64
+	appendPos uint64 // page currently receiving appends
+}
+
+// File is a heap file: the records of one table.
+type File struct {
+	tableID uint32
+	pool    *buffer.Pool
+	fsm     freeSpaceManager
+}
+
+// NewFile creates an empty heap file for the given table.
+func NewFile(tableID uint32, pool *buffer.Pool) *File {
+	return &File{
+		tableID: tableID,
+		pool:    pool,
+		fsm:     freeSpaceManager{free: make(map[uint64]int)},
+	}
+}
+
+// TableID returns the table this heap file belongs to.
+func (f *File) TableID() uint32 { return f.tableID }
+
+// NumPages returns the number of pages allocated to the file.
+func (f *File) NumPages() uint64 {
+	f.fsm.latch.Lock()
+	defer f.fsm.latch.Unlock()
+	return f.fsm.numPages
+}
+
+// choosePage picks a page with at least need bytes free, allocating a new
+// page if necessary. The returned page number is only a hint: the insert
+// re-checks under the page latch and retries on a different page if the hint
+// was stale.
+func (f *File) choosePage(h *profiler.Handle, need int) uint64 {
+	contended, wait := f.fsm.latch.Lock()
+	if contended {
+		h.Add(profiler.LatchContention, wait)
+	}
+	defer f.fsm.latch.Unlock()
+	// Prefer the current append page (the common case and the paper's
+	// "roving hotspot": appends concentrate on the last page until it fills).
+	if f.fsm.numPages > 0 {
+		if free, ok := f.fsm.free[f.fsm.appendPos]; ok && free >= need {
+			return f.fsm.appendPos
+		}
+		// Otherwise any page with room.
+		for p, free := range f.fsm.free {
+			if free >= need {
+				return p
+			}
+		}
+	}
+	p := f.fsm.numPages
+	f.fsm.numPages++
+	f.fsm.free[p] = page.MaxRecordSize
+	f.fsm.appendPos = p
+	return p
+}
+
+// updateFree records the new free-byte count for a page.
+func (f *File) updateFree(pageNo uint64, free int) {
+	f.fsm.latch.Lock()
+	if free <= 0 {
+		delete(f.fsm.free, pageNo)
+	} else {
+		f.fsm.free[pageNo] = free
+	}
+	f.fsm.latch.Unlock()
+}
+
+// Insert stores rec and returns its RID. h may be nil.
+func (f *File) Insert(h *profiler.Handle, rec []byte) (RID, error) {
+	if len(rec) > page.MaxRecordSize {
+		return RID{}, page.ErrTooLarge
+	}
+	need := len(rec) + 8
+	for attempt := 0; attempt < 1000; attempt++ {
+		pageNo := f.choosePage(h, need)
+		frame, err := f.pool.Fetch(h, buffer.PageID{Table: f.tableID, Page: pageNo})
+		if err != nil {
+			return RID{}, err
+		}
+		contended, wait := frame.Latch.Lock()
+		if contended {
+			h.Add(profiler.LatchContention, wait)
+		}
+		slot, ierr := frame.Page().Insert(rec)
+		free := frame.Page().FreeSpace()
+		frame.Latch.Unlock()
+		f.pool.Unpin(frame, ierr == nil)
+		f.updateFree(pageNo, free)
+		if ierr == nil {
+			return RID{Page: pageNo, Slot: uint32(slot)}, nil
+		}
+		if !errors.Is(ierr, page.ErrPageFull) {
+			return RID{}, ierr
+		}
+		// Page was fuller than the FSM believed; try again with a fresh hint.
+	}
+	return RID{}, errors.New("heap: could not find a page with free space")
+}
+
+// Get returns a copy of the record identified by rid.
+func (f *File) Get(h *profiler.Handle, rid RID) ([]byte, error) {
+	frame, err := f.pool.Fetch(h, buffer.PageID{Table: f.tableID, Page: rid.Page})
+	if err != nil {
+		return nil, err
+	}
+	contended, wait := frame.Latch.RLock()
+	if contended {
+		h.Add(profiler.LatchContention, wait)
+	}
+	data, gerr := frame.Page().Get(int(rid.Slot))
+	var cp []byte
+	if gerr == nil {
+		cp = append([]byte(nil), data...)
+	}
+	frame.Latch.RUnlock()
+	f.pool.Unpin(frame, false)
+	if gerr != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	return cp, nil
+}
+
+// Update replaces the record at rid with rec.
+func (f *File) Update(h *profiler.Handle, rid RID, rec []byte) error {
+	frame, err := f.pool.Fetch(h, buffer.PageID{Table: f.tableID, Page: rid.Page})
+	if err != nil {
+		return err
+	}
+	contended, wait := frame.Latch.Lock()
+	if contended {
+		h.Add(profiler.LatchContention, wait)
+	}
+	uerr := frame.Page().Update(int(rid.Slot), rec)
+	if errors.Is(uerr, page.ErrPageFull) {
+		// Make room by compacting the page, then retry once.
+		frame.Page().Compact()
+		uerr = frame.Page().Update(int(rid.Slot), rec)
+	}
+	free := frame.Page().FreeSpace()
+	frame.Latch.Unlock()
+	f.pool.Unpin(frame, uerr == nil)
+	f.updateFree(rid.Page, free)
+	if errors.Is(uerr, page.ErrNoSlot) {
+		return fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	return uerr
+}
+
+// Delete removes the record at rid.
+func (f *File) Delete(h *profiler.Handle, rid RID) error {
+	frame, err := f.pool.Fetch(h, buffer.PageID{Table: f.tableID, Page: rid.Page})
+	if err != nil {
+		return err
+	}
+	contended, wait := frame.Latch.Lock()
+	if contended {
+		h.Add(profiler.LatchContention, wait)
+	}
+	derr := frame.Page().Delete(int(rid.Slot))
+	if derr == nil {
+		// Reclaim the dead space immediately so the free space manager sees
+		// it; deletes are rare in the targeted workloads, so the compaction
+		// cost is negligible.
+		frame.Page().Compact()
+	}
+	free := frame.Page().FreeSpace()
+	frame.Latch.Unlock()
+	f.pool.Unpin(frame, derr == nil)
+	f.updateFree(rid.Page, free)
+	if errors.Is(derr, page.ErrNoSlot) {
+		return fmt.Errorf("%w: %v", ErrNotFound, rid)
+	}
+	return derr
+}
+
+// Scan calls fn for every live record in the file, in page then slot order.
+// fn receives a copy of the record bytes. Iteration stops if fn returns
+// false.
+func (f *File) Scan(h *profiler.Handle, fn func(rid RID, rec []byte) bool) error {
+	numPages := f.NumPages()
+	for p := uint64(0); p < numPages; p++ {
+		frame, err := f.pool.Fetch(h, buffer.PageID{Table: f.tableID, Page: p})
+		if err != nil {
+			return err
+		}
+		contended, wait := frame.Latch.RLock()
+		if contended {
+			h.Add(profiler.LatchContention, wait)
+		}
+		type entry struct {
+			slot int
+			rec  []byte
+		}
+		var entries []entry
+		frame.Page().ForEach(func(slot int, rec []byte) bool {
+			entries = append(entries, entry{slot, append([]byte(nil), rec...)})
+			return true
+		})
+		frame.Latch.RUnlock()
+		f.pool.Unpin(frame, false)
+		for _, e := range entries {
+			if !fn(RID{Page: p, Slot: uint32(e.slot)}, e.rec) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

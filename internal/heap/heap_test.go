@@ -1,0 +1,204 @@
+package heap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"slidb/internal/buffer"
+)
+
+func newTestFile(t *testing.T, frames int) *File {
+	t.Helper()
+	pool := buffer.NewPool(buffer.NewMemStore(), buffer.Config{Frames: frames})
+	return NewFile(1, pool)
+}
+
+func TestInsertGetUpdateDelete(t *testing.T) {
+	f := newTestFile(t, 16)
+	rid, err := f.Insert(nil, []byte("row one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get(nil, rid)
+	if err != nil || string(got) != "row one" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := f.Update(nil, rid, []byte("row one, revised and longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = f.Get(nil, rid)
+	if string(got) != "row one, revised and longer" {
+		t.Fatalf("after update: %q", got)
+	}
+	if err := f.Delete(nil, rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get(nil, rid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+	if err := f.Update(nil, rid, []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Update after delete = %v, want ErrNotFound", err)
+	}
+	if err := f.Delete(nil, rid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+	if rid.String() == "" {
+		t.Fatal("RID.String empty")
+	}
+}
+
+func TestInsertSpansMultiplePages(t *testing.T) {
+	f := newTestFile(t, 64)
+	rec := bytes.Repeat([]byte("x"), 1000)
+	var rids []RID
+	for i := 0; i < 100; i++ {
+		rid, err := f.Insert(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if f.NumPages() < 10 {
+		t.Fatalf("expected at least 10 pages for 100 KB of records, got %d", f.NumPages())
+	}
+	for _, rid := range rids {
+		got, err := f.Get(nil, rid)
+		if err != nil || len(got) != 1000 {
+			t.Fatalf("record %v lost: %v", rid, err)
+		}
+	}
+	if f.TableID() != 1 {
+		t.Fatal("TableID wrong")
+	}
+}
+
+func TestScanVisitsEverything(t *testing.T) {
+	f := newTestFile(t, 32)
+	want := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		rec := fmt.Sprintf("record-%04d", i)
+		if _, err := f.Insert(nil, []byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+		want[rec] = true
+	}
+	seen := map[string]bool{}
+	if err := f.Scan(nil, func(rid RID, rec []byte) bool {
+		seen[string(rec)] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("scan saw %d records, want %d", len(seen), len(want))
+	}
+	// Early termination.
+	count := 0
+	f.Scan(nil, func(RID, []byte) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("early termination visited %d", count)
+	}
+}
+
+func TestFreeSpaceReusedAfterDelete(t *testing.T) {
+	f := newTestFile(t, 8)
+	rec := bytes.Repeat([]byte("y"), 2000)
+	var rids []RID
+	for i := 0; i < 12; i++ {
+		rid, err := f.Insert(nil, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	pagesBefore := f.NumPages()
+	for _, rid := range rids[:6] {
+		if err := f.Delete(nil, rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// New inserts should fit into freed space without growing the file much.
+	for i := 0; i < 6; i++ {
+		if _, err := f.Insert(nil, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.NumPages() > pagesBefore+1 {
+		t.Fatalf("file grew from %d to %d pages despite freed space", pagesBefore, f.NumPages())
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	f := newTestFile(t, 8)
+	if _, err := f.Insert(nil, bytes.Repeat([]byte("z"), 9000)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestUpdateGrowingRecordCompactsPage(t *testing.T) {
+	f := newTestFile(t, 8)
+	// Fill a page almost completely, then grow one record: the page must
+	// compact dead space rather than fail.
+	small := bytes.Repeat([]byte("a"), 500)
+	var rids []RID
+	for i := 0; i < 15; i++ {
+		rid, err := f.Insert(nil, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	// Shrink one record (leaving dead space), then grow another into it.
+	if err := f.Update(nil, rids[0], []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Update(nil, rids[1], bytes.Repeat([]byte("b"), 700)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get(nil, rids[1])
+	if err != nil || len(got) != 700 {
+		t.Fatalf("grown record lost: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestConcurrentInsertsAndReads(t *testing.T) {
+	f := newTestFile(t, 256)
+	var mu sync.Mutex
+	all := map[RID][]byte{}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rec := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				rid, err := f.Insert(nil, rec)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				all[rid] = rec
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if len(all) != 8*200 {
+		t.Fatalf("RIDs collided: %d unique for %d inserts", len(all), 8*200)
+	}
+	for rid, want := range all {
+		got, err := f.Get(nil, rid)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("record %v = %q want %q (%v)", rid, got, want, err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package lockmgr
+
+// Deadlock detection. Shore-MT uses the "dreadlocks" algorithm; this
+// reproduction uses a straightforward wait-for-graph search triggered
+// periodically while a transaction is blocked (plus a timeout fallback in
+// waitFor). The search is conservative: it only follows lock heads whose
+// latch it can acquire without blocking, so it never introduces latch
+// deadlocks and may miss a cycle on one probe — the next probe (or the
+// timeout) will catch it.
+
+// maxDeadlockDepth bounds the wait-for-graph search.
+const maxDeadlockDepth = 64
+
+// detectDeadlock reports whether the blocked owner participates in a
+// wait-for cycle. The caller (the detecting owner itself) is the victim.
+func (m *Manager) detectDeadlock(self *Owner, req *Request) bool {
+	visited := map[*Owner]bool{self: true}
+	return m.findCycle(self, req, visited, 0)
+}
+
+// findCycle performs a depth-first search of the wait-for graph starting
+// from the owners blocking req, looking for a path back to self.
+func (m *Manager) findCycle(self *Owner, req *Request, visited map[*Owner]bool, depth int) bool {
+	if depth > maxDeadlockDepth {
+		return false
+	}
+	for _, blocker := range m.blockersOf(req) {
+		if blocker == self {
+			return true
+		}
+		if visited[blocker] {
+			continue
+		}
+		visited[blocker] = true
+		next := blocker.waiting.Load()
+		if next == nil {
+			continue
+		}
+		if m.findCycle(self, next, visited, depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockersOf returns the owners that the given waiting (or converting)
+// request is waiting for: holders of incompatible granted/converting
+// requests, plus earlier waiters that FIFO granting will serve first. It
+// uses TryLock on the lock-head latch and returns nil if the latch is busy.
+func (m *Manager) blockersOf(req *Request) []*Owner {
+	h := req.head
+	if !h.latch.TryLock() {
+		return nil
+	}
+	defer h.latch.Unlock()
+
+	st := req.status.Load()
+	if st != statusWaiting && st != statusConverting {
+		return nil // already granted or cancelled
+	}
+	want := req.mode
+	if st == statusConverting {
+		want = req.convMode
+	}
+
+	var out []*Owner
+	seenSelf := false
+	h.queue.forEach(func(r *Request) {
+		if r == req {
+			seenSelf = true
+			return
+		}
+		switch r.status.Load() {
+		case statusGranted, statusConverting:
+			if !Compatible(want, r.mode) {
+				if owner := r.owner.Load(); owner != nil {
+					out = append(out, owner)
+				}
+			}
+			// A pending conversion ahead of us also blocks us if its target
+			// conflicts with what we want.
+			if r.status.Load() == statusConverting && !Compatible(want, r.convMode) {
+				if owner := r.owner.Load(); owner != nil {
+					out = append(out, owner)
+				}
+			}
+		case statusWaiting:
+			// FIFO: a waiting request queued before ours is served first, so
+			// we transitively wait for whatever it waits for.
+			if !seenSelf && st == statusWaiting {
+				if owner := r.owner.Load(); owner != nil {
+					out = append(out, owner)
+				}
+			}
+		}
+	})
+	return out
+}

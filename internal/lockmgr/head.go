@@ -1,0 +1,152 @@
+package lockmgr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"slidb/internal/latch"
+)
+
+// lockHead represents one active lock: its identity, a latch protecting the
+// request queue, the FIFO queue itself, and the hot-ness tracking window
+// (paper Figure 2). Lock heads live in the partitioned lock table and are
+// removed when their queue drains.
+type lockHead struct {
+	id LockID
+
+	// latch protects the queue, waiters count, hot-ness window and the dead
+	// flag. The per-acquisition contention signal it reports drives hot-lock
+	// detection.
+	latch latch.Mutex
+
+	queue requestQueue
+
+	// waiters is the number of requests in waiting or converting status.
+	waiters int
+
+	// window tracks latch contention over the most recent acquisitions; hot
+	// caches the threshold decision. hot is atomic because the SLI candidate
+	// pass reads it without holding the latch (it is re-verified under the
+	// latch before a lock is actually inherited).
+	window latch.ContentionWindow
+	hot    atomic.Bool
+
+	// dead is set when the head has been removed from the lock table; a
+	// requester that latches a dead head must retry its lookup.
+	dead bool
+}
+
+// recordLatchAcquire folds one latch acquisition outcome into the hot-ness
+// window. Must be called with the latch held.
+func (h *lockHead) recordLatchAcquire(contended bool, threshold float64) {
+	h.window.Record(contended)
+	h.hot.Store(h.window.Ratio() >= threshold)
+}
+
+// grantedSupremum returns the supremum of the modes of all granted,
+// converting (their currently-held mode) and inherited requests, excluding
+// the given request. Inherited requests are included because until they are
+// invalidated they may be reclaimed at any instant and therefore still
+// constrain what can be granted. Must be called with the latch held.
+func (h *lockHead) grantedSupremum(except *Request) Mode {
+	agg := NL
+	h.queue.forEach(func(r *Request) {
+		if r == except {
+			return
+		}
+		switch r.status.Load() {
+		case statusGranted, statusConverting, statusInherited:
+			agg = Supremum(agg, r.mode)
+		}
+	})
+	return agg
+}
+
+// hasWaiters reports whether any request is waiting or converting. Must be
+// called with the latch held.
+func (h *lockHead) hasWaiters() bool { return h.waiters > 0 }
+
+// partition is one shard of the lock table. The partition mutex only covers
+// the map itself; lock heads are latched individually.
+type partition struct {
+	mu    sync.Mutex
+	heads map[LockID]*lockHead
+}
+
+// lockTable is the partitioned hash table mapping LockIDs to lock heads
+// (Figure 2's "hash table" of lock heads).
+type lockTable struct {
+	parts []partition
+	mask  uint64
+}
+
+func newLockTable(partitions int) *lockTable {
+	if partitions <= 0 {
+		partitions = 64
+	}
+	// Round up to a power of two so we can mask instead of mod.
+	n := 1
+	for n < partitions {
+		n <<= 1
+	}
+	t := &lockTable{parts: make([]partition, n), mask: uint64(n - 1)}
+	for i := range t.parts {
+		t.parts[i].heads = make(map[LockID]*lockHead)
+	}
+	return t
+}
+
+func (t *lockTable) partitionFor(id LockID) *partition {
+	return &t.parts[id.hash()&t.mask]
+}
+
+// findOrCreate returns the lock head for id, creating it if necessary.
+func (t *lockTable) findOrCreate(id LockID) *lockHead {
+	p := t.partitionFor(id)
+	p.mu.Lock()
+	h := p.heads[id]
+	if h == nil {
+		h = &lockHead{id: id}
+		p.heads[id] = h
+	}
+	p.mu.Unlock()
+	return h
+}
+
+// find returns the lock head for id, or nil if the lock is not active.
+func (t *lockTable) find(id LockID) *lockHead {
+	p := t.partitionFor(id)
+	p.mu.Lock()
+	h := p.heads[id]
+	p.mu.Unlock()
+	return h
+}
+
+// maybeRemove removes h from the table if its queue is empty. The caller
+// must hold h's latch; the head is marked dead so that racing requesters
+// that already hold a pointer to it retry their lookup.
+func (t *lockTable) maybeRemove(h *lockHead) {
+	if !h.queue.empty() || h.dead {
+		return
+	}
+	p := t.partitionFor(h.id)
+	p.mu.Lock()
+	if cur := p.heads[h.id]; cur == h {
+		delete(p.heads, h.id)
+		h.dead = true
+	}
+	p.mu.Unlock()
+}
+
+// size returns the total number of active lock heads, for tests and
+// monitoring.
+func (t *lockTable) size() int {
+	n := 0
+	for i := range t.parts {
+		p := &t.parts[i]
+		p.mu.Lock()
+		n += len(p.heads)
+		p.mu.Unlock()
+	}
+	return n
+}

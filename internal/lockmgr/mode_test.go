@@ -1,0 +1,259 @@
+package lockmgr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allModes() []Mode { return []Mode{NL, IS, IX, S, SIX, U, X} }
+
+func TestModeStringsAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range allModes() {
+		s := m.String()
+		if s == "" || s == "?" || seen[s] {
+			t.Fatalf("mode %d has bad or duplicate name %q", m, s)
+		}
+		seen[s] = true
+	}
+	if Mode(42).String() != "?" {
+		t.Fatal("invalid mode should render as ?")
+	}
+	if Mode(42).Valid() {
+		t.Fatal("Mode(42) must not be valid")
+	}
+}
+
+// TestCompatibilityTextbook spot-checks the compatibility matrix against the
+// Gray & Reuter table cited in paper §3.1.
+func TestCompatibilityTextbook(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, SIX, true}, {IS, X, false},
+		{IX, IX, true}, {IX, S, false}, {IX, SIX, false}, {IX, X, false},
+		{S, S, true}, {S, SIX, false}, {S, X, false},
+		{SIX, SIX, false}, {SIX, X, false},
+		{X, X, false}, {X, IS, false},
+		{U, S, true}, {U, U, false}, {U, X, false}, {U, IX, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestCompatibilityProperties checks structural properties of the matrix:
+// NL is compatible with everything, X is incompatible with everything except
+// NL, and the matrix is symmetric.
+func TestCompatibilityProperties(t *testing.T) {
+	for _, a := range allModes() {
+		if !Compatible(NL, a) || !Compatible(a, NL) {
+			t.Errorf("NL must be compatible with %v", a)
+		}
+		if a != NL && (Compatible(X, a) || Compatible(a, X)) {
+			t.Errorf("X must be incompatible with %v", a)
+		}
+		for _, b := range allModes() {
+			if Compatible(a, b) != Compatible(b, a) {
+				t.Errorf("matrix not symmetric at (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+// TestSupremumProperties: Supremum is commutative, idempotent, has NL as the
+// identity and X as the absorbing element, and its result is always at least
+// as strong as both inputs (anything incompatible with an input is
+// incompatible with the supremum).
+func TestSupremumProperties(t *testing.T) {
+	for _, a := range allModes() {
+		if Supremum(a, a) != a {
+			t.Errorf("Supremum(%v,%v) != %v", a, a, a)
+		}
+		if Supremum(a, NL) != a || Supremum(NL, a) != a {
+			t.Errorf("NL must be identity for %v", a)
+		}
+		if Supremum(a, X) != X || Supremum(X, a) != X {
+			t.Errorf("X must absorb %v", a)
+		}
+		for _, b := range allModes() {
+			s := Supremum(a, b)
+			if s != Supremum(b, a) {
+				t.Errorf("Supremum not commutative at (%v,%v)", a, b)
+			}
+			if !Covers(s, a) || !Covers(s, b) {
+				t.Errorf("Supremum(%v,%v)=%v does not cover both inputs", a, b, s)
+			}
+			// Strength: if some mode c conflicts with a, it must conflict
+			// with sup(a,b) too (the supremum is at least as restrictive).
+			for _, c := range allModes() {
+				if !Compatible(c, a) && Compatible(c, s) {
+					t.Errorf("sup(%v,%v)=%v weaker than %v w.r.t. %v", a, b, s, a, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSupremumAssociativityQuick(t *testing.T) {
+	f := func(ai, bi, ci uint8) bool {
+		ms := allModes()
+		a, b, c := ms[int(ai)%len(ms)], ms[int(bi)%len(ms)], ms[int(ci)%len(ms)]
+		return Supremum(Supremum(a, b), c) == Supremum(a, Supremum(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoversReflexiveAndOrdered(t *testing.T) {
+	for _, a := range allModes() {
+		if !Covers(a, a) {
+			t.Errorf("Covers(%v,%v) must be true", a, a)
+		}
+		if !Covers(X, a) {
+			t.Errorf("X must cover %v", a)
+		}
+		if !Covers(a, NL) {
+			t.Errorf("%v must cover NL", a)
+		}
+	}
+	if Covers(IS, S) || Covers(S, X) || Covers(IX, SIX) {
+		t.Fatal("Covers claims a weaker mode covers a stronger one")
+	}
+	if !Covers(SIX, S) || !Covers(SIX, IX) || !Covers(S, IS) || !Covers(SIX, IS) {
+		t.Fatal("Covers misses textbook orderings")
+	}
+}
+
+// TestParentModeConsistency: the parent intention mode of a shared child
+// mode must itself be shared, and acquiring the parent mode must be enough
+// to announce the child's access type (exclusive children need IX parents).
+func TestParentModeConsistency(t *testing.T) {
+	for _, m := range allModes() {
+		p := ParentMode(m)
+		if m == NL {
+			if p != NL {
+				t.Errorf("ParentMode(NL) = %v, want NL", p)
+			}
+			continue
+		}
+		if m.Shared() && !p.Shared() {
+			t.Errorf("shared child %v requires non-shared parent %v", m, p)
+		}
+		if m.Exclusive() && p != IX {
+			t.Errorf("exclusive child %v should require IX parent, got %v", m, p)
+		}
+	}
+	if ParentMode(S) != IS || ParentMode(IS) != IS {
+		t.Fatal("read-only child modes must need IS parents")
+	}
+	if ParentMode(X) != IX || ParentMode(IX) != IX || ParentMode(SIX) != IX {
+		t.Fatal("writing child modes must need IX parents")
+	}
+}
+
+func TestSharedExclusiveClassification(t *testing.T) {
+	// Paper §4.2 criterion 3: shared modes are S, IS, IX.
+	for _, m := range []Mode{S, IS, IX} {
+		if !m.Shared() {
+			t.Errorf("%v must be classified shared", m)
+		}
+		if m.Exclusive() {
+			t.Errorf("%v must not be classified exclusive", m)
+		}
+	}
+	for _, m := range []Mode{X, SIX, U} {
+		if m.Shared() {
+			t.Errorf("%v must not be classified shared (SLI may not pass it)", m)
+		}
+		if !m.Exclusive() {
+			t.Errorf("%v must be classified exclusive", m)
+		}
+	}
+	if NL.Shared() || NL.Exclusive() {
+		t.Fatal("NL is neither shared nor exclusive")
+	}
+}
+
+func TestLockIDParentChain(t *testing.T) {
+	rec := RecordLock(1, 7, 42, 3)
+	page, ok := rec.Parent()
+	if !ok || page != PageLock(1, 7, 42) {
+		t.Fatalf("record parent = %v, want page", page)
+	}
+	tbl, ok := page.Parent()
+	if !ok || tbl != TableLock(1, 7) {
+		t.Fatalf("page parent = %v, want table", tbl)
+	}
+	db, ok := tbl.Parent()
+	if !ok || db != DatabaseLock(1) {
+		t.Fatalf("table parent = %v, want database", db)
+	}
+	if _, ok := db.Parent(); ok {
+		t.Fatal("database lock must have no parent")
+	}
+}
+
+func TestLockIDLevelsAndStrings(t *testing.T) {
+	ids := []LockID{DatabaseLock(1), TableLock(1, 2), PageLock(1, 2, 3), RecordLock(1, 2, 3, 4)}
+	wantLvl := []Level{LevelDatabase, LevelTable, LevelPage, LevelRecord}
+	seen := map[string]bool{}
+	for i, id := range ids {
+		if id.Level() != wantLvl[i] {
+			t.Errorf("%v level = %v, want %v", id, id.Level(), wantLvl[i])
+		}
+		s := id.String()
+		if s == "" || seen[s] {
+			t.Errorf("LockID %v has empty or duplicate string %q", id, s)
+		}
+		seen[s] = true
+		if wantLvl[i].String() == "" {
+			t.Errorf("level %v has empty string", wantLvl[i])
+		}
+	}
+	if !LevelTable.CoarserOrEqual(LevelPage) || !LevelPage.CoarserOrEqual(LevelPage) || LevelRecord.CoarserOrEqual(LevelPage) {
+		t.Fatal("CoarserOrEqual ordering wrong")
+	}
+}
+
+// TestLockIDHashSpreads checks the hash distributes distinct IDs over
+// partitions reasonably (no catastrophic clustering).
+func TestLockIDHashSpreads(t *testing.T) {
+	const parts = 64
+	counts := make([]int, parts)
+	n := 0
+	for table := uint32(0); table < 8; table++ {
+		for page := uint64(0); page < 64; page++ {
+			for slot := uint32(0); slot < 4; slot++ {
+				id := RecordLock(1, table, page, slot)
+				counts[id.hash()%parts]++
+				n++
+			}
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max > 4*n/parts {
+		t.Fatalf("hash clustering: max bucket %d of %d total across %d partitions", max, n, parts)
+	}
+}
+
+func TestLockIDMapKeyEquality(t *testing.T) {
+	m := map[LockID]int{}
+	m[RecordLock(1, 2, 3, 4)] = 1
+	m[RecordLock(1, 2, 3, 4)] = 2
+	if len(m) != 1 || m[RecordLock(1, 2, 3, 4)] != 2 {
+		t.Fatal("identical LockIDs must collide as map keys")
+	}
+	if _, ok := m[RecordLock(1, 2, 3, 5)]; ok {
+		t.Fatal("distinct LockIDs must not collide")
+	}
+}

@@ -1,0 +1,210 @@
+package lockmgr
+
+import "sync/atomic"
+
+// Stats holds the lock manager's event counters. They are the
+// scheduler-independent metrics used to reproduce Figures 8 and 9 of the
+// paper (lock-acquisition breakdowns and SLI outcome breakdowns) and to
+// corroborate the time-based profiler results.
+//
+// All counters are cumulative and safe for concurrent use. Use Snapshot to
+// read them consistently enough for reporting and Diff to compute
+// per-interval figures.
+type Stats struct {
+	// Acquisition counters (Figure 8).
+
+	// Acquires counts every lock acquisition that reached the lock manager
+	// or was satisfied from the transaction's lock cache, by level.
+	Acquires [4]atomic.Uint64
+	// SharedAcquires counts acquisitions in SLI-heritable modes (S, IS, IX).
+	SharedAcquires atomic.Uint64
+	// ExclusiveAcquires counts acquisitions in X, SIX or U mode.
+	ExclusiveAcquires atomic.Uint64
+	// HotHeritable counts acquisitions of locks that were hot at acquisition
+	// time and satisfied SLI criteria 1 and 3 (page level or higher, shared
+	// mode): the locks SLI targets.
+	HotHeritable atomic.Uint64
+	// HotNonHeritable counts acquisitions of hot locks that SLI cannot pass
+	// on (row-level or exclusive-mode).
+	HotNonHeritable atomic.Uint64
+	// ColdHeritable counts acquisitions of high-level shared locks that were
+	// not hot at acquisition time.
+	ColdHeritable atomic.Uint64
+	// ColdOther counts all remaining acquisitions (cold and either row-level
+	// or exclusive).
+	ColdOther atomic.Uint64
+	// CacheHits counts acquisitions satisfied entirely from the
+	// transaction's private lock cache (already held in a covering mode).
+	CacheHits atomic.Uint64
+	// Conversions counts lock upgrades (e.g. IS→IX).
+	Conversions atomic.Uint64
+	// LatchContended counts lock-head latch acquisitions that found the
+	// latch held — the physical-contention signal of §1.1.
+	LatchContended atomic.Uint64
+	// Waits counts requests that blocked on a logical lock conflict.
+	Waits atomic.Uint64
+	// Deadlocks counts requests aborted by deadlock detection.
+	Deadlocks atomic.Uint64
+	// Timeouts counts requests aborted by lock wait timeout.
+	Timeouts atomic.Uint64
+
+	// SLI counters (Figure 9).
+
+	// SLIPassed counts lock requests passed from a committing transaction to
+	// its agent thread (inherited) instead of being released.
+	SLIPassed atomic.Uint64
+	// SLIReclaimed counts inherited requests successfully reclaimed
+	// (CAS inherited→granted) by a subsequent transaction — successful
+	// speculation.
+	SLIReclaimed atomic.Uint64
+	// SLIInvalidated counts inherited requests invalidated by a conflicting
+	// request (or by an incompatible reclaim attempt) before reuse.
+	SLIInvalidated atomic.Uint64
+	// SLIDiscarded counts inherited requests that the next transaction never
+	// used and therefore released at commit time.
+	SLIDiscarded atomic.Uint64
+	// SLIIneligibleWaiter counts hot locks that could not be inherited
+	// because another transaction was waiting on them (criterion 4).
+	SLIIneligibleWaiter atomic.Uint64
+	// SLIIneligibleMode counts hot locks that could not be inherited because
+	// they were held in an exclusive mode (criterion 3).
+	SLIIneligibleMode atomic.Uint64
+	// SLIIneligibleParent counts locks that met every criterion except that
+	// their parent was not itself eligible (criterion 5).
+	SLIIneligibleParent atomic.Uint64
+
+	// Transactions counts ReleaseAll calls, i.e. completed transactions,
+	// used to compute average locks per transaction.
+	Transactions atomic.Uint64
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	AcquiresByLevel     [4]uint64
+	SharedAcquires      uint64
+	ExclusiveAcquires   uint64
+	HotHeritable        uint64
+	HotNonHeritable     uint64
+	ColdHeritable       uint64
+	ColdOther           uint64
+	CacheHits           uint64
+	Conversions         uint64
+	LatchContended      uint64
+	Waits               uint64
+	Deadlocks           uint64
+	Timeouts            uint64
+	SLIPassed           uint64
+	SLIReclaimed        uint64
+	SLIInvalidated      uint64
+	SLIDiscarded        uint64
+	SLIIneligibleWaiter uint64
+	SLIIneligibleMode   uint64
+	SLIIneligibleParent uint64
+	Transactions        uint64
+}
+
+// Snapshot returns a point-in-time copy of all counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	var out StatsSnapshot
+	for i := range s.Acquires {
+		out.AcquiresByLevel[i] = s.Acquires[i].Load()
+	}
+	out.SharedAcquires = s.SharedAcquires.Load()
+	out.ExclusiveAcquires = s.ExclusiveAcquires.Load()
+	out.HotHeritable = s.HotHeritable.Load()
+	out.HotNonHeritable = s.HotNonHeritable.Load()
+	out.ColdHeritable = s.ColdHeritable.Load()
+	out.ColdOther = s.ColdOther.Load()
+	out.CacheHits = s.CacheHits.Load()
+	out.Conversions = s.Conversions.Load()
+	out.LatchContended = s.LatchContended.Load()
+	out.Waits = s.Waits.Load()
+	out.Deadlocks = s.Deadlocks.Load()
+	out.Timeouts = s.Timeouts.Load()
+	out.SLIPassed = s.SLIPassed.Load()
+	out.SLIReclaimed = s.SLIReclaimed.Load()
+	out.SLIInvalidated = s.SLIInvalidated.Load()
+	out.SLIDiscarded = s.SLIDiscarded.Load()
+	out.SLIIneligibleWaiter = s.SLIIneligibleWaiter.Load()
+	out.SLIIneligibleMode = s.SLIIneligibleMode.Load()
+	out.SLIIneligibleParent = s.SLIIneligibleParent.Load()
+	out.Transactions = s.Transactions.Load()
+	return out
+}
+
+// TotalAcquires returns the total number of lock acquisitions across all
+// levels.
+func (s StatsSnapshot) TotalAcquires() uint64 {
+	var t uint64
+	for _, v := range s.AcquiresByLevel {
+		t += v
+	}
+	return t
+}
+
+// LocksPerTransaction returns the average number of lock acquisitions per
+// completed transaction (the number printed above each bar of Figure 8).
+func (s StatsSnapshot) LocksPerTransaction() float64 {
+	if s.Transactions == 0 {
+		return 0
+	}
+	return float64(s.TotalAcquires()) / float64(s.Transactions)
+}
+
+// Diff returns the counter deltas s - earlier, clamping at zero; it is used
+// to compute per-measurement-interval statistics.
+func (s StatsSnapshot) Diff(earlier StatsSnapshot) StatsSnapshot {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	var out StatsSnapshot
+	for i := range s.AcquiresByLevel {
+		out.AcquiresByLevel[i] = sub(s.AcquiresByLevel[i], earlier.AcquiresByLevel[i])
+	}
+	out.SharedAcquires = sub(s.SharedAcquires, earlier.SharedAcquires)
+	out.ExclusiveAcquires = sub(s.ExclusiveAcquires, earlier.ExclusiveAcquires)
+	out.HotHeritable = sub(s.HotHeritable, earlier.HotHeritable)
+	out.HotNonHeritable = sub(s.HotNonHeritable, earlier.HotNonHeritable)
+	out.ColdHeritable = sub(s.ColdHeritable, earlier.ColdHeritable)
+	out.ColdOther = sub(s.ColdOther, earlier.ColdOther)
+	out.CacheHits = sub(s.CacheHits, earlier.CacheHits)
+	out.Conversions = sub(s.Conversions, earlier.Conversions)
+	out.LatchContended = sub(s.LatchContended, earlier.LatchContended)
+	out.Waits = sub(s.Waits, earlier.Waits)
+	out.Deadlocks = sub(s.Deadlocks, earlier.Deadlocks)
+	out.Timeouts = sub(s.Timeouts, earlier.Timeouts)
+	out.SLIPassed = sub(s.SLIPassed, earlier.SLIPassed)
+	out.SLIReclaimed = sub(s.SLIReclaimed, earlier.SLIReclaimed)
+	out.SLIInvalidated = sub(s.SLIInvalidated, earlier.SLIInvalidated)
+	out.SLIDiscarded = sub(s.SLIDiscarded, earlier.SLIDiscarded)
+	out.SLIIneligibleWaiter = sub(s.SLIIneligibleWaiter, earlier.SLIIneligibleWaiter)
+	out.SLIIneligibleMode = sub(s.SLIIneligibleMode, earlier.SLIIneligibleMode)
+	out.SLIIneligibleParent = sub(s.SLIIneligibleParent, earlier.SLIIneligibleParent)
+	out.Transactions = sub(s.Transactions, earlier.Transactions)
+	return out
+}
+
+// classify records one lock acquisition in the Figure-8 breakdown counters.
+func (s *Stats) classify(id LockID, mode Mode, hot bool) {
+	s.Acquires[id.Lvl].Add(1)
+	shared := mode.Shared()
+	if shared {
+		s.SharedAcquires.Add(1)
+	} else {
+		s.ExclusiveAcquires.Add(1)
+	}
+	heritable := shared && id.Lvl.CoarserOrEqual(LevelPage)
+	switch {
+	case hot && heritable:
+		s.HotHeritable.Add(1)
+	case hot:
+		s.HotNonHeritable.Add(1)
+	case heritable:
+		s.ColdHeritable.Add(1)
+	default:
+		s.ColdOther.Add(1)
+	}
+}

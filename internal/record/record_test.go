@@ -1,0 +1,248 @@
+package record
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "id", Type: TypeInt},
+		Column{Name: "balance", Type: TypeFloat},
+		Column{Name: "name", Type: TypeString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaConstruction(t *testing.T) {
+	s := testSchema(t)
+	if s.NumColumns() != 3 {
+		t.Fatalf("columns = %d, want 3", s.NumColumns())
+	}
+	if s.ColumnIndex("balance") != 1 || s.ColumnIndex("missing") != -1 {
+		t.Fatal("ColumnIndex wrong")
+	}
+	if s.EstimatedRowSize() <= 0 {
+		t.Fatal("estimated row size must be positive")
+	}
+	if len(s.Columns()) != 3 {
+		t.Fatal("Columns() wrong length")
+	}
+}
+
+func TestSchemaRejectsBadDefinitions(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := NewSchema(Column{Name: "", Type: TypeInt}); err == nil {
+		t.Fatal("empty column name accepted")
+	}
+	if _, err := NewSchema(Column{Name: "a", Type: Type(99)}); err == nil {
+		t.Fatal("invalid type accepted")
+	}
+	if _, err := NewSchema(Column{Name: "a", Type: TypeInt}, Column{Name: "a", Type: TypeInt}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSchema should panic on invalid schema")
+		}
+	}()
+	MustSchema()
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(42).AsInt() != 42 || Int(42).Type() != TypeInt {
+		t.Fatal("Int accessor broken")
+	}
+	if Float(2.5).AsFloat() != 2.5 || Int(3).AsFloat() != 3.0 {
+		t.Fatal("Float accessor broken")
+	}
+	if String("hi").AsString() != "hi" {
+		t.Fatal("String accessor broken")
+	}
+	if !Int(1).Equal(Int(1)) || Int(1).Equal(Int(2)) || Int(1).Equal(String("1")) {
+		t.Fatal("Equal broken")
+	}
+	for _, v := range []Value{Int(1), Float(1.5), String("x"), {}} {
+		if v.GoString() == "" {
+			t.Fatal("GoString empty")
+		}
+	}
+	if TypeInt.String() == "" || TypeFloat.String() == "" || TypeString.String() == "" || Type(9).String() == "" {
+		t.Fatal("Type.String empty")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1}, {Int(2), Int(2), 0}, {Int(3), Int(2), 1},
+		{Float(1.5), Float(2.5), -1}, {Float(2.5), Float(2.5), 0},
+		{String("a"), String("b"), -1}, {String("b"), String("b"), 0},
+		{Int(1), String("a"), -1}, {String("a"), Int(1), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%#v,%#v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	row := Row{Int(-17), Float(3.25), String("hello, world")}
+	data, err := s.Encode(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(row, got) {
+		t.Fatalf("round trip mismatch: %v vs %v", row, got)
+	}
+}
+
+func TestEncodeRejectsWrongRows(t *testing.T) {
+	s := testSchema(t)
+	if _, err := s.Encode(Row{Int(1)}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := s.Encode(Row{Int(1), Int(2), String("x")}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+}
+
+func TestDecodeRejectsCorruptData(t *testing.T) {
+	s := testSchema(t)
+	row := Row{Int(1), Float(2), String("abc")}
+	data, _ := s.Encode(row)
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := s.Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := s.Decode(append(append([]byte{}, data...), 0x01)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] = 0x7f // unknown/mismatched type tag
+	if _, err := s.Decode(bad); err == nil {
+		t.Fatal("type-tag mismatch accepted")
+	}
+}
+
+// TestEncodeDecodeQuick round-trips random rows through the codec.
+func TestEncodeDecodeQuick(t *testing.T) {
+	s := testSchema(t)
+	f := func(id int64, bal float64, name string) bool {
+		row := Row{Int(id), Float(bal), String(name)}
+		data, err := s.Encode(row)
+		if err != nil {
+			return false
+		}
+		got, err := s.Decode(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(row, got)
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{Int(1), String("x")}
+	c := r.Clone()
+	c[0] = Int(2)
+	if r[0].AsInt() != 1 {
+		t.Fatal("Clone did not copy the backing array")
+	}
+}
+
+// TestEncodeKeyOrderPreservingInts verifies the memcomparable property for
+// integer keys, including negative numbers.
+func TestEncodeKeyOrderPreservingInts(t *testing.T) {
+	vals := []int64{-1 << 62, -100000, -2, -1, 0, 1, 2, 7, 100000, 1 << 62}
+	for i := 1; i < len(vals); i++ {
+		a, b := EncodeKey(Int(vals[i-1])), EncodeKey(Int(vals[i]))
+		if !(a < b) {
+			t.Fatalf("key order broken: %d !< %d", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestEncodeKeyOrderPreservingQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := EncodeKey(Int(a)), EncodeKey(Int(b))
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeKeyStringsAndComposite(t *testing.T) {
+	// Composite (int, string) keys must sort first by int then by string,
+	// and a string containing a zero byte must not break the ordering.
+	type pair struct {
+		i int64
+		s string
+	}
+	pairs := []pair{
+		{1, "a"}, {1, "ab"}, {1, "b"}, {2, ""}, {2, "a\x00b"}, {2, "a\x01"}, {3, "zzz"},
+	}
+	rng := rand.New(rand.NewSource(1))
+	shuffled := append([]pair(nil), pairs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	sort.Slice(shuffled, func(i, j int) bool {
+		return EncodeKey(Int(shuffled[i].i), String(shuffled[i].s)) < EncodeKey(Int(shuffled[j].i), String(shuffled[j].s))
+	})
+	if !reflect.DeepEqual(pairs, shuffled) {
+		t.Fatalf("composite key order wrong:\nwant %v\ngot  %v", pairs, shuffled)
+	}
+}
+
+func TestEncodeKeyFloats(t *testing.T) {
+	vals := []float64{-1e300, -2.5, -0.0, 0.0, 0.25, 3.75, 1e300}
+	for i := 1; i < len(vals); i++ {
+		a, b := EncodeKey(Float(vals[i-1])), EncodeKey(Float(vals[i]))
+		if a > b {
+			t.Fatalf("float key order broken at %g vs %g", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestEncodeKeyPrefixSafety(t *testing.T) {
+	// "ab" followed by another column must never sort between "a" and "ab".
+	k1 := EncodeKey(String("a"), Int(9))
+	k2 := EncodeKey(String("ab"), Int(0))
+	if !(k1 < k2) {
+		t.Fatal("string terminator does not preserve prefix ordering")
+	}
+	if strings.HasPrefix(k2, EncodeKey(String("ab"))) == false {
+		// sanity: EncodeKey of a prefix of columns is a string prefix
+		t.Fatal("composite key should extend the single-column key")
+	}
+}

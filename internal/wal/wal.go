@@ -1,0 +1,373 @@
+// Package wal implements the write-ahead log: log sequence numbers, typed
+// log records with binary encoding, an append buffer, and group commit.
+//
+// The log is the other classic centralized service of a storage manager
+// (besides the lock manager this paper targets); it is implemented here so
+// that transactions pay a realistic logging cost — append per update plus a
+// group-commit flush at commit — and so that aborts can be rolled back from
+// the recorded before-images.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LSN is a log sequence number. LSN 0 is "no LSN".
+type LSN uint64
+
+// RecType identifies the kind of a log record.
+type RecType uint8
+
+// Log record types.
+const (
+	// RecBegin marks the start of a transaction.
+	RecBegin RecType = iota + 1
+	// RecInsert records a newly inserted record (after-image only).
+	RecInsert
+	// RecUpdate records an update (before- and after-image).
+	RecUpdate
+	// RecDelete records a deletion (before-image only).
+	RecDelete
+	// RecCommit marks a transaction commit; it must be durable before the
+	// transaction's effects are acknowledged.
+	RecCommit
+	// RecAbort marks a transaction abort after its undo completed.
+	RecAbort
+)
+
+// String returns the record type name.
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecInsert:
+		return "INSERT"
+	case RecUpdate:
+		return "UPDATE"
+	case RecDelete:
+		return "DELETE"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	default:
+		return fmt.Sprintf("rectype(%d)", uint8(t))
+	}
+}
+
+// Record is one write-ahead log record.
+type Record struct {
+	// LSN is assigned by the log at append time.
+	LSN LSN
+	// XID is the transaction that produced the record.
+	XID uint64
+	// Type is the record type.
+	Type RecType
+	// Table, Page and Slot locate the affected record for data records.
+	Table uint32
+	Page  uint64
+	Slot  uint32
+	// Before is the before-image (updates and deletes).
+	Before []byte
+	// After is the after-image (inserts and updates).
+	After []byte
+}
+
+// Encode serializes the record to a compact binary form.
+func (r Record) Encode() []byte {
+	buf := make([]byte, 0, 64+len(r.Before)+len(r.After))
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(uint64(r.LSN))
+	put(r.XID)
+	buf = append(buf, byte(r.Type))
+	put(uint64(r.Table))
+	put(r.Page)
+	put(uint64(r.Slot))
+	put(uint64(len(r.Before)))
+	buf = append(buf, r.Before...)
+	put(uint64(len(r.After)))
+	buf = append(buf, r.After...)
+	// Frame it with a length prefix so records can be streamed.
+	frame := make([]byte, 0, len(buf)+binary.MaxVarintLen64)
+	n := binary.PutUvarint(tmp[:], uint64(len(buf)))
+	frame = append(frame, tmp[:n]...)
+	frame = append(frame, buf...)
+	return frame
+}
+
+// ErrCorrupt is returned when a log record cannot be decoded.
+var ErrCorrupt = errors.New("wal: corrupt log record")
+
+// ByteReader is the reader interface required by DecodeFrom; *bufio.Reader
+// and *bytes.Reader both satisfy it.
+type ByteReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// DecodeFrom reads one framed record from r.
+func DecodeFrom(r ByteReader) (Record, error) {
+	length, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Record{}, err
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Record{}, ErrCorrupt
+	}
+	return decodeBody(body)
+}
+
+// Decode parses a record from a byte slice produced by Encode and returns
+// the record and the number of bytes consumed.
+func Decode(data []byte) (Record, int, error) {
+	length, n := binary.Uvarint(data)
+	if n <= 0 || int(length) > len(data)-n {
+		return Record{}, 0, ErrCorrupt
+	}
+	rec, err := decodeBody(data[n : n+int(length)])
+	return rec, n + int(length), err
+}
+
+func decodeBody(body []byte) (Record, error) {
+	var rec Record
+	pos := 0
+	get := func() (uint64, bool) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	lsn, ok := get()
+	if !ok {
+		return rec, ErrCorrupt
+	}
+	xid, ok := get()
+	if !ok {
+		return rec, ErrCorrupt
+	}
+	if pos >= len(body) {
+		return rec, ErrCorrupt
+	}
+	typ := RecType(body[pos])
+	pos++
+	table, ok := get()
+	if !ok {
+		return rec, ErrCorrupt
+	}
+	pageNo, ok := get()
+	if !ok {
+		return rec, ErrCorrupt
+	}
+	slot, ok := get()
+	if !ok {
+		return rec, ErrCorrupt
+	}
+	beforeLen, ok := get()
+	if !ok || pos+int(beforeLen) > len(body) {
+		return rec, ErrCorrupt
+	}
+	before := append([]byte(nil), body[pos:pos+int(beforeLen)]...)
+	pos += int(beforeLen)
+	afterLen, ok := get()
+	if !ok || pos+int(afterLen) > len(body) {
+		return rec, ErrCorrupt
+	}
+	after := append([]byte(nil), body[pos:pos+int(afterLen)]...)
+	pos += int(afterLen)
+	if pos != len(body) {
+		return rec, ErrCorrupt
+	}
+	rec = Record{
+		LSN: LSN(lsn), XID: xid, Type: typ,
+		Table: uint32(table), Page: pageNo, Slot: uint32(slot),
+		Before: before, After: after,
+	}
+	if len(rec.Before) == 0 {
+		rec.Before = nil
+	}
+	if len(rec.After) == 0 {
+		rec.After = nil
+	}
+	return rec, nil
+}
+
+// Config configures the log.
+type Config struct {
+	// FlushDelay simulates the latency of forcing the log to stable storage
+	// (one per group-commit batch, not per transaction). Zero disables it.
+	FlushDelay time.Duration
+	// GroupCommitWindow is how long the flusher waits to batch commits.
+	// Zero means flush requests are served immediately (still batched with
+	// any concurrent requests).
+	GroupCommitWindow time.Duration
+	// Sink, if non-nil, receives the encoded bytes of every record at flush
+	// time (e.g. an os.File). The log also keeps records in memory for
+	// recovery and inspection.
+	Sink io.Writer
+	// KeepInMemory controls whether flushed records are retained in memory
+	// (needed for Records() and recovery tests). Default true.
+	DropAfterFlush bool
+}
+
+// Stats holds log counters.
+type Stats struct {
+	Appends atomic.Uint64
+	Flushes atomic.Uint64
+	Synced  atomic.Uint64 // records made durable
+}
+
+// Log is the write-ahead log.
+type Log struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	records  []Record // records appended but possibly not yet flushed
+	flushed  []Record // records already flushed (retained unless DropAfterFlush)
+	nextLSN  LSN
+	flushLSN LSN // highest LSN known durable
+	closed   bool
+	flushing bool
+
+	stats Stats
+}
+
+// New creates a write-ahead log.
+func New(cfg Config) *Log {
+	l := &Log{cfg: cfg, nextLSN: 1}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Append adds a record to the log buffer and returns its LSN. The record is
+// not durable until Flush (directly or via group commit) covers its LSN.
+func (l *Log) Append(rec Record) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: log closed")
+	}
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	l.records = append(l.records, rec)
+	l.stats.Appends.Add(1)
+	return rec.LSN, nil
+}
+
+// DurableLSN returns the highest LSN known to be durable.
+func (l *Log) DurableLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLSN
+}
+
+// Flush makes every record with LSN <= upTo durable and returns once it is.
+// Concurrent callers are batched into a single physical flush (group
+// commit): only one goroutine performs the flush while the others wait for
+// the flushed LSN to advance past their target.
+func (l *Log) Flush(upTo LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.flushLSN < upTo {
+		if l.closed {
+			return errors.New("wal: log closed")
+		}
+		if l.flushing {
+			// Another goroutine is flushing; wait for it and re-check.
+			l.cond.Wait()
+			continue
+		}
+		l.flushing = true
+		// Snapshot everything appended so far: the whole group commits together.
+		batch := l.records
+		l.records = nil
+		target := l.nextLSN - 1
+		window := l.cfg.GroupCommitWindow
+		l.mu.Unlock()
+
+		if window > 0 {
+			time.Sleep(window)
+		}
+		var err error
+		if l.cfg.Sink != nil {
+			for _, r := range batch {
+				if _, werr := l.cfg.Sink.Write(r.Encode()); werr != nil {
+					err = werr
+					break
+				}
+			}
+		}
+		if l.cfg.FlushDelay > 0 {
+			time.Sleep(l.cfg.FlushDelay)
+		}
+
+		l.mu.Lock()
+		// Records appended during the window are NOT covered by this flush;
+		// they were snapshotted only if appended before the snapshot.
+		if !l.cfg.DropAfterFlush {
+			l.flushed = append(l.flushed, batch...)
+		}
+		if err == nil {
+			l.flushLSN = target
+			l.stats.Synced.Add(uint64(len(batch)))
+		}
+		l.stats.Flushes.Add(1)
+		l.flushing = false
+		l.cond.Broadcast()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Records returns a copy of every record that has been flushed, in LSN
+// order, for recovery and tests. Records still in the append buffer are not
+// included.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.flushed))
+	copy(out, l.flushed)
+	return out
+}
+
+// PendingRecords returns the number of appended-but-unflushed records.
+func (l *Log) PendingRecords() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// StatsSnapshot returns a copy of the log counters.
+func (l *Log) StatsSnapshot() (appends, flushes, synced uint64) {
+	return l.stats.Appends.Load(), l.stats.Flushes.Load(), l.stats.Synced.Load()
+}
+
+// Close flushes any pending records and shuts the log down.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	last := l.nextLSN - 1
+	l.mu.Unlock()
+	if err := l.Flush(last); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return nil
+}

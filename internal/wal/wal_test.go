@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		XID:    42,
+		Type:   RecUpdate,
+		Table:  7,
+		Page:   123456,
+		Slot:   3,
+		Before: []byte("old value"),
+		After:  []byte("new value"),
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	rec := sampleRecord()
+	rec.LSN = 99
+	data := rec.Encode()
+	got, n, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(data) {
+		t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+	}
+	if !reflect.DeepEqual(rec, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", rec, got)
+	}
+}
+
+func TestRecordDecodeFromStream(t *testing.T) {
+	var buf bytes.Buffer
+	recs := []Record{
+		{LSN: 1, XID: 1, Type: RecBegin},
+		{LSN: 2, XID: 1, Type: RecInsert, Table: 3, Page: 4, Slot: 5, After: []byte("x")},
+		{LSN: 3, XID: 1, Type: RecCommit},
+	}
+	for _, r := range recs {
+		buf.Write(r.Encode())
+	}
+	reader := bytes.NewReader(buf.Bytes())
+	for i := range recs {
+		got, err := DecodeFrom(reader)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, recs[i]) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got, recs[i])
+		}
+	}
+	if _, err := DecodeFrom(reader); err == nil {
+		t.Fatal("expected EOF-ish error at end of stream")
+	}
+}
+
+func TestRecordDecodeCorruption(t *testing.T) {
+	data := sampleRecord().Encode()
+	for cut := 1; cut < len(data)-1; cut++ {
+		if _, _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRecordEncodeDecodeQuick(t *testing.T) {
+	f := func(xid uint64, table uint32, pageNo uint64, slot uint32, before, after []byte) bool {
+		rec := Record{XID: xid, Type: RecUpdate, Table: table, Page: pageNo, Slot: slot, Before: before, After: after}
+		if len(before) == 0 {
+			rec.Before = nil
+		}
+		if len(after) == 0 {
+			rec.After = nil
+		}
+		got, n, err := Decode(rec.Encode())
+		return err == nil && n == len(rec.Encode()) && reflect.DeepEqual(rec, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecTypeStrings(t *testing.T) {
+	for _, rt := range []RecType{RecBegin, RecInsert, RecUpdate, RecDelete, RecCommit, RecAbort} {
+		if rt.String() == "" {
+			t.Fatalf("empty name for %d", rt)
+		}
+	}
+	if RecType(99).String() == "" {
+		t.Fatal("unknown type should still render")
+	}
+}
+
+func TestAppendAssignsMonotonicLSNs(t *testing.T) {
+	l := New(Config{})
+	var last LSN
+	for i := 0; i < 10; i++ {
+		lsn, err := l.Append(Record{XID: 1, Type: RecInsert})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn <= last {
+			t.Fatalf("LSN %d not greater than previous %d", lsn, last)
+		}
+		last = lsn
+	}
+	if l.PendingRecords() != 10 {
+		t.Fatalf("pending = %d, want 10", l.PendingRecords())
+	}
+}
+
+func TestFlushMakesRecordsDurable(t *testing.T) {
+	var sink bytes.Buffer
+	l := New(Config{Sink: &sink})
+	lsn, _ := l.Append(Record{XID: 1, Type: RecBegin})
+	lsn2, _ := l.Append(Record{XID: 1, Type: RecCommit})
+	if l.DurableLSN() != 0 {
+		t.Fatal("nothing should be durable before flush")
+	}
+	if err := l.Flush(lsn2); err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableLSN() < lsn2 || l.DurableLSN() < lsn {
+		t.Fatalf("durable LSN = %d, want >= %d", l.DurableLSN(), lsn2)
+	}
+	if got := len(l.Records()); got != 2 {
+		t.Fatalf("flushed records = %d, want 2", got)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("sink received no bytes")
+	}
+	// The sink content must decode back to the same records.
+	reader := bytes.NewReader(sink.Bytes())
+	r1, err := DecodeFrom(reader)
+	if err != nil || r1.Type != RecBegin {
+		t.Fatalf("sink record 1: %+v, %v", r1, err)
+	}
+	r2, err := DecodeFrom(reader)
+	if err != nil || r2.Type != RecCommit {
+		t.Fatalf("sink record 2: %+v, %v", r2, err)
+	}
+}
+
+func TestFlushIdempotentAndOrdered(t *testing.T) {
+	l := New(Config{})
+	lsn1, _ := l.Append(Record{XID: 1, Type: RecBegin})
+	if err := l.Flush(lsn1); err != nil {
+		t.Fatal(err)
+	}
+	// Flushing an already-durable LSN returns immediately.
+	if err := l.Flush(lsn1); err != nil {
+		t.Fatal(err)
+	}
+	lsn2, _ := l.Append(Record{XID: 2, Type: RecBegin})
+	if err := l.Flush(lsn2); err != nil {
+		t.Fatal(err)
+	}
+	recs := l.Records()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN <= recs[i-1].LSN {
+			t.Fatal("flushed records out of LSN order")
+		}
+	}
+}
+
+func TestGroupCommitBatchesConcurrentCommitters(t *testing.T) {
+	l := New(Config{FlushDelay: 2 * time.Millisecond, GroupCommitWindow: time.Millisecond})
+	const committers = 16
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(xid uint64) {
+			defer wg.Done()
+			lsn, err := l.Append(Record{XID: xid, Type: RecCommit})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := l.Flush(lsn); err != nil {
+				t.Error(err)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	_, flushes, synced := l.StatsSnapshot()
+	if synced != committers {
+		t.Fatalf("synced = %d, want %d", synced, committers)
+	}
+	if flushes >= committers {
+		t.Fatalf("group commit did not batch: %d flushes for %d committers", flushes, committers)
+	}
+	// Without batching this would take committers * (delay+window) ≈ 48ms.
+	if elapsed > 40*time.Millisecond {
+		t.Logf("warning: group commit slower than expected: %v (%d flushes)", elapsed, flushes)
+	}
+}
+
+func TestCloseFlushesAndRejectsFurtherAppends(t *testing.T) {
+	l := New(Config{})
+	l.Append(Record{XID: 1, Type: RecBegin})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if l.PendingRecords() != 0 {
+		t.Fatal("Close did not flush pending records")
+	}
+	if _, err := l.Append(Record{XID: 2, Type: RecBegin}); err == nil {
+		t.Fatal("append after close accepted")
+	}
+	if err := l.Flush(100); err == nil {
+		t.Fatal("flush beyond durable LSN after close should fail")
+	}
+}
+
+func TestDropAfterFlush(t *testing.T) {
+	l := New(Config{DropAfterFlush: true})
+	lsn, _ := l.Append(Record{XID: 1, Type: RecBegin})
+	if err := l.Flush(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records()) != 0 {
+		t.Fatal("DropAfterFlush retained records in memory")
+	}
+}
+
+func TestErrCorruptIsSentinel(t *testing.T) {
+	_, _, err := Decode([]byte{0x05, 0x01})
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

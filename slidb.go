@@ -1,0 +1,115 @@
+// Package slidb is an embedded transactional storage manager written in pure
+// Go, built as a faithful reproduction of the system described in
+// "Improving OLTP Scalability using Speculative Lock Inheritance"
+// (Johnson, Pandis & Ailamaki, VLDB 2009).
+//
+// The engine provides hierarchical two-phase locking (database → table →
+// page → record), a write-ahead log with group commit, a buffer pool with
+// optional simulated I/O latency, heap files, B+tree indexes, and a pool of
+// agent threads executing transactions — plus the paper's contribution,
+// Speculative Lock Inheritance (SLI): hot share-mode locks are passed
+// directly from a committing transaction to the next transaction on the same
+// agent thread, bypassing the centralized lock manager and removing it from
+// the critical path of short transactions.
+//
+// # Quick start
+//
+//	db := slidb.Open(slidb.Config{Agents: 8, SLI: true})
+//	defer db.Close()
+//
+//	schema := slidb.MustSchema(
+//		slidb.Column{Name: "id", Type: slidb.TypeInt},
+//		slidb.Column{Name: "balance", Type: slidb.TypeFloat},
+//	)
+//	db.CreateTable("accounts", schema, []string{"id"})
+//
+//	err := db.Exec(func(tx *slidb.Tx) error {
+//		return tx.Insert("accounts", slidb.Row{slidb.Int(1), slidb.Float(100)})
+//	})
+//
+// See the examples directory for complete programs and cmd/slibench for the
+// benchmark harness that regenerates the paper's figures.
+package slidb
+
+import (
+	"slidb/internal/core"
+	"slidb/internal/lockmgr"
+	"slidb/internal/record"
+)
+
+// Engine is the storage manager. Create one with Open.
+type Engine = core.Engine
+
+// Config configures an Engine; the zero value is a usable single-threaded,
+// SLI-off, in-memory configuration.
+type Config = core.Config
+
+// Tx is a transaction handle passed to the function given to Engine.Exec.
+type Tx = core.Tx
+
+// Row is one tuple of column values.
+type Row = record.Row
+
+// Value is a single dynamically typed column value.
+type Value = record.Value
+
+// Column describes one column of a table schema.
+type Column = record.Column
+
+// Schema describes the columns of a table.
+type Schema = record.Schema
+
+// Type is a column type.
+type Type = record.Type
+
+// LockStats is a snapshot of the lock manager's counters (acquisitions by
+// level, hot/heritable classification, and SLI outcomes), as returned by
+// Engine.LockStats.
+type LockStats = lockmgr.StatsSnapshot
+
+// Column types.
+const (
+	TypeInt    = record.TypeInt
+	TypeFloat  = record.TypeFloat
+	TypeString = record.TypeString
+)
+
+// Lock hierarchy levels, used with Config.SLIMinLevel.
+const (
+	LevelDatabase = lockmgr.LevelDatabase
+	LevelTable    = lockmgr.LevelTable
+	LevelPage     = lockmgr.LevelPage
+	LevelRecord   = lockmgr.LevelRecord
+)
+
+// Errors surfaced by the engine.
+var (
+	// ErrNotFound is returned by lookups and updates of missing rows.
+	ErrNotFound = core.ErrNotFound
+	// ErrDuplicateKey is returned when an insert violates a unique key.
+	ErrDuplicateKey = core.ErrDuplicateKey
+	// ErrDeadlock is returned when a transaction is chosen as a deadlock
+	// victim and its retries are exhausted.
+	ErrDeadlock = lockmgr.ErrDeadlock
+	// Abort lets a transaction body abort without signalling an unexpected
+	// failure.
+	Abort = core.Abort
+)
+
+// Open creates a new engine.
+func Open(cfg Config) *Engine { return core.Open(cfg) }
+
+// Int builds an integer value.
+func Int(v int64) Value { return record.Int(v) }
+
+// Float builds a floating-point value.
+func Float(v float64) Value { return record.Float(v) }
+
+// String builds a string value.
+func String(v string) Value { return record.String(v) }
+
+// NewSchema builds a schema from columns, validating names and types.
+func NewSchema(cols ...Column) (*Schema, error) { return record.NewSchema(cols...) }
+
+// MustSchema is NewSchema that panics on error, for statically known schemas.
+func MustSchema(cols ...Column) *Schema { return record.MustSchema(cols...) }

@@ -1,0 +1,160 @@
+package slidb_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"slidb"
+)
+
+// TestPublicAPIEndToEnd exercises the public API exactly as the README's
+// quickstart does: open, create schema, insert, transfer, read back, and
+// inspect statistics — once with SLI off and once with it on.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	for _, sli := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sli=%v", sli), func(t *testing.T) {
+			db := slidb.Open(slidb.Config{Agents: 4, SLI: sli})
+			defer db.Close()
+
+			schema := slidb.MustSchema(
+				slidb.Column{Name: "id", Type: slidb.TypeInt},
+				slidb.Column{Name: "name", Type: slidb.TypeString},
+				slidb.Column{Name: "balance", Type: slidb.TypeFloat},
+			)
+			if err := db.CreateTable("accounts", schema, []string{"id"}); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.CreateIndex("accounts_by_name", "accounts", []string{"name"}, false); err != nil {
+				t.Fatal(err)
+			}
+
+			if err := db.Exec(func(tx *slidb.Tx) error {
+				for i := 1; i <= 10; i++ {
+					row := slidb.Row{slidb.Int(int64(i)), slidb.String(fmt.Sprintf("user-%d", i)), slidb.Float(100)}
+					if err := tx.Insert("accounts", row); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Concurrent transfers.
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						from := int64(1 + (w+i)%10)
+						to := int64(1 + (w+i+3)%10)
+						if from == to {
+							continue
+						}
+						err := db.Exec(func(tx *slidb.Tx) error {
+							lo, hi := from, to
+							if lo > hi {
+								lo, hi = hi, lo
+							}
+							for _, id := range []int64{lo, hi} {
+								delta := 5.0
+								if id == from {
+									delta = -5.0
+								}
+								if err := tx.Update("accounts", []slidb.Value{slidb.Int(id)}, func(r slidb.Row) (slidb.Row, error) {
+									r[2] = slidb.Float(r[2].AsFloat() + delta)
+									return r, nil
+								}); err != nil {
+									return err
+								}
+							}
+							return nil
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			// Conservation + index lookups through the public API.
+			if err := db.Exec(func(tx *slidb.Tx) error {
+				total := 0.0
+				if err := tx.ScanTable("accounts", func(r slidb.Row) bool {
+					total += r[2].AsFloat()
+					return true
+				}); err != nil {
+					return err
+				}
+				if total != 1000 {
+					return fmt.Errorf("total balance %v, want 1000", total)
+				}
+				rows, err := tx.LookupIndex("accounts_by_name", slidb.String("user-3"))
+				if err != nil {
+					return err
+				}
+				if len(rows) != 1 || rows[0][0].AsInt() != 3 {
+					return fmt.Errorf("index lookup returned %v", rows)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			// Error surface: duplicate key.
+			err := db.Exec(func(tx *slidb.Tx) error {
+				return tx.Insert("accounts", slidb.Row{slidb.Int(1), slidb.String("dup"), slidb.Float(0)})
+			})
+			if !errors.Is(err, slidb.ErrDuplicateKey) {
+				t.Fatalf("err = %v, want ErrDuplicateKey", err)
+			}
+
+			// Application-controlled abort.
+			err = db.Exec(func(tx *slidb.Tx) error {
+				if err := tx.Delete("accounts", slidb.Int(5)); err != nil {
+					return err
+				}
+				return slidb.Abort
+			})
+			if !errors.Is(err, slidb.Abort) {
+				t.Fatalf("err = %v, want Abort", err)
+			}
+			if err := db.Exec(func(tx *slidb.Tx) error {
+				if _, found, err := tx.Get("accounts", slidb.Int(5)); err != nil || !found {
+					return fmt.Errorf("aborted delete leaked (found=%v err=%v)", found, err)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+
+			stats := db.LockStats()
+			if stats.TotalAcquires() == 0 || stats.Transactions == 0 {
+				t.Fatal("lock statistics empty")
+			}
+			if sli != db.SLIEnabled() {
+				t.Fatal("SLIEnabled does not match configuration")
+			}
+		})
+	}
+}
+
+// TestLockHierarchyLevelsExported makes sure the re-exported hierarchy
+// levels are usable in Config.
+func TestLockHierarchyLevelsExported(t *testing.T) {
+	db := slidb.Open(slidb.Config{SLI: true, SLIMinLevel: slidb.LevelTable, Agents: 1})
+	defer db.Close()
+	if !db.SLIEnabled() {
+		t.Fatal("SLI should be enabled")
+	}
+	_ = []slidb.Type{slidb.TypeInt, slidb.TypeFloat, slidb.TypeString}
+	_ = []any{slidb.LevelDatabase, slidb.LevelPage, slidb.LevelRecord}
+	if errors.Is(slidb.ErrNotFound, slidb.ErrDeadlock) {
+		t.Fatal("sentinel errors must be distinct")
+	}
+}
