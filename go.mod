@@ -1,0 +1,3 @@
+module slidb
+
+go 1.24

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"slidb/internal/catalog"
+	"slidb/internal/heap"
+	"slidb/internal/record"
+	"slidb/internal/recovery"
+	"slidb/internal/wal"
+)
+
+// ErrNotDurable is returned by durability operations on engines opened
+// without a data directory.
+var ErrNotDurable = errors.New("core: engine has no data directory (opened with Open, not OpenAt)")
+
+// RecoveryStats describes the restart work OpenAt performed.
+type RecoveryStats struct {
+	// CheckpointLSN is the LSN of the checkpoint the restart started from
+	// (0 when the directory had no checkpoint).
+	CheckpointLSN uint64
+	// TablesRestored / RowsRestored count the checkpoint image.
+	TablesRestored int
+	RowsRestored   int
+	// LogRecordsScanned is the size of the log tail analyzed.
+	LogRecordsScanned int
+	// Winners and Losers count the transactions the analysis pass
+	// classified by the durability of their commit record.
+	Winners int
+	Losers  int
+	// RecordsRedone counts winner data records replayed; RecordsDiscarded
+	// counts loser data records skipped.
+	RecordsRedone    int
+	RecordsDiscarded int
+	// DDLReplayed counts CREATE TABLE / CREATE INDEX records replayed.
+	DDLReplayed int
+}
+
+// RecoveryStats returns the restart statistics recorded by OpenAt; the zero
+// value for engines created with Open.
+func (e *Engine) RecoveryStats() RecoveryStats { return e.recStats }
+
+// DataDir returns the engine's data directory ("" for volatile engines).
+func (e *Engine) DataDir() string { return e.cfg.Dir }
+
+// OpenAt opens a disk-backed engine rooted at dir, creating the directory on
+// first use and running crash recovery over whatever a previous incarnation
+// left behind: the most recent checkpoint is restored, then the durable log
+// tail is analyzed (winners vs. losers) and the winners' effects are redone.
+// Transactions whose commit record never reached disk — in flight at the
+// crash, or aborted — leave no trace in the recovered state.
+func OpenAt(dir string, cfg Config) (*Engine, error) {
+	if dir == "" {
+		return nil, errors.New("core: OpenAt requires a data directory")
+	}
+	cfg.Dir = dir
+	cfg = cfg.withDefaults()
+
+	snap, haveCkpt, err := recovery.ReadCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := wal.OpenSegments(dir, cfg.SegmentBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	var from wal.LSN = 1
+	if haveCkpt {
+		from = snap.LSN + 1
+	}
+	iter := recovery.Iterator(func(fn func(wal.Record) error) error {
+		return segs.Iterate(from, fn)
+	})
+	an, err := recovery.Analyze(iter)
+	if err != nil {
+		segs.Close()
+		return nil, err
+	}
+
+	startLSN := segs.MaxLSN() + 1
+	if haveCkpt && snap.LSN >= segs.MaxLSN() {
+		startLSN = snap.LSN + 1
+	}
+	e := newEngine(cfg, segs, startLSN)
+	if haveCkpt {
+		if err := e.restoreSnapshot(snap); err != nil {
+			segs.Close()
+			return nil, err
+		}
+		e.recStats.CheckpointLSN = uint64(snap.LSN)
+		e.recStats.TablesRestored = len(snap.Tables)
+		for _, t := range snap.Tables {
+			e.recStats.RowsRestored += len(t.Rows)
+		}
+		if snap.NextXID > e.nextXID.Load() {
+			e.nextXID.Store(snap.NextXID)
+		}
+	}
+	redo, err := recovery.Redo(iter, an, engineApplier{e})
+	if err != nil {
+		segs.Close()
+		return nil, err
+	}
+	if an.MaxXID > e.nextXID.Load() {
+		// Resume XID allocation above every XID in the log tail, so a new
+		// transaction can never share an XID with a stale loser record.
+		e.nextXID.Store(an.MaxXID)
+	}
+	e.recStats.LogRecordsScanned = an.Scanned
+	e.recStats.Winners = len(an.Winners)
+	e.recStats.Losers = len(an.Losers)
+	e.recStats.RecordsRedone = redo.Redone
+	e.recStats.RecordsDiscarded = redo.SkippedLoser
+	e.recStats.DDLReplayed = redo.DDL
+
+	e.SetConcurrency(cfg.Agents)
+	return e, nil
+}
+
+// restoreSnapshot loads a checkpoint image: catalog, heap rows and indexes.
+func (e *Engine) restoreSnapshot(snap *recovery.Snapshot) error {
+	for _, ts := range snap.Tables {
+		tbl, err := e.cat.RestoreTable(ts.Meta)
+		if err != nil {
+			return err
+		}
+		e.installTable(tbl)
+		e.mu.RLock()
+		hf, pk := e.heaps[tbl.ID], e.pkTrees[tbl.ID]
+		e.mu.RUnlock()
+		for _, data := range ts.Rows {
+			row, err := tbl.Schema.Decode(data)
+			if err != nil {
+				return fmt.Errorf("core: checkpoint row of %q: %w", tbl.Name, err)
+			}
+			rid, err := hf.Insert(nil, data)
+			if err != nil {
+				return err
+			}
+			pk.tree.insert(record.EncodeKey(tbl.PrimaryKeyOf(row)...), rid)
+		}
+	}
+	for _, im := range snap.Indexes {
+		ix, err := e.cat.RestoreIndex(im)
+		if err != nil {
+			return err
+		}
+		if err := e.installIndex(ix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// redoRuntime bundles the structures the redo appliers operate on.
+type redoRuntime struct {
+	tbl  *catalog.Table
+	hf   *heap.File
+	pk   *index
+	secs []*index
+}
+
+func (e *Engine) redoRuntime(tableID uint32) (*redoRuntime, error) {
+	tbl, ok := e.cat.TableByID(tableID)
+	if !ok {
+		return nil, fmt.Errorf("core: redo references unknown table %d", tableID)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rt := &redoRuntime{tbl: tbl, hf: e.heaps[tableID], pk: e.pkTrees[tableID]}
+	for _, ix := range e.cat.TableIndexes(tableID) {
+		rt.secs = append(rt.secs, e.secs[ix.Name])
+	}
+	return rt, nil
+}
+
+// engineApplier adapts the engine's heap files and B+trees to the recovery
+// package's redo interface. Redo runs single-threaded before the agent pool
+// starts, so no locks or log appends are taken.
+type engineApplier struct{ e *Engine }
+
+func (a engineApplier) CreateTable(m catalog.TableMeta) error {
+	if _, ok := a.e.cat.TableByID(m.ID); ok {
+		// Already present — restored from the checkpoint; DDL redo is
+		// idempotent because checkpointing and DDL logging can overlap.
+		return nil
+	}
+	tbl, err := a.e.cat.RestoreTable(m)
+	if err != nil {
+		return err
+	}
+	a.e.installTable(tbl)
+	return nil
+}
+
+func (a engineApplier) CreateIndex(m catalog.IndexMeta) error {
+	if _, ok := a.e.cat.Index(m.Name); ok {
+		return nil
+	}
+	ix, err := a.e.cat.RestoreIndex(m)
+	if err != nil {
+		return err
+	}
+	return a.e.installIndex(ix)
+}
+
+func (a engineApplier) Insert(tableID uint32, after []byte) error {
+	rt, err := a.e.redoRuntime(tableID)
+	if err != nil {
+		return err
+	}
+	row, err := rt.tbl.Schema.Decode(after)
+	if err != nil {
+		return err
+	}
+	rid, err := rt.hf.Insert(nil, after)
+	if err != nil {
+		return err
+	}
+	rt.pk.tree.insert(record.EncodeKey(rt.tbl.PrimaryKeyOf(row)...), rid)
+	for _, sec := range rt.secs {
+		sec.tree.insert(indexKey(sec.meta.KeyOf(row), rid, sec.meta.Unique), rid)
+	}
+	return nil
+}
+
+func (a engineApplier) Update(tableID uint32, before, after []byte) error {
+	rt, err := a.e.redoRuntime(tableID)
+	if err != nil {
+		return err
+	}
+	newRow, err := rt.tbl.Schema.Decode(after)
+	if err != nil {
+		return err
+	}
+	rid, ok := rt.pk.tree.get(record.EncodeKey(rt.tbl.PrimaryKeyOf(newRow)...))
+	if !ok {
+		return fmt.Errorf("core: redo update of missing row in table %d", tableID)
+	}
+	if err := rt.hf.Update(nil, rid, after); err != nil {
+		return err
+	}
+	if len(rt.secs) > 0 {
+		oldRow, derr := rt.tbl.Schema.Decode(before)
+		if derr != nil {
+			return derr
+		}
+		for _, sec := range rt.secs {
+			oldKey := indexKey(sec.meta.KeyOf(oldRow), rid, sec.meta.Unique)
+			newKey := indexKey(sec.meta.KeyOf(newRow), rid, sec.meta.Unique)
+			if oldKey == newKey {
+				continue
+			}
+			sec.tree.remove(oldKey)
+			sec.tree.insert(newKey, rid)
+		}
+	}
+	return nil
+}
+
+func (a engineApplier) Delete(tableID uint32, before []byte) error {
+	rt, err := a.e.redoRuntime(tableID)
+	if err != nil {
+		return err
+	}
+	oldRow, err := rt.tbl.Schema.Decode(before)
+	if err != nil {
+		return err
+	}
+	pkKey := record.EncodeKey(rt.tbl.PrimaryKeyOf(oldRow)...)
+	rid, ok := rt.pk.tree.get(pkKey)
+	if !ok {
+		return fmt.Errorf("core: redo delete of missing row in table %d", tableID)
+	}
+	for _, sec := range rt.secs {
+		sec.tree.remove(indexKey(sec.meta.KeyOf(oldRow), rid, sec.meta.Unique))
+	}
+	rt.pk.tree.remove(pkKey)
+	return rt.hf.Delete(nil, rid)
+}
+
+// Checkpoint persists a point-in-time image of the database and truncates
+// the write-ahead log, bounding the work a future restart has to do. It
+// briefly quiesces transaction execution (new transactions wait, in-flight
+// ones drain), forces the log, snapshots the catalog and every table's rows
+// to the checkpoint file, and deletes log segments the snapshot covers.
+// Calling Checkpoint from inside a transaction body deadlocks.
+func (e *Engine) Checkpoint() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.segs == nil {
+		return ErrNotDurable
+	}
+	e.execGate.Lock()
+	defer e.execGate.Unlock()
+
+	if err := e.log.Flush(e.log.LastLSN()); err != nil {
+		return err
+	}
+	snapLSN := e.log.DurableLSN()
+
+	snap := &recovery.Snapshot{LSN: snapLSN, NextXID: e.nextXID.Load()}
+	for _, tbl := range e.cat.Tables() {
+		e.mu.RLock()
+		hf := e.heaps[tbl.ID]
+		e.mu.RUnlock()
+		ts := recovery.TableSnapshot{Meta: catalog.TableMetaOf(tbl)}
+		err := hf.Scan(nil, func(rid heap.RID, rec []byte) bool {
+			ts.Rows = append(ts.Rows, rec)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		snap.Tables = append(snap.Tables, ts)
+		for _, ix := range e.cat.TableIndexes(tbl.ID) {
+			snap.Indexes = append(snap.Indexes, catalog.IndexMetaOf(ix))
+		}
+	}
+	if err := recovery.WriteCheckpoint(e.cfg.Dir, snap); err != nil {
+		return err
+	}
+	return e.segs.Checkpoint(snapLSN)
+}

@@ -62,6 +62,13 @@ type Config struct {
 	// DropLogAfterFlush discards flushed log records instead of retaining
 	// them in memory; enable for long benchmark runs.
 	DropLogAfterFlush bool
+	// Dir is the data directory backing the engine's durability subsystem
+	// (WAL segments and checkpoints). It is set by OpenAt; Open ignores it
+	// and runs fully in memory.
+	Dir string
+	// SegmentBytes is the on-disk WAL segment rotation size for durable
+	// engines; zero uses wal.DefaultSegmentBytes.
+	SegmentBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDeadlockRetries <= 0 {
 		c.MaxDeadlockRetries = 10
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = wal.DefaultSegmentBytes
 	}
 	return c
 }
@@ -83,8 +93,14 @@ type Engine struct {
 	cat  *catalog.Catalog
 	lm   *lockmgr.Manager
 	log  *wal.Log
+	segs *wal.Segments // nil for in-memory (volatile) engines
 	pool *buffer.Pool
 	prof *profiler.Profiler
+
+	// execGate serializes checkpoints against running transactions: every
+	// transaction attempt holds it for read, Checkpoint takes it for write.
+	execGate sync.RWMutex
+	recStats RecoveryStats
 
 	mu      sync.RWMutex
 	heaps   map[uint32]*heap.File
@@ -114,12 +130,23 @@ type worker struct {
 	done  chan struct{}
 }
 
-// Open creates an engine with the given configuration.
+// Open creates an in-memory (volatile) engine with the given configuration.
+// For a disk-backed engine with crash recovery, use OpenAt.
 func Open(cfg Config) *Engine {
-	cfg = cfg.withDefaults()
+	cfg.Dir = ""
+	e := newEngine(cfg.withDefaults(), nil, 0)
+	e.SetConcurrency(e.cfg.Agents)
+	return e
+}
+
+// newEngine builds an engine without starting its agent pool. A non-nil
+// durable sink makes the write-ahead log disk-backed; startLSN (when non-
+// zero) resumes LSN allocation above a recovered log prefix.
+func newEngine(cfg Config, durable *wal.Segments, startLSN wal.LSN) *Engine {
 	e := &Engine{
 		cfg:     cfg,
 		cat:     catalog.New(),
+		segs:    durable,
 		prof:    profiler.New(cfg.Profile),
 		heaps:   make(map[uint32]*heap.File),
 		pkTrees: make(map[uint32]*index),
@@ -132,29 +159,49 @@ func Open(cfg Config) *Engine {
 		SLIMinLevel:     cfg.SLIMinLevel,
 		LockTimeout:     cfg.LockTimeout,
 	})
+	var sink wal.DurableSink
+	dropAfterFlush := cfg.DropLogAfterFlush
+	if durable != nil {
+		sink = durable
+		// The disk holds the records; retaining them in memory as well would
+		// grow without bound.
+		dropAfterFlush = true
+	}
 	e.log = wal.New(wal.Config{
 		FlushDelay:        cfg.LogFlushDelay,
 		GroupCommitWindow: cfg.GroupCommitWindow,
-		DropAfterFlush:    cfg.DropLogAfterFlush,
+		DropAfterFlush:    dropAfterFlush,
+		Durable:           sink,
+		StartLSN:          startLSN,
 	})
 	e.pool = buffer.NewPool(buffer.NewMemStore(), buffer.Config{
 		Frames:  cfg.BufferFrames,
 		IODelay: cfg.IODelay,
 	})
-	e.SetConcurrency(cfg.Agents)
 	return e
 }
 
-// Close stops the agent pool and flushes the log and buffer pool.
+// Close stops the agent pool and flushes the log and buffer pool. For
+// durable engines it also drains the log to its segment files and closes
+// them, so a Close-d engine reopens via OpenAt without any redo work left.
 func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
 	}
 	e.SetConcurrency(0)
-	if err := e.pool.FlushAll(nil); err != nil {
-		return err
+	// Run every teardown step even when an earlier one fails — the segment
+	// files in particular must be synced and closed regardless — and report
+	// the first error.
+	err := e.pool.FlushAll(nil)
+	if lerr := e.log.Close(); err == nil {
+		err = lerr
 	}
-	return e.log.Close()
+	if e.segs != nil {
+		if serr := e.segs.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // Catalog exposes the schema catalog.
@@ -270,6 +317,11 @@ func (e *Engine) runOnAgent(w *worker, fn func(*Tx) error) error {
 }
 
 func (e *Engine) runOnce(w *worker, fn func(*Tx) error) error {
+	// Hold the checkpoint gate for the duration of the attempt: Checkpoint
+	// waits for in-flight transactions and blocks new ones, so its snapshot
+	// is action-consistent.
+	e.execGate.RLock()
+	defer e.execGate.RUnlock()
 	var agent *lockmgr.Agent
 	var prof *profiler.Handle
 	if w != nil {
@@ -317,6 +369,7 @@ type index struct {
 
 // CreateTable creates a table with the given schema and primary key. It must
 // be called before any transaction uses the table; DDL is not transactional.
+// On durable engines the DDL is logged and forced to disk before returning.
 func (e *Engine) CreateTable(name string, schema *record.Schema, primaryKey []string) error {
 	if e.closed.Load() {
 		return ErrClosed
@@ -325,15 +378,33 @@ func (e *Engine) CreateTable(name string, schema *record.Schema, primaryKey []st
 	if err != nil {
 		return err
 	}
+	e.installTable(tbl)
+	if err := e.logDDL(wal.RecCreateTable, catalog.TableMetaOf(tbl).Encode()); err != nil {
+		// The DDL record could not be made durable: undo the in-memory
+		// creation so the failed call leaves no half-created table that a
+		// restart would not know about.
+		e.cat.RemoveTable(tbl.ID)
+		e.mu.Lock()
+		delete(e.heaps, tbl.ID)
+		delete(e.pkTrees, tbl.ID)
+		e.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// installTable wires a catalog table descriptor into the engine's runtime
+// structures (heap file and primary-key tree).
+func (e *Engine) installTable(tbl *catalog.Table) {
 	e.mu.Lock()
 	e.heaps[tbl.ID] = heap.NewFile(tbl.ID, e.pool)
 	e.pkTrees[tbl.ID] = &index{tree: newIndexTree()}
 	e.mu.Unlock()
-	return nil
 }
 
 // CreateIndex creates a secondary index on an existing (empty or populated)
-// table. Existing rows are indexed immediately.
+// table. Existing rows are indexed immediately. On durable engines the DDL
+// is logged and forced to disk before returning.
 func (e *Engine) CreateIndex(name, table string, columns []string, unique bool) error {
 	if e.closed.Load() {
 		return ErrClosed
@@ -342,22 +413,57 @@ func (e *Engine) CreateIndex(name, table string, columns []string, unique bool) 
 	if err != nil {
 		return err
 	}
+	if err := e.installIndex(ix); err == nil {
+		err = e.logDDL(wal.RecCreateIndex, catalog.IndexMetaOf(ix).Encode())
+	}
+	if err != nil {
+		e.cat.RemoveIndex(ix.Name)
+		e.mu.Lock()
+		delete(e.secs, ix.Name)
+		e.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// installIndex builds the runtime B+tree for a catalog index descriptor and
+// backfills it from the table's existing rows.
+func (e *Engine) installIndex(ix *catalog.Index) error {
 	tbl, _ := e.cat.TableByID(ix.TableID)
 	idx := &index{meta: ix, tree: newIndexTree()}
 	e.mu.Lock()
-	e.secs[name] = idx
+	e.secs[ix.Name] = idx
 	hf := e.heaps[ix.TableID]
 	e.mu.Unlock()
-	// Backfill from existing rows.
-	return hf.Scan(nil, func(rid heap.RID, rec []byte) bool {
+	var err error
+	serr := hf.Scan(nil, func(rid heap.RID, rec []byte) bool {
 		row, derr := tbl.Schema.Decode(rec)
 		if derr != nil {
 			err = derr
 			return false
 		}
-		idx.tree.insert(indexKey(ix.KeyOf(row), rid, unique), rid)
+		idx.tree.insert(indexKey(ix.KeyOf(row), rid, ix.Unique), rid)
 		return true
 	})
+	if err == nil {
+		err = serr
+	}
+	return err
+}
+
+// logDDL appends a DDL record and forces it to disk on durable engines; DDL
+// must be durable before data records referencing it can commit. Volatile
+// engines skip DDL logging entirely, matching the original in-memory
+// behavior.
+func (e *Engine) logDDL(typ wal.RecType, meta []byte) error {
+	if e.segs == nil {
+		return nil
+	}
+	lsn, err := e.log.Append(wal.Record{Type: typ, After: meta})
+	if err != nil {
+		return err
+	}
+	return e.log.Flush(lsn)
 }
 
 // table bundle lookups used by Tx.

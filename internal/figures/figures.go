@@ -12,6 +12,7 @@ package figures
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -51,6 +52,11 @@ type Options struct {
 	Workloads []string
 	// Seed seeds workload randomness.
 	Seed int64
+	// DataDir, when non-empty, makes every engine durable (core.OpenAt
+	// rooted at a per-run subdirectory): commits pay a real fsync and the
+	// run leaves a recoverable data directory behind. Empty keeps the
+	// paper's in-memory configuration.
+	DataDir string
 }
 
 // DefaultOptions returns a laptop-scale configuration: small datasets and
@@ -243,7 +249,21 @@ func (o Options) buildEngine(key string, sli bool, agents int) (*core.Engine, wo
 	if benchName != "ndbb" {
 		cfg.IODelay = o.IODelay
 	}
-	e := core.Open(cfg)
+	var e *core.Engine
+	if o.DataDir != "" {
+		// One subdirectory per engine build: figure sweeps open many engines
+		// and each needs its own log.
+		dir, err := os.MkdirTemp(o.DataDir, strings.ReplaceAll(key, "/", "_")+"-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err = core.OpenAt(dir, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		e = core.Open(cfg)
+	}
 	var gen workload.Generator
 	var err error
 	switch benchName {

@@ -1,0 +1,159 @@
+// Package recovery implements ARIES-style restart for the slidb storage
+// manager: an analysis pass over the durable log tail that separates winner
+// transactions (whose commit record reached the log) from losers, and a redo
+// pass that replays the winners' data records — plus non-transactional DDL —
+// against the storage layer, in log order. It also defines the checkpoint
+// file format that bounds how much log the restart has to scan.
+//
+// Redo here is logical: data records carry full before/after images, and the
+// applier locates rows by primary key rather than by the record IDs the
+// original run happened to use. Combined with strict two-phase locking at
+// run time (conflicting writes are ordered by their commit order in the
+// log), replaying the winners' records in LSN order reconstructs exactly the
+// committed state. Losers — transactions with no durable commit record,
+// whether they were in flight or had already aborted — are simply never
+// replayed; undo is therefore unnecessary, which is what lets the engine
+// checkpoint logical snapshots instead of physical pages.
+package recovery
+
+import (
+	"fmt"
+
+	"slidb/internal/catalog"
+	"slidb/internal/wal"
+)
+
+// Iterator scans a durable log tail in LSN order, invoking fn for every
+// record. wal.Segments.Iterate, partially applied with a start LSN, is the
+// production implementation.
+type Iterator func(fn func(wal.Record) error) error
+
+// Analysis is the result of the analysis pass.
+type Analysis struct {
+	// Winners holds the XIDs of transactions whose commit record is durable.
+	Winners map[uint64]struct{}
+	// Losers holds the XIDs of transactions that appear in the log tail but
+	// never durably committed (in-flight at the crash, or aborted).
+	Losers map[uint64]struct{}
+	// MaxLSN is the highest LSN seen in the scan.
+	MaxLSN wal.LSN
+	// MaxXID is the highest transaction ID seen; the engine resumes its XID
+	// allocator above it so stale loser records can never be confused with
+	// records of a new transaction in a later recovery.
+	MaxXID uint64
+	// Scanned counts the log records examined.
+	Scanned int
+}
+
+// Analyze runs the analysis pass over the log tail.
+func Analyze(iter Iterator) (*Analysis, error) {
+	an := &Analysis{
+		Winners: make(map[uint64]struct{}),
+		Losers:  make(map[uint64]struct{}),
+	}
+	err := iter(func(rec wal.Record) error {
+		an.Scanned++
+		if rec.LSN > an.MaxLSN {
+			an.MaxLSN = rec.LSN
+		}
+		if rec.XID > an.MaxXID {
+			an.MaxXID = rec.XID
+		}
+		switch rec.Type {
+		case wal.RecCommit:
+			an.Winners[rec.XID] = struct{}{}
+			delete(an.Losers, rec.XID)
+		case wal.RecCreateTable, wal.RecCreateIndex:
+			// DDL is non-transactional; it belongs to no XID.
+		default:
+			if rec.XID != 0 {
+				if _, won := an.Winners[rec.XID]; !won {
+					an.Losers[rec.XID] = struct{}{}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("recovery: analysis: %w", err)
+	}
+	return an, nil
+}
+
+// Applier receives the redo pass's replay calls. The engine implements it on
+// top of its heap files and B+tree indexes.
+type Applier interface {
+	// CreateTable replays table DDL. It must be idempotent with respect to
+	// tables already present (e.g. restored from a checkpoint).
+	CreateTable(meta catalog.TableMeta) error
+	// CreateIndex replays index DDL, backfilling from rows already replayed.
+	CreateIndex(meta catalog.IndexMeta) error
+	// Insert replays a committed insert; after is the encoded row.
+	Insert(table uint32, after []byte) error
+	// Update replays a committed update; before/after are encoded rows with
+	// an unchanged primary key.
+	Update(table uint32, before, after []byte) error
+	// Delete replays a committed delete; before is the encoded row.
+	Delete(table uint32, before []byte) error
+}
+
+// RedoStats summarizes the redo pass.
+type RedoStats struct {
+	// Redone counts winner data records replayed.
+	Redone int
+	// SkippedLoser counts loser data records discarded.
+	SkippedLoser int
+	// DDL counts CREATE TABLE / CREATE INDEX records replayed.
+	DDL int
+}
+
+// Redo replays the log tail against ap: DDL records unconditionally, data
+// records only for transactions the analysis classified as winners, all in
+// LSN order.
+func Redo(iter Iterator, an *Analysis, ap Applier) (RedoStats, error) {
+	var st RedoStats
+	err := iter(func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecCreateTable:
+			meta, err := catalog.DecodeTableMeta(rec.After)
+			if err != nil {
+				return fmt.Errorf("LSN %d: %w", rec.LSN, err)
+			}
+			st.DDL++
+			return ap.CreateTable(meta)
+		case wal.RecCreateIndex:
+			meta, err := catalog.DecodeIndexMeta(rec.After)
+			if err != nil {
+				return fmt.Errorf("LSN %d: %w", rec.LSN, err)
+			}
+			st.DDL++
+			return ap.CreateIndex(meta)
+		case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
+			if _, won := an.Winners[rec.XID]; !won {
+				st.SkippedLoser++
+				return nil
+			}
+			st.Redone++
+			var err error
+			switch rec.Type {
+			case wal.RecInsert:
+				err = ap.Insert(rec.Table, rec.After)
+			case wal.RecUpdate:
+				err = ap.Update(rec.Table, rec.Before, rec.After)
+			case wal.RecDelete:
+				err = ap.Delete(rec.Table, rec.Before)
+			}
+			if err != nil {
+				return fmt.Errorf("LSN %d (%v, xid %d): %w", rec.LSN, rec.Type, rec.XID, err)
+			}
+			return nil
+		default:
+			// BEGIN/COMMIT/ABORT carry no redo work.
+			return nil
+		}
+	})
+	if err != nil {
+		return st, fmt.Errorf("recovery: redo: %w", err)
+	}
+	return st, nil
+}

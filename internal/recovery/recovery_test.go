@@ -1,0 +1,207 @@
+package recovery
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"slidb/internal/catalog"
+	"slidb/internal/record"
+	"slidb/internal/wal"
+)
+
+// sliceIter returns an Iterator over an in-memory record slice.
+func sliceIter(recs []wal.Record) Iterator {
+	return func(fn func(wal.Record) error) error {
+		for _, r := range recs {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func TestAnalyzeClassifiesWinnersAndLosers(t *testing.T) {
+	recs := []wal.Record{
+		{LSN: 1, XID: 1, Type: wal.RecBegin},
+		{LSN: 2, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("a")},
+		{LSN: 3, XID: 2, Type: wal.RecBegin},
+		{LSN: 4, XID: 2, Type: wal.RecInsert, Table: 1, After: []byte("b")},
+		{LSN: 5, XID: 1, Type: wal.RecCommit},
+		{LSN: 6, XID: 3, Type: wal.RecBegin}, // in flight at crash
+		{LSN: 7, XID: 3, Type: wal.RecUpdate, Table: 1, Before: []byte("a"), After: []byte("c")},
+		{LSN: 8, XID: 2, Type: wal.RecAbort}, // aborted before crash
+	}
+	an, err := Analyze(sliceIter(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := an.Winners[1]; !ok {
+		t.Error("xid 1 committed but not a winner")
+	}
+	for _, xid := range []uint64{2, 3} {
+		if _, ok := an.Winners[xid]; ok {
+			t.Errorf("xid %d must not be a winner", xid)
+		}
+		if _, ok := an.Losers[xid]; !ok {
+			t.Errorf("xid %d must be a loser", xid)
+		}
+	}
+	if an.MaxLSN != 8 || an.MaxXID != 3 || an.Scanned != len(recs) {
+		t.Errorf("analysis = %+v", an)
+	}
+}
+
+// fakeApplier records replay calls.
+type fakeApplier struct {
+	ops []string
+}
+
+func (f *fakeApplier) CreateTable(m catalog.TableMeta) error {
+	f.ops = append(f.ops, "create-table:"+m.Name)
+	return nil
+}
+func (f *fakeApplier) CreateIndex(m catalog.IndexMeta) error {
+	f.ops = append(f.ops, "create-index:"+m.Name)
+	return nil
+}
+func (f *fakeApplier) Insert(table uint32, after []byte) error {
+	f.ops = append(f.ops, "insert:"+string(after))
+	return nil
+}
+func (f *fakeApplier) Update(table uint32, before, after []byte) error {
+	f.ops = append(f.ops, "update:"+string(before)+"->"+string(after))
+	return nil
+}
+func (f *fakeApplier) Delete(table uint32, before []byte) error {
+	f.ops = append(f.ops, "delete:"+string(before))
+	return nil
+}
+
+func TestRedoReplaysWinnersOnly(t *testing.T) {
+	tblMeta := catalog.TableMeta{
+		ID: 1, Name: "t",
+		Columns:    []record.Column{{Name: "id", Type: record.TypeInt}},
+		PrimaryKey: []string{"id"},
+	}
+	recs := []wal.Record{
+		{LSN: 1, Type: wal.RecCreateTable, After: tblMeta.Encode()},
+		{LSN: 2, XID: 1, Type: wal.RecBegin},
+		{LSN: 3, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("w1")},
+		{LSN: 4, XID: 2, Type: wal.RecInsert, Table: 1, After: []byte("loser")},
+		{LSN: 5, XID: 1, Type: wal.RecUpdate, Table: 1, Before: []byte("w1"), After: []byte("w2")},
+		{LSN: 6, XID: 1, Type: wal.RecCommit},
+		{LSN: 7, XID: 3, Type: wal.RecInsert, Table: 1, After: []byte("w3")},
+		{LSN: 8, XID: 3, Type: wal.RecDelete, Table: 1, Before: []byte("w3")},
+		{LSN: 9, XID: 3, Type: wal.RecCommit},
+	}
+	an, err := Analyze(sliceIter(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := &fakeApplier{}
+	st, err := Redo(sliceIter(recs), an, ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"create-table:t",
+		"insert:w1",
+		"update:w1->w2",
+		"insert:w3",
+		"delete:w3",
+	}
+	if !reflect.DeepEqual(ap.ops, want) {
+		t.Errorf("replayed ops = %v, want %v", ap.ops, want)
+	}
+	if st.Redone != 4 || st.SkippedLoser != 1 || st.DDL != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	// Absent checkpoint reads as "not there", not an error.
+	if _, ok, err := ReadCheckpoint(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+
+	snap := &Snapshot{
+		LSN:     123,
+		NextXID: 456,
+		Tables: []TableSnapshot{
+			{
+				Meta: catalog.TableMeta{
+					ID: 1, Name: "accounts",
+					Columns: []record.Column{
+						{Name: "id", Type: record.TypeInt},
+						{Name: "name", Type: record.TypeString},
+					},
+					PrimaryKey: []string{"id"},
+				},
+				Rows: [][]byte{[]byte("row-one"), []byte("row-two"), {}},
+			},
+			{
+				Meta: catalog.TableMeta{
+					ID: 2, Name: "empty",
+					Columns:    []record.Column{{Name: "k", Type: record.TypeFloat}},
+					PrimaryKey: []string{"k"},
+				},
+			},
+		},
+		Indexes: []catalog.IndexMeta{
+			{Name: "accounts_by_name", TableID: 1, Columns: []string{"name"}, Unique: false},
+		},
+	}
+	if err := WriteCheckpoint(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadCheckpoint(dir)
+	if err != nil || !ok {
+		t.Fatalf("read back: ok=%v err=%v", ok, err)
+	}
+	if got.LSN != snap.LSN || got.NextXID != snap.NextXID {
+		t.Errorf("header: got %d/%d want %d/%d", got.LSN, got.NextXID, snap.LSN, snap.NextXID)
+	}
+	if len(got.Tables) != 2 || got.Tables[0].Meta.Name != "accounts" || len(got.Tables[0].Rows) != 3 {
+		t.Errorf("tables: %+v", got.Tables)
+	}
+	if string(got.Tables[0].Rows[1]) != "row-two" {
+		t.Errorf("row payload corrupted: %q", got.Tables[0].Rows[1])
+	}
+	if !reflect.DeepEqual(got.Indexes, snap.Indexes) {
+		t.Errorf("indexes: %+v", got.Indexes)
+	}
+
+	// Overwriting is atomic: a second checkpoint replaces the first.
+	snap2 := &Snapshot{LSN: 999, NextXID: 1}
+	if err := WriteCheckpoint(dir, snap2); err != nil {
+		t.Fatal(err)
+	}
+	got2, ok, err := ReadCheckpoint(dir)
+	if err != nil || !ok || got2.LSN != 999 {
+		t.Fatalf("second checkpoint: %+v ok=%v err=%v", got2, ok, err)
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, &Snapshot{LSN: 7}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, CheckpointFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xff // flip a payload byte under the CRC
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(dir); err == nil {
+		t.Fatal("corrupt checkpoint read back without error")
+	}
+}

@@ -1,0 +1,368 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// DefaultSegmentBytes is the rotation threshold for on-disk log segments.
+const DefaultSegmentBytes = 4 << 20
+
+// segPrefix/segSuffix frame segment file names: wal-<first LSN, hex>.seg.
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+func segmentName(first LSN) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, uint64(first), segSuffix)
+}
+
+func parseSegmentName(name string) (LSN, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	v, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return LSN(v), true
+}
+
+// segmentInfo describes one on-disk segment file.
+type segmentInfo struct {
+	path  string
+	first LSN // LSN of the first record written to the segment
+}
+
+// Segments is a directory of append-only write-ahead log segment files. It
+// implements DurableSink: records are appended to the current segment, a new
+// segment is started once the current one exceeds the configured size, and
+// Sync (called once per group-commit batch by the Log) forces the current
+// segment to stable storage.
+//
+// Records within and across segments are in strictly increasing, contiguous
+// LSN order, because the Log hands every appended record to its sink in
+// order. Segment files are named by the LSN of their first record, so the
+// set of segments covering a given LSN range can be determined from file
+// names alone.
+type Segments struct {
+	dir      string
+	segBytes int64
+
+	mu      sync.Mutex
+	cur     *os.File
+	curSize int64
+	maxLSN  LSN // highest LSN present in any segment
+	closed  bool
+}
+
+// OpenSegments opens (creating if necessary) the segment directory. Existing
+// segments are scanned to find the highest durable LSN; a torn frame at the
+// tail of the last segment — the signature of a crash mid-write — is
+// truncated away so subsequent appends extend a valid log. segBytes <= 0
+// uses DefaultSegmentBytes.
+func OpenSegments(dir string, segBytes int64) (*Segments, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create segment dir: %w", err)
+	}
+	s := &Segments{dir: dir, segBytes: segBytes}
+	infos, err := s.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	for i, info := range infos {
+		last := i == len(infos)-1
+		valid, maxLSN, serr := scanSegment(info.path)
+		if serr != nil && !last {
+			return nil, fmt.Errorf("wal: segment %s: %w", filepath.Base(info.path), serr)
+		}
+		if maxLSN > s.maxLSN {
+			s.maxLSN = maxLSN
+		}
+		if last {
+			if serr != nil {
+				// Torn tail: drop the partial frame.
+				if terr := os.Truncate(info.path, valid); terr != nil {
+					return nil, fmt.Errorf("wal: truncate torn segment tail: %w", terr)
+				}
+			}
+			f, oerr := os.OpenFile(info.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if oerr != nil {
+				return nil, fmt.Errorf("wal: reopen segment: %w", oerr)
+			}
+			s.cur = f
+			s.curSize = valid
+		}
+	}
+	return s, nil
+}
+
+// listSegments returns the segment files in first-LSN order.
+func (s *Segments) listSegments() ([]segmentInfo, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read segment dir: %w", err)
+	}
+	var infos []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		first, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		infos = append(infos, segmentInfo{path: filepath.Join(s.dir, e.Name()), first: first})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].first < infos[j].first })
+	return infos, nil
+}
+
+// scanSegment decodes every frame in the file, returning the byte offset of
+// the end of the last whole frame and the highest LSN seen. A decode failure
+// (torn or corrupt frame) is reported alongside the prefix that was valid.
+func scanSegment(path string) (validBytes int64, maxLSN LSN, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		rec, n, derr := decodeCounted(r)
+		if derr == io.EOF {
+			return off, maxLSN, nil
+		}
+		if derr != nil {
+			return off, maxLSN, fmt.Errorf("%w at offset %d", ErrCorrupt, off)
+		}
+		off += n
+		if rec.LSN > maxLSN {
+			maxLSN = rec.LSN
+		}
+	}
+}
+
+// WriteRecord appends the encoded record to the current segment, starting a
+// new segment when the current one has reached the rotation size. It is part
+// of the DurableSink interface and is called by the Log with monotonically
+// increasing LSNs.
+func (s *Segments) WriteRecord(rec Record, encoded []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("wal: segments closed")
+	}
+	if s.cur == nil || s.curSize >= s.segBytes {
+		if err := s.rotateLocked(rec.LSN); err != nil {
+			return err
+		}
+	}
+	n, err := s.cur.Write(encoded)
+	s.curSize += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: segment write: %w", err)
+	}
+	if rec.LSN > s.maxLSN {
+		s.maxLSN = rec.LSN
+	}
+	return nil
+}
+
+// rotateLocked closes the current segment (forcing it to disk) and creates a
+// fresh one whose name records first, the LSN of its first record.
+func (s *Segments) rotateLocked(first LSN) error {
+	if s.cur != nil {
+		if err := s.cur.Sync(); err != nil {
+			return fmt.Errorf("wal: sync segment before rotate: %w", err)
+		}
+		if err := s.cur.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+		s.cur = nil
+		s.curSize = 0
+	}
+	path := filepath.Join(s.dir, segmentName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.cur = f
+	s.curSize = 0
+	return nil
+}
+
+// Sync forces the current segment to stable storage (DurableSink).
+func (s *Segments) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil {
+		return nil
+	}
+	if err := s.cur.Sync(); err != nil {
+		return fmt.Errorf("wal: segment sync: %w", err)
+	}
+	return nil
+}
+
+// MaxLSN returns the highest LSN present in the segment files.
+func (s *Segments) MaxLSN() LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxLSN
+}
+
+// SegmentCount returns the number of on-disk segment files.
+func (s *Segments) SegmentCount() int {
+	infos, err := s.listSegments()
+	if err != nil {
+		return 0
+	}
+	return len(infos)
+}
+
+// Iterate replays every record with LSN >= from, in LSN order, stopping at
+// the first torn frame in the final segment (records past a torn frame were
+// never acknowledged as durable). A decode failure in any earlier segment is
+// real corruption and is returned as an error. Iteration stops early if fn
+// returns an error, which Iterate propagates.
+func (s *Segments) Iterate(from LSN, fn func(Record) error) error {
+	infos, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	for i, info := range infos {
+		// Skip segments that end before from: every record in segment i has
+		// an LSN below segment i+1's first.
+		if i+1 < len(infos) && infos[i+1].first <= from {
+			continue
+		}
+		last := i == len(infos)-1
+		if err := iterateSegment(info.path, last, from, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func iterateSegment(path string, last bool, from LSN, fn func(Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		rec, _, derr := decodeCounted(r)
+		if derr == io.EOF {
+			return nil
+		}
+		if derr != nil {
+			if last {
+				// Torn tail from a crash mid-write: the valid prefix is the log.
+				return nil
+			}
+			return fmt.Errorf("wal: segment %s: %w", filepath.Base(path), derr)
+		}
+		if rec.LSN < from {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// Checkpoint marks every record with LSN <= durable as no longer needed: the
+// current segment is sealed (so the next append starts a fresh one) and
+// every segment wholly at or below durable is deleted. Called after a
+// checkpoint whose snapshot covers LSNs up to durable has been persisted.
+func (s *Segments) Checkpoint(durable LSN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur != nil {
+		if err := s.cur.Sync(); err != nil {
+			return fmt.Errorf("wal: sync segment at checkpoint: %w", err)
+		}
+		if err := s.cur.Close(); err != nil {
+			return fmt.Errorf("wal: close segment at checkpoint: %w", err)
+		}
+		s.cur = nil
+		s.curSize = 0
+	}
+	infos, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	for i, info := range infos {
+		// A segment is fully covered by the checkpoint when all its records
+		// are <= durable: either the next segment starts at or below
+		// durable+1, or it is the final segment and nothing above durable
+		// was ever written.
+		covered := false
+		if i+1 < len(infos) {
+			covered = infos[i+1].first <= durable+1
+		} else {
+			covered = s.maxLSN <= durable
+		}
+		if covered {
+			if err := os.Remove(info.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("wal: remove truncated segment: %w", err)
+			}
+		}
+	}
+	return syncDir(s.dir)
+}
+
+// Close syncs and closes the current segment file.
+func (s *Segments) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.cur == nil {
+		return nil
+	}
+	if err := s.cur.Sync(); err != nil {
+		s.cur.Close()
+		return fmt.Errorf("wal: segment sync at close: %w", err)
+	}
+	err := s.cur.Close()
+	s.cur = nil
+	return err
+}
+
+// syncDir fsyncs a directory so that file creations and removals inside it
+// are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: dir sync: %w", err)
+	}
+	return nil
+}

@@ -39,6 +39,13 @@ const (
 	RecCommit
 	// RecAbort marks a transaction abort after its undo completed.
 	RecAbort
+	// RecCreateTable records table DDL (After holds the encoded table
+	// metadata). DDL is non-transactional: XID is 0 and redo applies it
+	// unconditionally.
+	RecCreateTable
+	// RecCreateIndex records secondary-index DDL (After holds the encoded
+	// index metadata).
+	RecCreateIndex
 )
 
 // String returns the record type name.
@@ -56,6 +63,10 @@ func (t RecType) String() string {
 		return "COMMIT"
 	case RecAbort:
 		return "ABORT"
+	case RecCreateTable:
+		return "CREATE-TABLE"
+	case RecCreateIndex:
+		return "CREATE-INDEX"
 	default:
 		return fmt.Sprintf("rectype(%d)", uint8(t))
 	}
@@ -108,6 +119,12 @@ func (r Record) Encode() []byte {
 // ErrCorrupt is returned when a log record cannot be decoded.
 var ErrCorrupt = errors.New("wal: corrupt log record")
 
+// maxFrameBytes bounds a single record frame. Legitimate records are a few
+// page-sized images plus headers — far below this — so any larger length
+// prefix is corruption (e.g. garbage at a torn segment tail) and must not
+// drive an allocation.
+const maxFrameBytes = 1 << 20
+
 // ByteReader is the reader interface required by DecodeFrom; *bufio.Reader
 // and *bytes.Reader both satisfy it.
 type ByteReader interface {
@@ -115,17 +132,59 @@ type ByteReader interface {
 	io.ByteReader
 }
 
-// DecodeFrom reads one framed record from r.
+// DecodeFrom reads one framed record from r. It returns io.EOF only at a
+// clean frame boundary; a partial or oversized frame decodes as ErrCorrupt.
 func DecodeFrom(r ByteReader) (Record, error) {
-	length, err := binary.ReadUvarint(r)
+	rec, _, err := decodeCounted(r)
+	return rec, err
+}
+
+// decodeCounted reads one framed record, also reporting the frame's size in
+// bytes. It is the single streaming decoder for the on-disk format, shared
+// by DecodeFrom and the segment scanner.
+func decodeCounted(r ByteReader) (Record, int64, error) {
+	lengthBytes := 0
+	length, err := readUvarintCounted(r, &lengthBytes)
 	if err != nil {
-		return Record{}, err
+		if err == io.EOF && lengthBytes == 0 {
+			return Record{}, 0, io.EOF
+		}
+		return Record{}, 0, ErrCorrupt
+	}
+	if length > maxFrameBytes {
+		return Record{}, 0, ErrCorrupt
 	}
 	body := make([]byte, length)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Record{}, ErrCorrupt
+		return Record{}, 0, ErrCorrupt
 	}
-	return decodeBody(body)
+	rec, err := decodeBody(body)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, int64(lengthBytes) + int64(length), nil
+}
+
+// readUvarintCounted is binary.ReadUvarint tracking consumed bytes.
+func readUvarintCounted(r io.ByteReader, n *int) (uint64, error) {
+	var x uint64
+	var shift uint
+	for i := 0; i < 10; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		*n++
+		if b < 0x80 {
+			if i == 9 && b > 1 {
+				return 0, ErrCorrupt
+			}
+			return x | uint64(b)<<shift, nil
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, ErrCorrupt
 }
 
 // Decode parses a record from a byte slice produced by Encode and returns
@@ -204,6 +263,20 @@ func decodeBody(body []byte) (Record, error) {
 	return rec, nil
 }
 
+// DurableSink is a stable-storage destination for flushed records. The log
+// writes every record of a group-commit batch with WriteRecord and then calls
+// Sync once per batch — the single physical "force" of the group commit.
+// Records are only counted as durable (and DurableLSN advanced) after Sync
+// returns nil. Segments implements DurableSink on a directory of on-disk
+// segment files.
+type DurableSink interface {
+	// WriteRecord persists the encoded form of rec. encoded is the output of
+	// rec.Encode; it must not be retained after the call returns.
+	WriteRecord(rec Record, encoded []byte) error
+	// Sync forces previously written records to stable storage.
+	Sync() error
+}
+
 // Config configures the log.
 type Config struct {
 	// FlushDelay simulates the latency of forcing the log to stable storage
@@ -214,9 +287,21 @@ type Config struct {
 	// any concurrent requests).
 	GroupCommitWindow time.Duration
 	// Sink, if non-nil, receives the encoded bytes of every record at flush
-	// time (e.g. an os.File). The log also keeps records in memory for
-	// recovery and inspection.
+	// time (e.g. an os.File). It is a best-effort mirror with no durability
+	// contract: a write error is returned from the Flush that observed it
+	// but does not wedge the log or hold back DurableLSN. The log also
+	// keeps records in memory for recovery and inspection.
 	Sink io.Writer
+	// Durable, if non-nil, receives every flushed record followed by one
+	// Sync per group-commit batch; DurableLSN only advances past records the
+	// sink has accepted and synced. A write or sync error wedges the log:
+	// every subsequent Append and Flush fails, because the durable prefix
+	// can no longer grow.
+	Durable DurableSink
+	// StartLSN is the LSN the log starts issuing at, used when reopening a
+	// log whose prefix (LSN < StartLSN) is already durable on disk. Zero
+	// means start at LSN 1.
+	StartLSN LSN
 	// KeepInMemory controls whether flushed records are retained in memory
 	// (needed for Records() and recovery tests). Default true.
 	DropAfterFlush bool
@@ -241,13 +326,18 @@ type Log struct {
 	flushLSN LSN // highest LSN known durable
 	closed   bool
 	flushing bool
+	failed   error // first durable-sink error; wedges the log
 
 	stats Stats
 }
 
 // New creates a write-ahead log.
 func New(cfg Config) *Log {
-	l := &Log{cfg: cfg, nextLSN: 1}
+	start := cfg.StartLSN
+	if start == 0 {
+		start = 1
+	}
+	l := &Log{cfg: cfg, nextLSN: start, flushLSN: start - 1}
 	l.cond = sync.NewCond(&l.mu)
 	return l
 }
@@ -260,6 +350,9 @@ func (l *Log) Append(rec Record) (LSN, error) {
 	if l.closed {
 		return 0, errors.New("wal: log closed")
 	}
+	if l.failed != nil {
+		return 0, l.failed
+	}
 	rec.LSN = l.nextLSN
 	l.nextLSN++
 	l.records = append(l.records, rec)
@@ -267,11 +360,22 @@ func (l *Log) Append(rec Record) (LSN, error) {
 	return rec.LSN, nil
 }
 
-// DurableLSN returns the highest LSN known to be durable.
+// DurableLSN returns the highest LSN known to be durable: every record with
+// an LSN at or below it has been handed to the configured sinks and — when a
+// DurableSink is configured — covered by a successful Sync. Records above it
+// may exist only in the in-memory append buffer and are lost on a crash.
+// The durable LSN advances monotonically, one group-commit batch at a time.
 func (l *Log) DurableLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.flushLSN
+}
+
+// LastLSN returns the highest LSN assigned so far (durable or not).
+func (l *Log) LastLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
 }
 
 // Flush makes every record with LSN <= upTo durable and returns once it is.
@@ -284,6 +388,9 @@ func (l *Log) Flush(upTo LSN) error {
 	for l.flushLSN < upTo {
 		if l.closed {
 			return errors.New("wal: log closed")
+		}
+		if l.failed != nil {
+			return l.failed
 		}
 		if l.flushing {
 			// Another goroutine is flushing; wait for it and re-check.
@@ -301,14 +408,26 @@ func (l *Log) Flush(upTo LSN) error {
 		if window > 0 {
 			time.Sleep(window)
 		}
-		var err error
-		if l.cfg.Sink != nil {
-			for _, r := range batch {
-				if _, werr := l.cfg.Sink.Write(r.Encode()); werr != nil {
-					err = werr
+		var durableErr, sinkErr error
+		for _, r := range batch {
+			enc := r.Encode()
+			if l.cfg.Durable != nil {
+				if werr := l.cfg.Durable.WriteRecord(r, enc); werr != nil {
+					durableErr = werr
 					break
 				}
 			}
+			if l.cfg.Sink != nil && sinkErr == nil {
+				// The Sink is a best-effort mirror: its failure is reported
+				// but does not affect durability or stop the log.
+				if _, werr := l.cfg.Sink.Write(enc); werr != nil {
+					sinkErr = werr
+				}
+			}
+		}
+		if durableErr == nil && l.cfg.Durable != nil {
+			// The single physical force of the group commit.
+			durableErr = l.cfg.Durable.Sync()
 		}
 		if l.cfg.FlushDelay > 0 {
 			time.Sleep(l.cfg.FlushDelay)
@@ -320,15 +439,22 @@ func (l *Log) Flush(upTo LSN) error {
 		if !l.cfg.DropAfterFlush {
 			l.flushed = append(l.flushed, batch...)
 		}
-		if err == nil {
+		if durableErr == nil {
 			l.flushLSN = target
 			l.stats.Synced.Add(uint64(len(batch)))
+		} else {
+			// The durable prefix can no longer grow contiguously: wedge the
+			// log so no later record is ever reported durable past the gap.
+			l.failed = durableErr
 		}
 		l.stats.Flushes.Add(1)
 		l.flushing = false
 		l.cond.Broadcast()
-		if err != nil {
-			return err
+		if durableErr != nil {
+			return durableErr
+		}
+		if sinkErr != nil {
+			return sinkErr
 		}
 	}
 	return nil
@@ -357,17 +483,27 @@ func (l *Log) StatsSnapshot() (appends, flushes, synced uint64) {
 	return l.stats.Appends.Load(), l.stats.Flushes.Load(), l.stats.Synced.Load()
 }
 
-// Close flushes any pending records and shuts the log down.
+// Close drains every pending record to the sinks and shuts the log down.
+// It re-checks for records appended concurrently with the drain, so when
+// Close returns nil the sink has received (and, for a DurableSink, synced)
+// every record ever accepted by Append. Close is idempotent.
 func (l *Log) Close() error {
-	l.mu.Lock()
-	last := l.nextLSN - 1
-	l.mu.Unlock()
-	if err := l.Flush(last); err != nil {
-		return err
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return nil
+		}
+		last := l.nextLSN - 1
+		if l.flushLSN >= last && len(l.records) == 0 && !l.flushing {
+			l.closed = true
+			l.cond.Broadcast()
+			l.mu.Unlock()
+			return nil
+		}
+		l.mu.Unlock()
+		if err := l.Flush(last); err != nil {
+			return err
+		}
 	}
-	l.mu.Lock()
-	l.closed = true
-	l.cond.Broadcast()
-	l.mu.Unlock()
-	return nil
 }

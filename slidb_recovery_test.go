@@ -1,0 +1,368 @@
+package slidb_test
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"slidb"
+)
+
+// accountsSchema and friends model a TPC-B-style bank: branches hold the
+// aggregate balance of their accounts, and every committed transfer appends
+// a history row.
+var (
+	accountsSchema = slidb.MustSchema(
+		slidb.Column{Name: "aid", Type: slidb.TypeInt},
+		slidb.Column{Name: "bid", Type: slidb.TypeInt},
+		slidb.Column{Name: "balance", Type: slidb.TypeInt},
+	)
+	branchesSchema = slidb.MustSchema(
+		slidb.Column{Name: "bid", Type: slidb.TypeInt},
+		slidb.Column{Name: "balance", Type: slidb.TypeInt},
+	)
+	historySchema = slidb.MustSchema(
+		slidb.Column{Name: "hid", Type: slidb.TypeInt},
+		slidb.Column{Name: "aid", Type: slidb.TypeInt},
+		slidb.Column{Name: "delta", Type: slidb.TypeInt},
+	)
+)
+
+func setupBank(t *testing.T, db *slidb.Engine, branches, accounts int) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.CreateTable("accounts", accountsSchema, []string{"aid"}))
+	must(db.CreateTable("branches", branchesSchema, []string{"bid"}))
+	must(db.CreateTable("history", historySchema, []string{"hid"}))
+	must(db.CreateIndex("accounts_by_branch", "accounts", []string{"bid"}, false))
+	must(db.Exec(func(tx *slidb.Tx) error {
+		for b := 0; b < branches; b++ {
+			if err := tx.Insert("branches", slidb.Row{slidb.Int(int64(b)), slidb.Int(0)}); err != nil {
+				return err
+			}
+		}
+		for a := 0; a < accounts; a++ {
+			row := slidb.Row{slidb.Int(int64(a)), slidb.Int(int64(a % branches)), slidb.Int(0)}
+			if err := tx.Insert("accounts", row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+}
+
+// transfer applies one TPC-B-style transaction: adjust an account, its
+// branch, and append a history row. When crashAfterWrites is set the
+// transaction does all its writes and then aborts, making it a loser whose
+// effects must be invisible after recovery.
+func transfer(tx *slidb.Tx, hid, aid, bid, delta int64, crashAfterWrites bool) error {
+	add := func(table string, key slidb.Value) error {
+		return tx.Update(table, []slidb.Value{key}, func(r slidb.Row) (slidb.Row, error) {
+			r[len(r)-1] = slidb.Int(r[len(r)-1].AsInt() + delta)
+			return r, nil
+		})
+	}
+	if err := add("accounts", slidb.Int(aid)); err != nil {
+		return err
+	}
+	if err := add("branches", slidb.Int(bid)); err != nil {
+		return err
+	}
+	if err := tx.Insert("history", slidb.Row{slidb.Int(hid), slidb.Int(aid), slidb.Int(delta)}); err != nil {
+		return err
+	}
+	if crashAfterWrites {
+		return errDeliberateAbort
+	}
+	return nil
+}
+
+var errDeliberateAbort = errors.New("deliberate mid-flight abort")
+
+// bankState reads the recovered database back.
+type bankState struct {
+	accountTotal int64
+	branchTotal  int64
+	history      map[int64]int64 // hid -> delta
+}
+
+func readBank(t *testing.T, db *slidb.Engine) bankState {
+	t.Helper()
+	st := bankState{history: make(map[int64]int64)}
+	err := db.Exec(func(tx *slidb.Tx) error {
+		if err := tx.ScanTable("accounts", func(r slidb.Row) bool {
+			st.accountTotal += r[2].AsInt()
+			return true
+		}); err != nil {
+			return err
+		}
+		if err := tx.ScanTable("branches", func(r slidb.Row) bool {
+			st.branchTotal += r[1].AsInt()
+			return true
+		}); err != nil {
+			return err
+		}
+		return tx.ScanTable("history", func(r slidb.Row) bool {
+			st.history[r[0].AsInt()] = r[2].AsInt()
+			return true
+		})
+	})
+	if err != nil {
+		t.Fatalf("read bank: %v", err)
+	}
+	return st
+}
+
+// TestOpenAtCleanRestart covers the non-crash path: write, Close, reopen.
+func TestOpenAtCleanRestart(t *testing.T) {
+	dir := t.TempDir()
+	db, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupBank(t, db, 2, 10)
+	if err := db.Exec(func(tx *slidb.Tx) error {
+		return transfer(tx, 1, 3, 1, 42, false)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	st := readBank(t, db2)
+	if st.accountTotal != 42 || st.branchTotal != 42 {
+		t.Fatalf("recovered totals = %d/%d, want 42/42", st.accountTotal, st.branchTotal)
+	}
+	if len(st.history) != 1 || st.history[1] != 42 {
+		t.Fatalf("recovered history = %v, want {1:42}", st.history)
+	}
+	if got := db2.RecoveryStats(); got.Winners == 0 {
+		t.Fatalf("expected winners in recovery stats, got %+v", got)
+	}
+	// The secondary index must be rebuilt and queryable.
+	rows, err2 := execLookup(db2, "accounts_by_branch", slidb.Int(1))
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("index lookup returned %d rows, want 5", len(rows))
+	}
+}
+
+func execLookup(db *slidb.Engine, index string, key slidb.Value) ([]slidb.Row, error) {
+	var rows []slidb.Row
+	err := db.Exec(func(tx *slidb.Tx) error {
+		var lerr error
+		rows, lerr = tx.LookupIndex(index, key)
+		return lerr
+	})
+	return rows, err
+}
+
+// TestCrashRecoveryTorture runs a concurrent TPC-B-style workload with
+// deliberate mid-flight aborts and a checkpoint in the middle, "crashes" by
+// abandoning the engine without Close, reopens the directory, and asserts
+// that exactly the committed transactions survived: balances conserved,
+// every acknowledged history row present, no loser row visible.
+func TestCrashRecoveryTorture(t *testing.T) {
+	const (
+		branches   = 4
+		accounts   = 64
+		workers    = 8
+		perWorker  = 150
+		checkpoint = 300 // committed-transfer count that triggers the checkpoint
+	)
+	dir := t.TempDir()
+	db, err := slidb.OpenAt(dir, slidb.Config{Agents: workers, SegmentBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupBank(t, db, branches, accounts)
+
+	var (
+		mu        sync.Mutex
+		committed = make(map[int64]int64) // hid -> delta, acknowledged commits
+		aborted   = make(map[int64]bool)  // hid of deliberate losers
+		ckptOnce  sync.Once
+		ckptErr   error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < perWorker; i++ {
+				hid := int64(w)*1_000_000 + int64(i)
+				aid := rng.Int63n(accounts)
+				bid := aid % branches
+				delta := rng.Int63n(1000) - 500
+				loser := rng.Intn(10) == 0
+				err := db.Exec(func(tx *slidb.Tx) error {
+					return transfer(tx, hid, aid, bid, delta, loser)
+				})
+				mu.Lock()
+				switch {
+				case err == nil && !loser:
+					committed[hid] = delta
+				case loser && errors.Is(err, errDeliberateAbort):
+					aborted[hid] = true
+				case err != nil && !loser:
+					t.Errorf("transfer %d failed: %v", hid, err)
+				}
+				n := len(committed)
+				mu.Unlock()
+				if n >= checkpoint {
+					ckptOnce.Do(func() { ckptErr = db.Checkpoint() })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ckptErr != nil {
+		t.Fatalf("checkpoint: %v", ckptErr)
+	}
+	// CRASH: abandon db without Close. Unflushed log buffer contents and all
+	// in-memory state are lost; only what the WAL and checkpoint captured
+	// survives into the reopened engine.
+	db = nil
+
+	db2, err := slidb.OpenAt(dir, slidb.Config{Agents: 2})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer db2.Close()
+
+	st := readBank(t, db2)
+	var wantTotal int64
+	for _, d := range committed {
+		wantTotal += d
+	}
+	if st.accountTotal != wantTotal {
+		t.Errorf("sum(accounts) = %d, want %d (balance not conserved)", st.accountTotal, wantTotal)
+	}
+	if st.branchTotal != wantTotal {
+		t.Errorf("sum(branches) = %d, want %d (balance not conserved)", st.branchTotal, wantTotal)
+	}
+	for hid, delta := range committed {
+		got, ok := st.history[hid]
+		if !ok {
+			t.Errorf("committed transfer %d missing after recovery", hid)
+		} else if got != delta {
+			t.Errorf("transfer %d recovered delta %d, want %d", hid, got, delta)
+		}
+	}
+	for hid := range st.history {
+		if _, ok := committed[hid]; !ok {
+			t.Errorf("history row %d visible after recovery but never committed (aborted=%v)", hid, aborted[hid])
+		}
+	}
+	stats := db2.RecoveryStats()
+	if stats.CheckpointLSN == 0 {
+		t.Errorf("recovery ignored the checkpoint: %+v", stats)
+	}
+	if stats.Losers == 0 {
+		t.Errorf("expected loser transactions in the log tail: %+v", stats)
+	}
+
+	// The recovered engine must remain fully usable and durable.
+	if err := db2.Exec(func(tx *slidb.Tx) error {
+		return transfer(tx, 9_999_999, 1, 1, 7, false)
+	}); err != nil {
+		t.Fatalf("post-recovery transfer: %v", err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	st3 := readBank(t, db3)
+	if st3.accountTotal != wantTotal+7 {
+		t.Errorf("second restart: sum(accounts) = %d, want %d", st3.accountTotal, wantTotal+7)
+	}
+}
+
+// TestCheckpointTruncatesSegments asserts the operational property the
+// checkpoint exists for: old segments are deleted and the next restart only
+// scans the short tail.
+func TestCheckpointTruncatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	db, err := slidb.OpenAt(dir, slidb.Config{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupBank(t, db, 2, 20)
+	for i := 0; i < 400; i++ {
+		if err := db.Exec(func(tx *slidb.Tx) error {
+			return transfer(tx, int64(i), int64(i%20), int64(i%2), 1, false)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segsBefore) < 3 {
+		t.Fatalf("expected several segments before checkpoint, got %d", len(segsBefore))
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segsAfter) >= len(segsBefore) {
+		t.Fatalf("checkpoint kept %d of %d segments", len(segsAfter), len(segsBefore))
+	}
+	// A few post-checkpoint transactions, then crash without Close.
+	for i := 400; i < 410; i++ {
+		if err := db.Exec(func(tx *slidb.Tx) error {
+			return transfer(tx, int64(i), int64(i%20), int64(i%2), 1, false)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db = nil // crash
+
+	db2, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	stats := db2.RecoveryStats()
+	if stats.CheckpointLSN == 0 {
+		t.Fatalf("restart did not use the checkpoint: %+v", stats)
+	}
+	// 410 transfers ran; only the ~10 after the checkpoint may need redo.
+	if stats.RecordsRedone > 100 {
+		t.Errorf("checkpoint failed to bound redo work: %d records redone (%+v)", stats.RecordsRedone, stats)
+	}
+	st := readBank(t, db2)
+	if st.accountTotal != 410 {
+		t.Errorf("sum(accounts) = %d, want 410", st.accountTotal)
+	}
+	if len(st.history) != 410 {
+		t.Errorf("history has %d rows, want 410", len(st.history))
+	}
+}
+
+// TestCheckpointRequiresDataDir pins the ErrNotDurable contract.
+func TestCheckpointRequiresDataDir(t *testing.T) {
+	db := slidb.Open(slidb.Config{})
+	defer db.Close()
+	if err := db.Checkpoint(); !errors.Is(err, slidb.ErrNotDurable) {
+		t.Fatalf("Checkpoint on volatile engine = %v, want ErrNotDurable", err)
+	}
+}
