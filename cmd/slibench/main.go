@@ -7,13 +7,17 @@
 //	slibench -figure 1                     # lock manager contention vs load
 //	slibench -figure 11 -scale paper       # SLI speedups at paper-like scale
 //	slibench -ablation hot-threshold       # SLI design-choice ablation
+//	slibench -ablation sli-elr             # SLI x Early-Lock-Release grid
 //	slibench -workload ndbb/mix -agents 16 -sli -duration 5s
+//	slibench -workload tpcb/tpcb -sli -elr -async     # scalable commit pipeline
 //	slibench -workload tpcb/tpcb -datadir /tmp/slidb  # durable run (real fsyncs)
 //	slibench -recover /tmp/slidb/tpcb_tpcb-1234       # replay a data directory
+//	slibench -benchout BENCH_quick.json    # baseline vs SLI vs SLI+ELR, JSON artifact
 //	slibench -list                         # show available workloads
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,17 +26,23 @@ import (
 
 	"slidb/internal/core"
 	"slidb/internal/figures"
+	"slidb/internal/profiler"
 	"slidb/internal/record"
 )
 
 func main() {
 	var (
 		figureN    = flag.Int("figure", 0, "paper figure to regenerate (1, 6, 7, 8, 9, 10, 11); 0 = none")
-		ablation   = flag.String("ablation", "", "ablation study to run (hot-threshold, levels, bimodal, roving-hotspot)")
+		ablation   = flag.String("ablation", "", "ablation study to run (hot-threshold, levels, bimodal, roving-hotspot, sli-elr)")
 		wl         = flag.String("workload", "", "single workload to run, e.g. ndbb/mix, tpcb/tpcb, tpcc/Payment")
 		scale      = flag.String("scale", "quick", "dataset/measurement scale: quick, default, or paper")
 		agents     = flag.Int("agents", 0, "agent (worker) count for -workload runs; 0 = scale default")
+		clients    = flag.Int("clients", 0, "closed-loop client goroutines; 0 = one per agent (use > agents to exercise -async pipelining)")
 		sli        = flag.Bool("sli", false, "enable Speculative Lock Inheritance for -workload runs")
+		elr        = flag.Bool("elr", false, "enable Early Lock Release (locks released at commit-record append, not after the fsync)")
+		async      = flag.Bool("async", false, "enable flush pipelining (agents run ahead of the log force, bounded by the pipeline depth)")
+		gcWindow   = flag.Duration("gcwindow", 0, "group-commit window for -workload/-benchout engines")
+		flushDelay = flag.Duration("flushdelay", 0, "simulated log-force latency for -workload/-benchout engines")
 		duration   = flag.Duration("duration", 0, "override measurement duration")
 		warmup     = flag.Duration("warmup", 0, "override warmup duration")
 		list       = flag.Bool("list", false, "list available workloads, figures and ablations")
@@ -40,6 +50,7 @@ func main() {
 		subset     = flag.String("workloads", "", "comma-separated workload keys to restrict per-workload figures to")
 		datadir    = flag.String("datadir", "", "root directory for durable engines: runs open disk-backed engines (real WAL fsyncs) in per-run subdirectories")
 		recoverDir = flag.String("recover", "", "open the given data directory, report crash-recovery statistics and recovered row counts, checkpoint, and exit")
+		benchout   = flag.String("benchout", "", "run TPC-B and TM-1 under baseline / SLI / SLI+ELR and write the results to the given JSON file")
 	)
 	flag.Parse()
 
@@ -76,8 +87,15 @@ func main() {
 		exitOn(os.MkdirAll(*datadir, 0o755))
 		opt.DataDir = *datadir
 	}
+	opt.EarlyLockRelease = *elr
+	opt.AsyncCommit = *async
+	opt.GroupCommitWindow = *gcWindow
+	opt.LogFlushDelay = *flushDelay
+	opt.Clients = *clients
 
 	switch {
+	case *benchout != "":
+		runBench(opt, *agents, *benchout)
 	case *all:
 		for _, n := range []int{1, 6, 7, 8, 9, 10, 11} {
 			emitFigure(n, opt)
@@ -120,24 +138,102 @@ func emitFigure(n int, opt figures.Options) {
 }
 
 func runSingle(wl string, opt figures.Options, agents int, sli bool) {
+	res, lag, err := figures.RunWorkload(wl, opt, sli, agents)
+	exitOn(err)
+	s := res.Breakdown.GroupedShares()
+	ls := res.LockStats
+	fmt.Printf("%s  (sli=%v elr=%v async=%v)\n", wl, sli, opt.EarlyLockRelease, opt.AsyncCommit)
+	fmt.Printf("  throughput        %.1f tps (%d committed, %d failed, %d errors)\n",
+		res.Throughput, res.Committed, res.Failed, res.Errors)
+	fmt.Printf("  avg latency       %v\n", res.AvgLatency.Round(time.Microsecond))
+	fmt.Printf("  breakdown         %v\n", s)
+	fmt.Printf("  sli passed        %d (reclaimed %d, invalidated %d, discarded %d)\n",
+		ls.SLIPassed, ls.SLIReclaimed, ls.SLIInvalidated, ls.SLIDiscarded)
+	fmt.Printf("  elr releases      %d\n", ls.ELRReleases)
+	fmt.Printf("  durable lag       %d records (at measurement end)\n", lag)
+}
+
+// benchConfig is one configuration of the -benchout comparison sweep.
+type benchConfig struct {
+	Name  string
+	SLI   bool
+	ELR   bool
+	Async bool
+}
+
+// benchEntry is one row of the emitted BENCH_*.json artifact, tracking the
+// perf trajectory of the commit pipeline across PRs.
+type benchEntry struct {
+	Workload      string  `json:"workload"`
+	Config        string  `json:"config"`
+	Agents        int     `json:"agents"`
+	TPS           float64 `json:"tps"`
+	AvgLatencyUs  float64 `json:"avg_latency_us"`
+	LogFlushShare float64 `json:"log_flush_share"`
+	LockWaitMs    float64 `json:"lock_wait_ms_total"`
+	SLIPassed     uint64  `json:"sli_passed"`
+	ELRReleases   uint64  `json:"elr_releases"`
+	DurableLag    uint64  `json:"durable_lag"`
+	Errors        uint64  `json:"errors"`
+}
+
+// runBench sweeps TPC-B and the TM-1 (NDBB) mix across the baseline, SLI,
+// and SLI+ELR configurations with a non-zero log-force latency, prints the
+// comparison, and writes the rows as a JSON artifact for CI to archive.
+func runBench(opt figures.Options, agents int, outPath string) {
 	if agents <= 0 {
 		agents = opt.PeakAgents
 	}
-	opt.Workloads = []string{wl}
-	// Reuse the Figure 6/10 machinery for a single workload: it reports both
-	// throughput and the breakdown.
-	var (
-		tbl figures.Table
-		err error
-	)
-	opt.PeakAgents = agents
-	if sli {
-		tbl, err = figures.Figure10(opt)
-	} else {
-		tbl, err = figures.Figure6(opt)
+	// The commit pipeline only matters when forcing the log costs something;
+	// default to a realistic latency unless the caller chose one.
+	if opt.LogFlushDelay == 0 {
+		opt.LogFlushDelay = 500 * time.Microsecond
 	}
+	if opt.GroupCommitWindow == 0 {
+		opt.GroupCommitWindow = 100 * time.Microsecond
+	}
+	if opt.Clients == 0 {
+		// Overcommit clients relative to agents so the sli+elr config can
+		// fill the AsyncCommit pipeline (a blocked client per agent keeps
+		// the in-flight window at one).
+		opt.Clients = 4 * agents
+	}
+	configs := []benchConfig{
+		{Name: "baseline"},
+		{Name: "sli", SLI: true},
+		{Name: "sli+elr", SLI: true, ELR: true, Async: true},
+	}
+	var entries []benchEntry
+	fmt.Printf("%-12s %-10s %12s %14s %12s %12s\n", "workload", "config", "tps", "avg-lat-us", "log-flush-%", "durable-lag")
+	for _, wl := range []string{figures.WLTPCB, figures.WLNDBBMix} {
+		for _, c := range configs {
+			o := opt
+			o.EarlyLockRelease = c.ELR
+			o.AsyncCommit = c.Async
+			res, lag, err := figures.RunWorkload(wl, o, c.SLI, agents)
+			exitOn(err)
+			e := benchEntry{
+				Workload:      wl,
+				Config:        c.Name,
+				Agents:        agents,
+				TPS:           res.Throughput,
+				AvgLatencyUs:  float64(res.AvgLatency.Microseconds()),
+				LogFlushShare: res.Breakdown.GroupedShares().LogFlush,
+				LockWaitMs:    res.Breakdown.Get(profiler.LockWait).Seconds() * 1000,
+				SLIPassed:     res.LockStats.SLIPassed,
+				ELRReleases:   res.LockStats.ELRReleases,
+				DurableLag:    lag,
+				Errors:        res.Errors,
+			}
+			entries = append(entries, e)
+			fmt.Printf("%-12s %-10s %12.1f %14.0f %12.1f %12d\n",
+				e.Workload, e.Config, e.TPS, e.AvgLatencyUs, 100*e.LogFlushShare, e.DurableLag)
+		}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
 	exitOn(err)
-	fmt.Println(tbl)
+	exitOn(os.WriteFile(outPath, append(data, '\n'), 0o644))
+	fmt.Printf("\nwrote %d results to %s\n", len(entries), outPath)
 }
 
 // runRecover opens a data directory left behind by a durable run (cleanly

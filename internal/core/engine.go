@@ -51,6 +51,27 @@ type Config struct {
 	LogFlushDelay time.Duration
 	// GroupCommitWindow batches concurrent commits (see wal.Config).
 	GroupCommitWindow time.Duration
+	// EarlyLockRelease makes a committing transaction release its locks (and
+	// perform SLI inheritance) as soon as its commit record is appended to
+	// the log, instead of holding them across the group-commit fsync. Lock
+	// hold times then exclude the entire flush latency. Safe with the single
+	// totally-ordered log: commits are acknowledged in LSN order, so a
+	// transaction that read ELR-exposed data is never durable before the
+	// transaction that exposed it. Off by default (the paper-faithful
+	// baseline holds locks until the commit is durable).
+	EarlyLockRelease bool
+	// AsyncCommit lets each agent worker start its next transaction while up
+	// to PipelineDepth earlier transactions are still waiting for their
+	// commit records to be forced to disk (flush pipelining). Exec still
+	// blocks its caller until the transaction is durable; only the agent is
+	// freed. It requires EarlyLockRelease: without it a committing
+	// transaction must hold its locks until the force completes, so the
+	// flush happens synchronously and there is nothing to pipeline —
+	// AsyncCommit alone is a no-op.
+	AsyncCommit bool
+	// PipelineDepth bounds the in-flight pre-committed transactions per
+	// worker under AsyncCommit (default 32).
+	PipelineDepth int
 	// Profile enables the per-component time breakdown used by the figure
 	// harness. It adds a small overhead per operation.
 	Profile bool
@@ -77,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDeadlockRetries <= 0 {
 		c.MaxDeadlockRetries = 10
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 32
 	}
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = wal.DefaultSegmentBytes
@@ -110,6 +134,7 @@ type Engine struct {
 	nextXID atomic.Uint64
 
 	jobs      chan job
+	stopping  chan struct{} // closed by Close/SimulateCrash; unblocks Exec senders
 	workersMu sync.Mutex
 	workers   []*worker
 	closed    atomic.Bool
@@ -123,11 +148,30 @@ type job struct {
 	done chan error
 }
 
+// pendingCommit is one pre-committed transaction a worker has handed to its
+// ack pipeline: the WAL's durability ack on one side, the Exec caller's done
+// channel on the other.
+type pendingCommit struct {
+	ack  <-chan error
+	done chan error
+}
+
 type worker struct {
 	agent *lockmgr.Agent
 	prof  *profiler.Handle
 	quit  chan struct{}
 	done  chan struct{}
+
+	// inflight carries pre-committed transactions to the worker's acker
+	// goroutine under AsyncCommit; its capacity is the worker's pipelining
+	// window. nil when pipelining is off.
+	inflight  chan pendingCommit
+	ackerDone chan struct{}
+	// ackProf is the acker goroutine's own profiler handle. The acker runs
+	// concurrently with the worker's next transaction; attributing its
+	// LogFlush waits to w.prof would corrupt runOnce's wall-vs-accounted
+	// TxWork attribution for that transaction.
+	ackProf *profiler.Handle
 }
 
 // Open creates an in-memory (volatile) engine with the given configuration.
@@ -144,14 +188,15 @@ func Open(cfg Config) *Engine {
 // zero) resumes LSN allocation above a recovered log prefix.
 func newEngine(cfg Config, durable *wal.Segments, startLSN wal.LSN) *Engine {
 	e := &Engine{
-		cfg:     cfg,
-		cat:     catalog.New(),
-		segs:    durable,
-		prof:    profiler.New(cfg.Profile),
-		heaps:   make(map[uint32]*heap.File),
-		pkTrees: make(map[uint32]*index),
-		secs:    make(map[string]*index),
-		jobs:    make(chan job),
+		cfg:      cfg,
+		cat:      catalog.New(),
+		segs:     durable,
+		prof:     profiler.New(cfg.Profile),
+		heaps:    make(map[uint32]*heap.File),
+		pkTrees:  make(map[uint32]*index),
+		secs:     make(map[string]*index),
+		jobs:     make(chan job),
+		stopping: make(chan struct{}),
 	}
 	e.lm = lockmgr.New(lockmgr.Config{
 		SLI:             cfg.SLI,
@@ -188,6 +233,7 @@ func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
 	}
+	close(e.stopping)
 	e.SetConcurrency(0)
 	// Run every teardown step even when an earlier one fails — the segment
 	// files in particular must be synced and closed regardless — and report
@@ -225,6 +271,39 @@ func (e *Engine) Committed() uint64 { return e.committed.Load() }
 // Aborted returns the number of aborted transactions (after retries).
 func (e *Engine) Aborted() uint64 { return e.aborted.Load() }
 
+// DurableLag returns the number of log records appended but not yet durable
+// — the depth of the commit pipeline at this instant. It is zero whenever
+// the flush daemon has caught up (always, between bursts) and grows with
+// AsyncCommit under load.
+func (e *Engine) DurableLag() uint64 {
+	last, durable := e.log.LastLSN(), e.log.DurableLSN()
+	if last <= durable {
+		return 0
+	}
+	return uint64(last - durable)
+}
+
+// SimulateCrash abandons the engine the way a machine failure would, for
+// crash-recovery testing: the WAL's append buffer is discarded and its
+// flusher stops without draining, in-flight durability acks fail, the
+// segment files are closed without a final sync, and the agent workers shut
+// down. Effects of transactions whose commit record never reached a
+// completed sync — in particular transactions caught between pre-commit
+// (locks released under EarlyLockRelease) and the flush — are lost; the data
+// directory can then be reopened with OpenAt to exercise recovery rolling
+// them back. On volatile engines it is just an abrupt Close.
+func (e *Engine) SimulateCrash() {
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.stopping)
+	e.log.Crash()
+	if e.segs != nil {
+		e.segs.Crash()
+	}
+	e.SetConcurrency(0)
+}
+
 // SetSLI toggles Speculative Lock Inheritance at runtime.
 func (e *Engine) SetSLI(enabled bool) { e.lm.SetSLI(enabled) }
 
@@ -253,6 +332,14 @@ func (e *Engine) SetConcurrency(n int) {
 			quit:  make(chan struct{}),
 			done:  make(chan struct{}),
 		}
+		// Pipelining needs EarlyLockRelease: without it preCommit flushes
+		// synchronously and never yields an ack to pipeline.
+		if e.cfg.AsyncCommit && e.cfg.EarlyLockRelease {
+			w.inflight = make(chan pendingCommit, e.cfg.PipelineDepth)
+			w.ackerDone = make(chan struct{})
+			w.ackProf = e.prof.NewHandle()
+			go e.ackerLoop(w)
+		}
 		e.workers = append(e.workers, w)
 		go e.workerLoop(w)
 	}
@@ -268,55 +355,155 @@ func (e *Engine) SetConcurrency(n int) {
 	}
 }
 
+// workerLoop is one agent thread. Under AsyncCommit the worker only carries
+// a transaction to its pre-commit (commit record appended, locks released)
+// and hands the durability wait to its acker goroutine, immediately starting
+// the next transaction — flush pipelining. The inflight channel's capacity
+// bounds how many pre-committed transactions a worker may have outstanding;
+// when the window is full the worker blocks here until acks drain.
 func (e *Engine) workerLoop(w *worker) {
-	defer close(w.done)
+	defer func() {
+		if w.inflight != nil {
+			close(w.inflight)
+			<-w.ackerDone
+		}
+		close(w.done)
+	}()
 	for {
 		select {
 		case <-w.quit:
 			return
 		case j := <-e.jobs:
-			j.done <- e.runOnAgent(w, j.fn)
+			ack, err := e.runTxn(w, j.fn)
+			switch {
+			case ack == nil:
+				j.done <- err
+			case w.inflight != nil:
+				w.inflight <- pendingCommit{ack: ack, done: j.done}
+			default:
+				j.done <- e.waitDurable(w.prof, ack)
+			}
 		}
 	}
 }
 
-// Exec runs fn as one transaction. If the engine has agent workers the
-// transaction is queued to the pool (and benefits from SLI); otherwise it
-// runs inline on the calling goroutine. Deadlock victims are retried up to
-// MaxDeadlockRetries times. A non-nil error returned by fn aborts the
-// transaction and is returned to the caller.
+// ackerLoop drains a worker's in-flight pre-committed transactions in
+// pre-commit order, waiting for each commit's durability ack and completing
+// the Exec caller. Progress is guaranteed by the WAL's dedicated flusher:
+// acks resolve without any engine worker having to call Flush.
+func (e *Engine) ackerLoop(w *worker) {
+	defer close(w.ackerDone)
+	for p := range w.inflight {
+		p.done <- e.waitDurable(w.ackProf, p.ack)
+	}
+}
+
+// waitDurable blocks until the WAL acknowledges the commit as durable,
+// attributing the wait to the LogFlush profiler category and settling the
+// committed/aborted counters.
+func (e *Engine) waitDurable(prof *profiler.Handle, ack <-chan error) error {
+	start := time.Now()
+	err := <-ack
+	prof.Add(profiler.LogFlush, time.Since(start))
+	if err == nil {
+		e.committed.Add(1)
+	} else {
+		e.aborted.Add(1)
+	}
+	return err
+}
+
+// Exec runs fn as one transaction and returns once its outcome is decided
+// and durable. If the engine has agent workers the transaction is queued to
+// the pool (and benefits from SLI); otherwise it runs inline on the calling
+// goroutine. Deadlock victims are retried up to MaxDeadlockRetries times. A
+// non-nil error returned by fn aborts the transaction and is returned to the
+// caller. Exec returns ErrClosed — rather than blocking forever — when the
+// engine is closed before a worker picks the transaction up.
 func (e *Engine) Exec(fn func(*Tx) error) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
 	if e.Concurrency() == 0 {
-		return e.runOnAgent(nil, fn)
+		ack, err := e.runTxn(nil, fn)
+		if err != nil {
+			return err
+		}
+		if ack == nil {
+			return nil
+		}
+		return e.waitDurable(nil, ack)
 	}
 	done := make(chan error, 1)
-	e.jobs <- job{fn: fn, done: done}
-	return <-done
+	select {
+	case e.jobs <- job{fn: fn, done: done}:
+		return <-done
+	case <-e.stopping:
+		return ErrClosed
+	}
 }
 
-// runOnAgent executes fn with retries on the given worker (nil for inline).
-func (e *Engine) runOnAgent(w *worker, fn func(*Tx) error) error {
+// ExecAsync runs fn as one transaction and returns a durable-ack future: the
+// channel receives exactly one value — nil once the transaction has
+// committed AND its commit record is durable, or the error that aborted it.
+// Futures are acknowledged in commit (LSN) order, so a resolved future
+// implies every transaction it could have depended on is durable too.
+// ExecAsync never blocks the caller waiting for other transactions; the
+// bounded pipelining window applies to the agent workers instead.
+func (e *Engine) ExecAsync(fn func(*Tx) error) <-chan error {
+	done := make(chan error, 1)
+	if e.closed.Load() {
+		done <- ErrClosed
+		return done
+	}
+	if e.Concurrency() == 0 {
+		ack, err := e.runTxn(nil, fn)
+		if err != nil {
+			done <- err
+		} else if ack == nil {
+			done <- nil
+		} else {
+			go func() { done <- e.waitDurable(nil, ack) }()
+		}
+		return done
+	}
+	go func() {
+		select {
+		case e.jobs <- job{fn: fn, done: done}:
+		case <-e.stopping:
+			done <- ErrClosed
+		}
+	}()
+	return done
+}
+
+// runTxn executes fn with deadlock retries on the given worker (nil for
+// inline). On success it returns the transaction's durability ack channel:
+// nil means the transaction is already fully complete (read-only, or the
+// flush happened synchronously); non-nil means the commit record is appended
+// and locks are released, but the caller must wait for the ack before
+// acknowledging the commit.
+func (e *Engine) runTxn(w *worker, fn func(*Tx) error) (<-chan error, error) {
 	var lastErr error
 	for attempt := 0; attempt <= e.cfg.MaxDeadlockRetries; attempt++ {
-		err := e.runOnce(w, fn)
+		ack, err := e.runOnce(w, fn)
 		if err == nil {
-			e.committed.Add(1)
-			return nil
+			if ack == nil {
+				e.committed.Add(1)
+			}
+			return ack, nil
 		}
 		lastErr = err
 		if !errors.Is(err, lockmgr.ErrDeadlock) && !errors.Is(err, lockmgr.ErrLockTimeout) {
 			e.aborted.Add(1)
-			return err
+			return nil, err
 		}
 	}
 	e.aborted.Add(1)
-	return lastErr
+	return nil, lastErr
 }
 
-func (e *Engine) runOnce(w *worker, fn func(*Tx) error) error {
+func (e *Engine) runOnce(w *worker, fn func(*Tx) error) (<-chan error, error) {
 	// Hold the checkpoint gate for the duration of the attempt: Checkpoint
 	// waits for in-flight transactions and blocks new ones, so its snapshot
 	// is action-consistent.
@@ -336,16 +523,19 @@ func (e *Engine) runOnce(w *worker, fn func(*Tx) error) error {
 		owner: e.lm.NewOwner(agent, prof),
 		prof:  prof,
 	}
+	var ack <-chan error
 	err := fn(tx)
 	if err == nil {
-		err = tx.commit()
+		ack, err = tx.preCommit()
 	} else {
 		tx.abort()
 	}
 
 	// Attribute the transaction-body time not already accounted to a
 	// component as "other work" (TxWork), reproducing the figures' "work
-	// other" category.
+	// other" category. The durable-ack wait (if any) happens after this
+	// window, so under ELR neither lock hold time nor TxWork includes the
+	// flush latency.
 	if prof != nil {
 		wall := time.Since(start)
 		delta := prof.Snapshot().Sub(before)
@@ -357,7 +547,7 @@ func (e *Engine) runOnce(w *worker, fn func(*Tx) error) error {
 			prof.Add(profiler.TxWork, wall-accounted)
 		}
 	}
-	return err
+	return ack, err
 }
 
 // index pairs catalog metadata with its B+tree. Non-unique indexes append

@@ -94,24 +94,51 @@ func (tx *Tx) logAppend(rec wal.Record) error {
 	return nil
 }
 
-// commit makes the transaction durable and releases its locks (applying SLI
-// to eligible locks).
-func (tx *Tx) commit() error {
-	if tx.logged {
-		if err := tx.logAppend(wal.Record{Type: wal.RecCommit}); err != nil {
-			tx.abort()
-			return err
-		}
-		flushStart := time.Now()
-		if err := tx.e.log.Flush(tx.lastLSN); err != nil {
-			tx.abort()
-			return err
-		}
-		tx.prof.Add(profiler.LogContention, time.Since(flushStart))
+// preCommit finishes the transaction up to (but not including) durability.
+// It appends the commit record and releases the transaction's locks,
+// applying SLI to eligible locks. The returned ack channel, when non-nil,
+// resolves once the commit record is durable; the caller (or the worker's
+// pipeline) must wait on it before acknowledging the commit.
+//
+// With Early Lock Release the locks are released as soon as the commit
+// record is appended — before the group-commit fsync — so lock hold times
+// exclude the entire flush latency. This is safe with a single totally
+// ordered log: any transaction that observed this transaction's (pre-
+// committed, not yet durable) writes appends its own commit record at a
+// higher LSN, and the flusher acknowledges commits in LSN order, so a
+// dependent transaction is never reported durable before its dependency.
+// After a crash inside that window, recovery classifies the transaction as
+// a loser (no durable commit record) and none of its effects survive.
+//
+// Without ELR the paper-faithful baseline is preserved: the transaction
+// blocks on the flush while still holding every lock, and only then
+// releases them.
+func (tx *Tx) preCommit() (<-chan error, error) {
+	if !tx.logged {
+		// Read-only: nothing to make durable.
+		tx.owner.ReleaseAll()
+		tx.undo = nil
+		return nil, nil
 	}
+	if err := tx.logAppend(wal.Record{Type: wal.RecCommit}); err != nil {
+		tx.abort()
+		return nil, err
+	}
+	if tx.e.cfg.EarlyLockRelease {
+		ack := tx.e.log.FlushAsync(tx.lastLSN)
+		tx.owner.ReleaseAllEarly()
+		tx.undo = nil
+		return ack, nil
+	}
+	flushStart := time.Now()
+	if err := tx.e.log.Flush(tx.lastLSN); err != nil {
+		tx.abort()
+		return nil, err
+	}
+	tx.prof.Add(profiler.LogFlush, time.Since(flushStart))
 	tx.owner.ReleaseAll()
 	tx.undo = nil
-	return nil
+	return nil, nil
 }
 
 // abort rolls back every modification (in reverse order) and releases locks.

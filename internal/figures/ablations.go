@@ -3,11 +3,14 @@ package figures
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"slidb/internal/bench/tm1"
+	"slidb/internal/bench/tpcb"
 	"slidb/internal/core"
 	"slidb/internal/lockmgr"
+	"slidb/internal/profiler"
 	"slidb/internal/record"
 	"slidb/internal/workload"
 )
@@ -194,11 +197,10 @@ func AblationRovingHotspot(o Options) (Table, error) {
 			e.Close()
 			return t, err
 		}
-		var next int64
+		var next atomic.Int64
 		gen := workload.Mix{{Name: "append", Weight: 1, Make: func(rng *rand.Rand) workload.TxFunc {
 			return func(tx *core.Tx) error {
-				next++
-				id := next*1000 + rng.Int63n(1000)
+				id := next.Add(1)*1000 + rng.Int63n(1000)
 				return tx.Insert("history", record.Row{record.Int(id), record.String("event payload......")})
 			}
 		}}}
@@ -224,6 +226,99 @@ func AblationRovingHotspot(o Options) (Table, error) {
 		}})
 	}
 	return t, nil
+}
+
+// AblationSLIELR measures the SLI × Early-Lock-Release grid on TPC-B with a
+// non-zero group-commit window and flush delay, so every commit pays a
+// realistic log-force latency. SLI removes the lock manager from the
+// critical path; ELR (+ flush pipelining) removes the log force from the
+// lock hold time. The grid separates the two effects and shows they
+// compose: the hot branch-row locks that SLI passes between transactions
+// are, under ELR, released at commit-record append instead of after the
+// fsync.
+func AblationSLIELR(o Options) (Table, error) {
+	o = o.withDefaults()
+	if o.LogFlushDelay == 0 {
+		o.LogFlushDelay = 500 * time.Microsecond
+	}
+	if o.GroupCommitWindow == 0 {
+		o.GroupCommitWindow = 100 * time.Microsecond
+	}
+	if o.Clients == 0 {
+		// Overcommit clients so the SLI+ELR row can actually fill the
+		// AsyncCommit pipeline; with one blocking client per agent the
+		// in-flight window never exceeds one.
+		o.Clients = 4 * o.PeakAgents
+	}
+	t := Table{
+		Title:   "Ablation: SLI x Early Lock Release grid (TPC-B, non-zero log force latency)",
+		Columns: []string{"tps", "log-flush-%", "lock-wait-ms/xct", "elr/1k-xct", "sli-passed/1k"},
+	}
+	grid := []struct {
+		name     string
+		sli, elr bool
+	}{
+		{"baseline", false, false},
+		{"SLI", true, false},
+		{"ELR", false, true},
+		{"SLI+ELR", true, true},
+	}
+	for _, g := range grid {
+		e, gen, err := buildTPCBWithEngineConfig(o, core.Config{
+			SLI:               g.sli,
+			EarlyLockRelease:  g.elr,
+			AsyncCommit:       g.elr,
+			Agents:            o.PeakAgents,
+			Profile:           true,
+			BufferFrames:      o.BufferFrames,
+			GroupCommitWindow: o.GroupCommitWindow,
+			LogFlushDelay:     o.LogFlushDelay,
+			// TPC-B is disk-resident in the paper (§5.2); keep the same
+			// per-I/O penalty the per-workload figures apply.
+			IODelay: o.IODelay,
+		})
+		if err != nil {
+			return t, err
+		}
+		res := o.run(e, gen, o.PeakAgents)
+		e.Close()
+		ls := res.LockStats
+		perK := func(v uint64) float64 {
+			if ls.Transactions == 0 {
+				return 0
+			}
+			return 1000 * float64(v) / float64(ls.Transactions)
+		}
+		lockWaitMs := 0.0
+		if n := res.Completed(); n > 0 {
+			lockWaitMs = res.Breakdown.Get(profiler.LockWait).Seconds() * 1000 / float64(n)
+		}
+		t.Rows = append(t.Rows, Row{Label: g.name, Values: []float64{
+			res.Throughput,
+			100 * res.Breakdown.GroupedShares().LogFlush,
+			lockWaitMs,
+			perK(ls.ELRReleases),
+			perK(ls.SLIPassed),
+		}})
+	}
+	return t, nil
+}
+
+// buildTPCBWithEngineConfig loads the TPC-B dataset into an engine with a
+// custom configuration (used by the commit-pipeline ablations).
+func buildTPCBWithEngineConfig(o Options, cfg core.Config) (*core.Engine, workload.Generator, error) {
+	e := core.Open(cfg)
+	bcfg := tpcb.Config{Branches: o.TPCBBranches, AccountsPerBranch: o.TPCBAccountsPerBranch, Seed: o.Seed}
+	if err := tpcb.Load(e, bcfg); err != nil {
+		e.Close()
+		return nil, nil, err
+	}
+	gen, err := tpcb.NewGenerator(bcfg, tpcb.TxAccountUpdate)
+	if err != nil {
+		e.Close()
+		return nil, nil, err
+	}
+	return e, gen, nil
 }
 
 // buildNDBBWithEngineConfig loads the NDBB dataset into an engine with a
@@ -254,14 +349,16 @@ func Ablation(name string, o Options) (Table, error) {
 		return AblationBimodal(o)
 	case "roving-hotspot":
 		return AblationRovingHotspot(o)
+	case "sli-elr":
+		return AblationSLIELR(o)
 	default:
-		return Table{}, fmt.Errorf("figures: unknown ablation %q (use hot-threshold, levels, bimodal, roving-hotspot)", name)
+		return Table{}, fmt.Errorf("figures: unknown ablation %q (use hot-threshold, levels, bimodal, roving-hotspot, sli-elr)", name)
 	}
 }
 
 // Ablations lists the available ablation study names.
 func Ablations() []string {
-	return []string{"hot-threshold", "levels", "bimodal", "roving-hotspot"}
+	return []string{"hot-threshold", "levels", "bimodal", "roving-hotspot", "sli-elr"}
 }
 
 // quickOptions shrinks an Options for smoke tests; exported for reuse from

@@ -57,6 +57,21 @@ type Options struct {
 	// run leaves a recoverable data directory behind. Empty keeps the
 	// paper's in-memory configuration.
 	DataDir string
+	// EarlyLockRelease and AsyncCommit enable the scalable commit pipeline
+	// (locks released at commit-record append; agents pipeline flush waits).
+	EarlyLockRelease bool
+	AsyncCommit      bool
+	// GroupCommitWindow and LogFlushDelay configure the engine's commit
+	// force cost (see core.Config). Non-zero values make the fsync latency
+	// that ELR removes from the lock hold time visible on in-memory engines.
+	GroupCommitWindow time.Duration
+	LogFlushDelay     time.Duration
+	// Clients is the number of closed-loop client goroutines driving the
+	// engine; zero means one per agent. Overcommitting clients (> agents)
+	// is required to exercise AsyncCommit's flush pipelining: with exactly
+	// one blocking client per agent the per-worker in-flight window can
+	// never hold more than one transaction.
+	Clients int
 }
 
 // DefaultOptions returns a laptop-scale configuration: small datasets and
@@ -239,10 +254,14 @@ func (o Options) buildEngine(key string, sli bool, agents int) (*core.Engine, wo
 	}
 	benchName, txName := parts[0], parts[1]
 	cfg := core.Config{
-		SLI:          sli,
-		Agents:       agents,
-		Profile:      true,
-		BufferFrames: o.BufferFrames,
+		SLI:               sli,
+		Agents:            agents,
+		Profile:           true,
+		BufferFrames:      o.BufferFrames,
+		EarlyLockRelease:  o.EarlyLockRelease,
+		AsyncCommit:       o.AsyncCommit,
+		GroupCommitWindow: o.GroupCommitWindow,
+		LogFlushDelay:     o.LogFlushDelay,
 	}
 	// NDBB is the in-memory dataset; TPC-B and TPC-C are "disk-resident" and
 	// pay the artificial I/O penalty (paper §5.2).
@@ -293,6 +312,9 @@ func (o Options) buildEngine(key string, sli bool, agents int) (*core.Engine, wo
 }
 
 func (o Options) run(e *core.Engine, gen workload.Generator, clients int) workload.Result {
+	if o.Clients > 0 {
+		clients = o.Clients
+	}
 	return workload.Run(e, gen, workload.Options{
 		Clients:  clients,
 		Duration: o.Duration,
@@ -309,6 +331,25 @@ func (o Options) measure(key string, sli bool, agents int) (workload.Result, err
 	}
 	defer e.Close()
 	return o.run(e, gen, agents), nil
+}
+
+// RunWorkload builds, runs and tears down one workload configuration,
+// additionally reporting the engine's durable lag (log records appended but
+// not yet forced) sampled the moment the measurement ended — the visible
+// depth of the asynchronous commit pipeline. It is the entry point used by
+// cmd/slibench for single-workload and comparison runs.
+func RunWorkload(key string, o Options, sli bool, agents int) (workload.Result, uint64, error) {
+	o = o.withDefaults()
+	if agents <= 0 {
+		agents = o.PeakAgents
+	}
+	e, gen, err := o.buildEngine(key, sli, agents)
+	if err != nil {
+		return workload.Result{}, 0, err
+	}
+	defer e.Close()
+	res := o.run(e, gen, agents)
+	return res, e.DurableLag(), nil
 }
 
 // sortedKeys returns map keys in deterministic order (helper for summaries).

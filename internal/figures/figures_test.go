@@ -29,7 +29,7 @@ func TestOptionsDefaults(t *testing.T) {
 	if len(AllWorkloads()) < 10 {
 		t.Fatal("workload list unexpectedly short")
 	}
-	if len(ShortWorkloads()) == 0 || len(Ablations()) != 4 {
+	if len(ShortWorkloads()) == 0 || len(Ablations()) != 5 {
 		t.Fatal("helper listings wrong")
 	}
 	p := PaperOptions()
@@ -116,7 +116,7 @@ func TestAblationsSmoke(t *testing.T) {
 		t.Skip("ablations are slow")
 	}
 	o := tinyOptions()
-	for _, name := range []string{"levels", "bimodal", "roving-hotspot"} {
+	for _, name := range []string{"levels", "bimodal", "roving-hotspot", "sli-elr"} {
 		tbl, err := Ablation(name, o)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

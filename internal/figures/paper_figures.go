@@ -39,7 +39,7 @@ func breakdownFigure(o Options, sli bool, title string) (Table, error) {
 	o = o.withDefaults()
 	t := Table{
 		Title:   title,
-		Columns: []string{"tps", "lockmgr-work-%", "lockmgr-cont-%", "sli-%", "other-work-%", "other-cont-%"},
+		Columns: []string{"tps", "lockmgr-work-%", "lockmgr-cont-%", "sli-%", "other-work-%", "other-cont-%", "log-flush-%"},
 	}
 	for _, wl := range o.selectedWorkloads() {
 		res, err := o.measure(wl, sli, o.PeakAgents)
@@ -52,7 +52,7 @@ func breakdownFigure(o Options, sli bool, title string) (Table, error) {
 			Values: []float64{
 				res.Throughput,
 				100 * s.LockMgrWork, 100 * s.LockMgrContention, 100 * s.SLI,
-				100 * s.OtherWork, 100 * s.OtherContention,
+				100 * s.OtherWork, 100 * s.OtherContention, 100 * s.LogFlush,
 			},
 		})
 	}

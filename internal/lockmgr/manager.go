@@ -261,6 +261,20 @@ func (o *Owner) Lock(id LockID, mode Mode) error { return o.mgr.Lock(o, id, mode
 // completion (commit or abort).
 func (o *Owner) ReleaseAll() { o.mgr.ReleaseAll(o) }
 
+// ReleaseAllEarly is ReleaseAll invoked at pre-commit under Early Lock
+// Release: the transaction's commit record has been appended to the log but
+// is not yet durable. The release path is identical — SLI inheritance still
+// applies, so hot locks pass to the agent's next transaction without waiting
+// for the fsync — but the event is counted separately so ablations and tests
+// can verify that no lock is held across a log flush.
+func (o *Owner) ReleaseAllEarly() {
+	if o.finished {
+		return
+	}
+	o.mgr.stats.ELRReleases.Add(1)
+	o.mgr.ReleaseAll(o)
+}
+
 // Lock acquires id in the requested mode for owner o. See Owner.Lock.
 func (m *Manager) Lock(o *Owner, id LockID, mode Mode) error {
 	if mode == NL {

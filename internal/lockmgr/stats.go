@@ -73,6 +73,10 @@ type Stats struct {
 	// their parent was not itself eligible (criterion 5).
 	SLIIneligibleParent atomic.Uint64
 
+	// ELRReleases counts transactions whose locks were released early (at
+	// commit-record append, before the log force) by Early Lock Release.
+	ELRReleases atomic.Uint64
+
 	// Transactions counts ReleaseAll calls, i.e. completed transactions,
 	// used to compute average locks per transaction.
 	Transactions atomic.Uint64
@@ -100,6 +104,7 @@ type StatsSnapshot struct {
 	SLIIneligibleWaiter uint64
 	SLIIneligibleMode   uint64
 	SLIIneligibleParent uint64
+	ELRReleases         uint64
 	Transactions        uint64
 }
 
@@ -128,6 +133,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	out.SLIIneligibleWaiter = s.SLIIneligibleWaiter.Load()
 	out.SLIIneligibleMode = s.SLIIneligibleMode.Load()
 	out.SLIIneligibleParent = s.SLIIneligibleParent.Load()
+	out.ELRReleases = s.ELRReleases.Load()
 	out.Transactions = s.Transactions.Load()
 	return out
 }
@@ -183,6 +189,7 @@ func (s StatsSnapshot) Diff(earlier StatsSnapshot) StatsSnapshot {
 	out.SLIIneligibleWaiter = sub(s.SLIIneligibleWaiter, earlier.SLIIneligibleWaiter)
 	out.SLIIneligibleMode = sub(s.SLIIneligibleMode, earlier.SLIIneligibleMode)
 	out.SLIIneligibleParent = sub(s.SLIIneligibleParent, earlier.SLIIneligibleParent)
+	out.ELRReleases = sub(s.ELRReleases, earlier.ELRReleases)
 	out.Transactions = sub(s.Transactions, earlier.Transactions)
 	return out
 }

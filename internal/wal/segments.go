@@ -215,6 +215,9 @@ func (s *Segments) rotateLocked(first LSN) error {
 func (s *Segments) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("wal: segments closed")
+	}
 	if s.cur == nil {
 		return nil
 	}
@@ -331,6 +334,23 @@ func (s *Segments) Checkpoint(durable LSN) error {
 		}
 	}
 	return syncDir(s.dir)
+}
+
+// Crash closes the current segment file WITHOUT a final sync, simulating the
+// machine dying for crash-recovery tests: records written but never covered
+// by a Sync may or may not survive (here, whatever the OS already holds),
+// and any subsequent WriteRecord or Sync fails, wedging the owning Log.
+func (s *Segments) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.cur != nil {
+		s.cur.Close()
+		s.cur = nil
+	}
 }
 
 // Close syncs and closes the current segment file.

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -314,19 +315,38 @@ type Stats struct {
 	Synced  atomic.Uint64 // records made durable
 }
 
-// Log is the write-ahead log.
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrCrashed is returned to flush waiters when Crash is injected.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// flushWaiter is one registered durability subscription: ch receives exactly
+// one value once every LSN <= upTo is durable (nil) or the log can no longer
+// get there (the wedging error).
+type flushWaiter struct {
+	upTo LSN
+	ch   chan error
+}
+
+// Log is the write-ahead log. Durability is driven by a single dedicated
+// flusher goroutine: committers subscribe to their commit LSN with FlushAsync
+// (or block in Flush) and the flusher performs one physical write+sync per
+// group-commit batch, advances the durable-LSN watermark, and acknowledges
+// every satisfied subscription in LSN order.
 type Log struct {
 	cfg Config
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	records  []Record // records appended but possibly not yet flushed
-	flushed  []Record // records already flushed (retained unless DropAfterFlush)
-	nextLSN  LSN
-	flushLSN LSN // highest LSN known durable
-	closed   bool
-	flushing bool
-	failed   error // first durable-sink error; wedges the log
+	mu            sync.Mutex
+	flushWork     *sync.Cond // signals the flusher goroutine that work arrived
+	records       []Record   // records appended but possibly not yet flushed
+	flushed       []Record   // records already flushed (retained unless DropAfterFlush)
+	nextLSN       LSN
+	flushLSN      LSN // highest LSN known durable
+	closed        bool
+	flusherActive bool          // the flusher goroutine has been started
+	waiters       []flushWaiter // pending durability subscriptions
+	failed        error         // first durable-sink error; wedges the log
 
 	stats Stats
 }
@@ -338,7 +358,7 @@ func New(cfg Config) *Log {
 		start = 1
 	}
 	l := &Log{cfg: cfg, nextLSN: start, flushLSN: start - 1}
-	l.cond = sync.NewCond(&l.mu)
+	l.flushWork = sync.NewCond(&l.mu)
 	return l
 }
 
@@ -348,7 +368,7 @@ func (l *Log) Append(rec Record) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return 0, errors.New("wal: log closed")
+		return 0, ErrClosed
 	}
 	if l.failed != nil {
 		return 0, l.failed
@@ -379,35 +399,107 @@ func (l *Log) LastLSN() LSN {
 }
 
 // Flush makes every record with LSN <= upTo durable and returns once it is.
-// Concurrent callers are batched into a single physical flush (group
-// commit): only one goroutine performs the flush while the others wait for
-// the flushed LSN to advance past their target.
+// Concurrent callers are batched into a single physical flush (group commit)
+// performed by the dedicated flusher goroutine.
 func (l *Log) Flush(upTo LSN) error {
+	return <-l.FlushAsync(upTo)
+}
+
+// FlushAsync subscribes to the durability of every record with LSN <= upTo
+// and returns immediately. The returned channel receives exactly one value:
+// nil once the flusher's durable watermark has passed upTo, or the error that
+// permanently prevents it (a wedged or closed log). Acknowledgements are
+// delivered in LSN order, so a commit whose ack arrives implies every
+// lower-LSN commit is durable too — the invariant Early Lock Release relies
+// on.
+func (l *Log) FlushAsync(upTo LSN) <-chan error {
+	ch := make(chan error, 1)
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for l.flushLSN < upTo {
-		if l.closed {
-			return errors.New("wal: log closed")
+	switch {
+	case l.failed != nil:
+		ch <- l.failed
+	case l.flushLSN >= upTo:
+		ch <- nil
+	case l.closed:
+		ch <- ErrClosed
+	default:
+		// An LSN beyond the last append can never be reached by flushing;
+		// clamp so the subscription means "everything appended so far".
+		if upTo >= l.nextLSN {
+			upTo = l.nextLSN - 1
+		}
+		if l.flushLSN >= upTo {
+			ch <- nil
+			return ch
+		}
+		l.waiters = append(l.waiters, flushWaiter{upTo: upTo, ch: ch})
+		l.startFlusherLocked()
+		l.flushWork.Signal()
+	}
+	return ch
+}
+
+// startFlusherLocked launches the flusher goroutine on first use. Lazy start
+// keeps Logs that never flush (pure decode/encode users, short tests) free of
+// goroutines.
+func (l *Log) startFlusherLocked() {
+	if l.flusherActive {
+		return
+	}
+	l.flusherActive = true
+	go l.flusherLoop()
+}
+
+// pendingFlushLocked reports whether any subscription is still waiting for
+// the durable watermark to advance.
+func (l *Log) pendingFlushLocked() bool {
+	for _, w := range l.waiters {
+		if w.upTo > l.flushLSN {
+			return true
+		}
+	}
+	return false
+}
+
+// flusherLoop is the dedicated flush daemon: one group-commit cycle per
+// wakeup, batching every record appended up to the moment the physical write
+// starts (commits arriving during the group-commit window join the batch).
+func (l *Log) flusherLoop() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		for !l.closed && l.failed == nil && !l.pendingFlushLocked() {
+			l.flushWork.Wait()
 		}
 		if l.failed != nil {
-			return l.failed
+			l.failWaitersLocked(l.failed)
+			l.flusherActive = false
+			return
 		}
-		if l.flushing {
-			// Another goroutine is flushing; wait for it and re-check.
-			l.cond.Wait()
-			continue
+		if l.closed && !l.pendingFlushLocked() {
+			l.flusherActive = false
+			return
 		}
-		l.flushing = true
-		// Snapshot everything appended so far: the whole group commits together.
+
+		window := l.cfg.GroupCommitWindow
+		if window > 0 {
+			l.mu.Unlock()
+			time.Sleep(window)
+			l.mu.Lock()
+			if l.failed != nil {
+				// Crashed or wedged while the window was open: nothing from
+				// this cycle (or the append buffer) may reach the sink.
+				continue
+			}
+		}
+		// Snapshot everything appended so far: the whole group commits
+		// together, including records that arrived during the window.
 		batch := l.records
 		l.records = nil
 		target := l.nextLSN - 1
-		window := l.cfg.GroupCommitWindow
 		l.mu.Unlock()
 
-		if window > 0 {
-			time.Sleep(window)
-		}
 		var durableErr, sinkErr error
 		for _, r := range batch {
 			enc := r.Encode()
@@ -434,30 +526,59 @@ func (l *Log) Flush(upTo LSN) error {
 		}
 
 		l.mu.Lock()
-		// Records appended during the window are NOT covered by this flush;
-		// they were snapshotted only if appended before the snapshot.
 		if !l.cfg.DropAfterFlush {
 			l.flushed = append(l.flushed, batch...)
 		}
-		if durableErr == nil {
-			l.flushLSN = target
-			l.stats.Synced.Add(uint64(len(batch)))
-		} else {
+		l.stats.Flushes.Add(1)
+		if l.failed != nil {
+			// Crashed while the batch was in flight: even if the sync
+			// succeeded, report failure — crash semantics allow un-acked
+			// records to survive, never the reverse.
+			continue
+		}
+		if durableErr != nil {
 			// The durable prefix can no longer grow contiguously: wedge the
 			// log so no later record is ever reported durable past the gap.
-			l.failed = durableErr
+			if l.failed == nil {
+				l.failed = durableErr
+			}
+			continue // top of loop fails the waiters and exits
 		}
-		l.stats.Flushes.Add(1)
-		l.flushing = false
-		l.cond.Broadcast()
-		if durableErr != nil {
-			return durableErr
+		if l.flushLSN < target {
+			l.flushLSN = target
 		}
-		if sinkErr != nil {
-			return sinkErr
+		l.stats.Synced.Add(uint64(len(batch)))
+		l.notifyWaitersLocked(sinkErr)
+	}
+}
+
+// notifyWaitersLocked acknowledges every subscription satisfied by the
+// current durable watermark, in ascending LSN order. sinkErr, when non-nil,
+// is the best-effort mirror's write error; it is reported to this batch's
+// waiters without affecting durability.
+func (l *Log) notifyWaitersLocked(sinkErr error) {
+	var remaining []flushWaiter
+	var done []flushWaiter
+	for _, w := range l.waiters {
+		if w.upTo <= l.flushLSN {
+			done = append(done, w)
+		} else {
+			remaining = append(remaining, w)
 		}
 	}
-	return nil
+	sort.Slice(done, func(i, j int) bool { return done[i].upTo < done[j].upTo })
+	for _, w := range done {
+		w.ch <- sinkErr
+	}
+	l.waiters = remaining
+}
+
+// failWaitersLocked delivers err to every pending subscription.
+func (l *Log) failWaitersLocked(err error) {
+	for _, w := range l.waiters {
+		w.ch <- err
+	}
+	l.waiters = nil
 }
 
 // Records returns a copy of every record that has been flushed, in LSN
@@ -486,7 +607,8 @@ func (l *Log) StatsSnapshot() (appends, flushes, synced uint64) {
 // Close drains every pending record to the sinks and shuts the log down.
 // It re-checks for records appended concurrently with the drain, so when
 // Close returns nil the sink has received (and, for a DurableSink, synced)
-// every record ever accepted by Append. Close is idempotent.
+// every record ever accepted by Append. The flusher goroutine exits once the
+// drain completes. Close is idempotent.
 func (l *Log) Close() error {
 	for {
 		l.mu.Lock()
@@ -495,9 +617,9 @@ func (l *Log) Close() error {
 			return nil
 		}
 		last := l.nextLSN - 1
-		if l.flushLSN >= last && len(l.records) == 0 && !l.flushing {
+		if l.flushLSN >= last && len(l.records) == 0 {
 			l.closed = true
-			l.cond.Broadcast()
+			l.flushWork.Broadcast()
 			l.mu.Unlock()
 			return nil
 		}
@@ -506,4 +628,25 @@ func (l *Log) Close() error {
 			return err
 		}
 	}
+}
+
+// Crash simulates losing the machine for crash-recovery tests: the append
+// buffer (records never handed to the sink) is discarded, every pending and
+// future flush subscription fails with ErrCrashed, and the flusher goroutine
+// stops without draining. A group-commit batch already in flight is not
+// acknowledged even if its sync happens to complete — crash semantics allow
+// un-acked records to survive on disk, never an acked record to be lost.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed == nil {
+		l.failed = ErrCrashed
+	}
+	l.closed = true
+	l.records = nil
+	if !l.flusherActive {
+		// No flusher to deliver the failure; fail the waiters directly.
+		l.failWaitersLocked(l.failed)
+	}
+	l.flushWork.Broadcast()
 }

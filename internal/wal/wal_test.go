@@ -237,6 +237,64 @@ func TestDropAfterFlush(t *testing.T) {
 	}
 }
 
+func TestFlushAsyncAcknowledgesDurability(t *testing.T) {
+	l := New(Config{GroupCommitWindow: time.Millisecond})
+	lsn1, _ := l.Append(Record{XID: 1, Type: RecCommit})
+	lsn2, _ := l.Append(Record{XID: 2, Type: RecCommit})
+	ack1 := l.FlushAsync(lsn1)
+	ack2 := l.FlushAsync(lsn2)
+	if err := <-ack2; err != nil {
+		t.Fatal(err)
+	}
+	// Acks are delivered in LSN order: once lsn2 is acked, lsn1's ack must
+	// already be in its buffered channel.
+	select {
+	case err := <-ack1:
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatal("ack for lower LSN not delivered before higher LSN's ack")
+	}
+	if l.DurableLSN() < lsn2 {
+		t.Fatalf("durable LSN = %d, want >= %d", l.DurableLSN(), lsn2)
+	}
+	// Subscribing to an already-durable LSN resolves immediately.
+	select {
+	case err := <-l.FlushAsync(lsn1):
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("FlushAsync on durable LSN did not resolve immediately")
+	}
+}
+
+func TestCrashFailsWaitersAndDiscardsBuffer(t *testing.T) {
+	// A slow group-commit window guarantees the crash lands before the sync.
+	l := New(Config{GroupCommitWindow: 200 * time.Millisecond})
+	lsn, _ := l.Append(Record{XID: 1, Type: RecCommit})
+	ack := l.FlushAsync(lsn)
+	l.Crash()
+	select {
+	case err := <-ack:
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("ack err = %v, want ErrCrashed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("crash did not fail the pending flush subscription")
+	}
+	if l.DurableLSN() >= lsn {
+		t.Fatal("crashed log reported the unsynced record durable")
+	}
+	if _, err := l.Append(Record{XID: 2, Type: RecBegin}); err == nil {
+		t.Fatal("append after crash accepted")
+	}
+	if err := <-l.FlushAsync(lsn); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("FlushAsync after crash = %v, want ErrCrashed", err)
+	}
+}
+
 func TestErrCorruptIsSentinel(t *testing.T) {
 	_, _, err := Decode([]byte{0x05, 0x01})
 	if err == nil || !errors.Is(err, ErrCorrupt) {

@@ -46,6 +46,27 @@
 //	db.Checkpoint() // snapshot the state, truncate old log segments
 //	db.Close()
 //
+// # Scalable commit pipeline
+//
+// By default a committing transaction holds its locks across the group-
+// commit fsync — the paper-faithful baseline. Two Config knobs decouple
+// lock release and agent scheduling from log durability:
+// Config.EarlyLockRelease releases a transaction's locks (applying SLI) as
+// soon as its commit record is appended, shrinking lock hold times by the
+// entire flush latency; Config.AsyncCommit lets each agent run ahead of the
+// log force with a bounded window of in-flight pre-committed transactions.
+// Exec still blocks until the commit is durable; Engine.ExecAsync returns a
+// durable-ack future instead. Acks are delivered in commit (LSN) order, so
+// an updating transaction that observed another's pre-committed writes is
+// never acknowledged before its dependency; a crash between pre-commit and
+// the flush rolls the transaction back as a loser on recovery. The one
+// anomaly window ELR opens is for read-only transactions: they append no
+// log record, never wait on the log, and may therefore observe
+// pre-committed data whose durability is still pending — after a crash in
+// that window the observed writer is rolled back even though the reader
+// already returned. Callers that need a durable read barrier should perform
+// the read in an updating transaction (or simply not enable ELR).
+//
 // Engine.Checkpoint persists a point-in-time snapshot and deletes the log
 // segments it covers, bounding both disk usage and the restart work after a
 // crash. Engine.RecoveryStats reports what the last OpenAt had to replay.
@@ -126,6 +147,9 @@ var (
 	// ErrNotDurable is returned by Checkpoint on engines opened with Open
 	// instead of OpenAt.
 	ErrNotDurable = core.ErrNotDurable
+	// ErrClosed is returned by Exec and ExecAsync on a closed engine,
+	// including transactions still queued when Close was called.
+	ErrClosed = core.ErrClosed
 )
 
 // Open creates a new volatile, in-memory engine. For a durable engine with

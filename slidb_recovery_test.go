@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"slidb"
 )
@@ -295,6 +296,123 @@ func TestCrashRecoveryTorture(t *testing.T) {
 	st3 := readBank(t, db3)
 	if st3.accountTotal != wantTotal+7 {
 		t.Errorf("second restart: sum(accounts) = %d, want %d", st3.accountTotal, wantTotal+7)
+	}
+}
+
+// TestELRCrashInPreCommitWindow injects a crash into the window Early Lock
+// Release opens: transactions have appended their commit record, released
+// their locks, and exposed their writes to other transactions — but the
+// commit record has not been forced to disk. A crash there must roll every
+// such transaction back as a loser while keeping every durably-acked
+// transaction intact.
+func TestELRCrashInPreCommitWindow(t *testing.T) {
+	const (
+		durableTransfers = 20
+		windowTransfers  = 10
+	)
+	dir := t.TempDir()
+	db, err := slidb.OpenAt(dir, slidb.Config{
+		Agents:           4,
+		EarlyLockRelease: true,
+		AsyncCommit:      true,
+		// A long group-commit window (relative to the milliseconds the crash
+		// below takes to land) guarantees the phase-2 commit records never
+		// reach the disk.
+		GroupCommitWindow: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupBank(t, db, 2, 16)
+
+	// Phase 1: transfers we wait out — durably acked, must survive. They are
+	// submitted as one batch so they share group-commit windows.
+	durable := make(map[int64]int64)
+	var phase1 []<-chan error
+	for i := 0; i < durableTransfers; i++ {
+		hid, delta := int64(i), int64(i+1)
+		phase1 = append(phase1, db.ExecAsync(func(tx *slidb.Tx) error {
+			return transfer(tx, hid, hid%16, hid%2, delta, false)
+		}))
+		durable[hid] = delta
+	}
+	for i, fut := range phase1 {
+		if err := <-fut; err != nil {
+			t.Fatalf("phase-1 transfer %d: %v", i, err)
+		}
+	}
+
+	// Phase 2: transfers we do NOT wait for. Their futures resolve only when
+	// the 500ms group-commit window closes; we crash long before that.
+	var futures []<-chan error
+	for i := 0; i < windowTransfers; i++ {
+		hid, delta := int64(1000+i), int64(7)
+		futures = append(futures, db.ExecAsync(func(tx *slidb.Tx) error {
+			return transfer(tx, hid, hid%16, hid%2, delta, false)
+		}))
+	}
+	// Wait until every phase-2 transaction is pre-committed: its locks are
+	// released and its history row is visible to a read-only transaction
+	// (read-only transactions never wait for a flush).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		visible := 0
+		if err := db.Exec(func(tx *slidb.Tx) error {
+			return tx.ScanTable("history", func(r slidb.Row) bool {
+				if r[0].AsInt() >= 1000 {
+					visible++
+				}
+				return true
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if visible == windowTransfers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d pre-committed transfers became visible", visible, windowTransfers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// CRASH inside the window: commit records appended, nothing synced.
+	db.SimulateCrash()
+	for i, fut := range futures {
+		select {
+		case err := <-fut:
+			if err == nil {
+				t.Fatalf("phase-2 future %d acked durable despite crash before flush", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("phase-2 future %d never resolved after crash", i)
+		}
+	}
+
+	db2, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer db2.Close()
+	st := readBank(t, db2)
+
+	var wantTotal int64
+	for _, d := range durable {
+		wantTotal += d
+	}
+	if st.accountTotal != wantTotal || st.branchTotal != wantTotal {
+		t.Errorf("recovered totals = %d/%d, want %d/%d (pre-committed losers leaked or winners lost)",
+			st.accountTotal, st.branchTotal, wantTotal, wantTotal)
+	}
+	for hid, delta := range durable {
+		if got, ok := st.history[hid]; !ok || got != delta {
+			t.Errorf("durably-acked transfer %d not recovered intact (got %d, present=%v)", hid, got, ok)
+		}
+	}
+	for hid := range st.history {
+		if hid >= 1000 {
+			t.Errorf("pre-committed (never durable) transfer %d survived the crash", hid)
+		}
 	}
 }
 
