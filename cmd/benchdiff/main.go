@@ -1,0 +1,113 @@
+// Command benchdiff compares two BENCH_*.json artifacts produced by
+// slibench -benchout and reports per-configuration throughput deltas, so CI
+// can annotate each run with its drift against the previous run's artifact.
+//
+// Usage:
+//
+//	benchdiff [-threshold 10] OLD.json NEW.json
+//	benchdiff OLD.json NEW.json -threshold 10   // flags after paths also work
+//
+// Rows are matched by (workload, config, agents). A throughput drop larger
+// than the threshold (percent) is flagged as a regression with a GitHub
+// Actions ::warning:: annotation; everything else is informational. A
+// missing or unreadable OLD file is not an error — the first run of a
+// repository has no previous artifact — benchdiff just says so and exits 0.
+// The exit status is always 0: benchmark noise on shared CI runners must not
+// fail the build, only annotate it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// entry mirrors the fields of slibench's benchEntry that benchdiff compares.
+// Decoding ignores any extra fields, so the two tools can evolve their
+// schemas independently.
+type entry struct {
+	Workload     string  `json:"workload"`
+	Config       string  `json:"config"`
+	Agents       int     `json:"agents"`
+	TPS          float64 `json:"tps"`
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+}
+
+type key struct {
+	workload, config string
+	agents           int
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent of tps")
+	// The flag package stops at the first positional argument; accept flags
+	// anywhere (before, between, after the two paths) by re-parsing after
+	// each positional. A malformed flag still exits 2 via ExitOnError.
+	var paths []string
+	rest := os.Args[1:]
+	for {
+		if err := flag.CommandLine.Parse(rest); err != nil {
+			os.Exit(2)
+		}
+		remaining := flag.CommandLine.Args()
+		if len(remaining) == 0 {
+			break
+		}
+		paths = append(paths, remaining[0])
+		rest = remaining[1:]
+	}
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldPath, newPath := paths[0], paths[1]
+
+	oldEntries, err := load(oldPath)
+	if err != nil {
+		fmt.Printf("::notice::benchdiff: no previous benchmark artifact (%v); nothing to compare\n", err)
+		return
+	}
+	newEntries, err := load(newPath)
+	if err != nil {
+		fmt.Printf("::warning::benchdiff: cannot read current benchmark artifact: %v\n", err)
+		return
+	}
+
+	prev := make(map[key]entry, len(oldEntries))
+	for _, e := range oldEntries {
+		prev[key{e.Workload, e.Config, e.Agents}] = e
+	}
+
+	regressions := 0
+	fmt.Printf("%-12s %-10s %7s %12s %12s %9s\n", "workload", "config", "agents", "tps-prev", "tps-now", "delta-%")
+	for _, e := range newEntries {
+		old, ok := prev[key{e.Workload, e.Config, e.Agents}]
+		if !ok || old.TPS <= 0 {
+			fmt.Printf("%-12s %-10s %7d %12s %12.1f %9s\n", e.Workload, e.Config, e.Agents, "-", e.TPS, "new")
+			continue
+		}
+		delta := 100 * (e.TPS - old.TPS) / old.TPS
+		fmt.Printf("%-12s %-10s %7d %12.1f %12.1f %+8.1f%%\n", e.Workload, e.Config, e.Agents, old.TPS, e.TPS, delta)
+		if delta < -*threshold {
+			regressions++
+			fmt.Printf("::warning::benchdiff: %s/%s (agents=%d) tps regressed %.1f%% (%.1f -> %.1f)\n",
+				e.Workload, e.Config, e.Agents, -delta, old.TPS, e.TPS)
+		}
+	}
+	if regressions == 0 {
+		fmt.Printf("::notice::benchdiff: no tps regression beyond %.0f%% against the previous run\n", *threshold)
+	}
+}
+
+func load(path string) ([]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return entries, nil
+}

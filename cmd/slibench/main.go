@@ -41,6 +41,7 @@ func main() {
 		sli        = flag.Bool("sli", false, "enable Speculative Lock Inheritance for -workload runs")
 		elr        = flag.Bool("elr", false, "enable Early Lock Release (locks released at commit-record append, not after the fsync)")
 		async      = flag.Bool("async", false, "enable flush pipelining (agents run ahead of the log force, bounded by the pipeline depth)")
+		mutexLog   = flag.Bool("mutexlog", false, "use the legacy mutex-per-append WAL path instead of the consolidated log buffer (ablation baseline)")
 		gcWindow   = flag.Duration("gcwindow", 0, "group-commit window for -workload/-benchout engines")
 		flushDelay = flag.Duration("flushdelay", 0, "simulated log-force latency for -workload/-benchout engines")
 		duration   = flag.Duration("duration", 0, "override measurement duration")
@@ -89,6 +90,7 @@ func main() {
 	}
 	opt.EarlyLockRelease = *elr
 	opt.AsyncCommit = *async
+	opt.MutexLog = *mutexLog
 	opt.GroupCommitWindow = *gcWindow
 	opt.LogFlushDelay = *flushDelay
 	opt.Clients = *clients
@@ -142,11 +144,14 @@ func runSingle(wl string, opt figures.Options, agents int, sli bool) {
 	exitOn(err)
 	s := res.Breakdown.GroupedShares()
 	ls := res.LockStats
-	fmt.Printf("%s  (sli=%v elr=%v async=%v)\n", wl, sli, opt.EarlyLockRelease, opt.AsyncCommit)
+	fmt.Printf("%s  (sli=%v elr=%v async=%v mutexlog=%v)\n", wl, sli, opt.EarlyLockRelease, opt.AsyncCommit, opt.MutexLog)
 	fmt.Printf("  throughput        %.1f tps (%d committed, %d failed, %d errors)\n",
 		res.Throughput, res.Committed, res.Failed, res.Errors)
 	fmt.Printf("  avg latency       %v\n", res.AvgLatency.Round(time.Microsecond))
 	fmt.Printf("  breakdown         %v\n", s)
+	fmt.Printf("  log waits         reserve %v, buffer-full %v (totals)\n",
+		res.Breakdown.Get(profiler.LogReserveWait).Round(time.Microsecond),
+		res.Breakdown.Get(profiler.LogBufferFullWait).Round(time.Microsecond))
 	fmt.Printf("  sli passed        %d (reclaimed %d, invalidated %d, discarded %d)\n",
 		ls.SLIPassed, ls.SLIReclaimed, ls.SLIInvalidated, ls.SLIDiscarded)
 	fmt.Printf("  elr releases      %d\n", ls.ELRReleases)
@@ -171,6 +176,7 @@ type benchEntry struct {
 	AvgLatencyUs  float64 `json:"avg_latency_us"`
 	LogFlushShare float64 `json:"log_flush_share"`
 	LockWaitMs    float64 `json:"lock_wait_ms_total"`
+	ReserveWaitMs float64 `json:"log_reserve_wait_ms_total"`
 	SLIPassed     uint64  `json:"sli_passed"`
 	ELRReleases   uint64  `json:"elr_releases"`
 	DurableLag    uint64  `json:"durable_lag"`
@@ -220,6 +226,7 @@ func runBench(opt figures.Options, agents int, outPath string) {
 				AvgLatencyUs:  float64(res.AvgLatency.Microseconds()),
 				LogFlushShare: res.Breakdown.GroupedShares().LogFlush,
 				LockWaitMs:    res.Breakdown.Get(profiler.LockWait).Seconds() * 1000,
+				ReserveWaitMs: res.Breakdown.Get(profiler.LogReserveWait).Seconds() * 1000,
 				SLIPassed:     res.LockStats.SLIPassed,
 				ELRReleases:   res.LockStats.ELRReleases,
 				DurableLag:    lag,

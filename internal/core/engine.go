@@ -83,6 +83,14 @@ type Config struct {
 	// DropLogAfterFlush discards flushed log records instead of retaining
 	// them in memory; enable for long benchmark runs.
 	DropLogAfterFlush bool
+	// MutexLog selects the legacy centralized WAL append path (one mutex per
+	// Append, per-record encode at flush) instead of the consolidated
+	// reserve/fill/publish log buffer. It exists as the baseline arm of the
+	// log-buffer ablation; leave it off otherwise.
+	MutexLog bool
+	// LogBufferBytes sizes the consolidated log buffer; zero uses the WAL
+	// default (4 MiB).
+	LogBufferBytes int64
 	// Dir is the data directory backing the engine's durability subsystem
 	// (WAL segments and checkpoints). It is set by OpenAt; Open ignores it
 	// and runs fully in memory.
@@ -218,6 +226,8 @@ func newEngine(cfg Config, durable *wal.Segments, startLSN wal.LSN) *Engine {
 		DropAfterFlush:    dropAfterFlush,
 		Durable:           sink,
 		StartLSN:          startLSN,
+		MutexLog:          cfg.MutexLog,
+		BufferBytes:       cfg.LogBufferBytes,
 	})
 	e.pool = buffer.NewPool(buffer.NewMemStore(), buffer.Config{
 		Frames:  cfg.BufferFrames,

@@ -75,22 +75,39 @@ type Tx struct {
 // XID returns the transaction identifier.
 func (tx *Tx) XID() uint64 { return tx.xid }
 
+// appendTimed appends one WAL record, splitting the elapsed time into the
+// profiler's log categories: blocked time entering the reservation critical
+// section (reserve-wait), blocked time waiting for the flusher to drain a
+// full buffer (buffer-full-wait), and the remainder — the reserve arithmetic
+// plus encoding the record into the shared buffer — as useful log work.
+func (tx *Tx) appendTimed(rec wal.Record) (wal.LSN, error) {
+	if tx.prof == nil {
+		// No accounting consumer: take the clock-free append path.
+		return tx.e.log.Append(rec)
+	}
+	start := time.Now()
+	lsn, waits, err := tx.e.log.AppendTimed(rec)
+	total := time.Since(start)
+	tx.prof.Add(profiler.LogReserveWait, waits.Reserve)
+	tx.prof.Add(profiler.LogBufferFullWait, waits.BufferFull)
+	tx.prof.Add(profiler.LogWork, total-waits.Reserve-waits.BufferFull)
+	return lsn, err
+}
+
 // logAppend appends a WAL record, tracking the last LSN for commit.
 func (tx *Tx) logAppend(rec wal.Record) error {
-	start := time.Now()
 	rec.XID = tx.xid
 	if !tx.logged {
-		if _, err := tx.e.log.Append(wal.Record{XID: tx.xid, Type: wal.RecBegin}); err != nil {
+		if _, err := tx.appendTimed(wal.Record{XID: tx.xid, Type: wal.RecBegin}); err != nil {
 			return err
 		}
 		tx.logged = true
 	}
-	lsn, err := tx.e.log.Append(rec)
+	lsn, err := tx.appendTimed(rec)
 	if err != nil {
 		return err
 	}
 	tx.lastLSN = lsn
-	tx.prof.Add(profiler.LogWork, time.Since(start))
 	return nil
 }
 
@@ -157,7 +174,7 @@ func (tx *Tx) abort() {
 }
 
 func (tx *Tx) logAppendNoBegin(rec wal.Record) error {
-	_, err := tx.e.log.Append(rec)
+	_, err := tx.appendTimed(rec)
 	return err
 }
 

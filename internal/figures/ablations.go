@@ -304,6 +304,91 @@ func AblationSLIELR(o Options) (Table, error) {
 	return t, nil
 }
 
+// AblationLogBuffer measures the consolidated reserve/fill/publish log
+// buffer against the legacy mutex-per-append log on TPC-B, crossed with the
+// SLI + ELR commit pipeline, at one agent and at the peak agent count. The
+// log is the last centralized service on the commit path once SLI and ELR
+// have decentralized the lock side, so the interesting cell is the peak-
+// agent SLI+ELR row: there every append contends on the log and the
+// consolidated buffer's short reservation latch replaces the full mutex-
+// across-encode critical section. The reserve-wait column shows exactly
+// that serialization cost; buffer-full-wait is backpressure from an
+// undersized buffer, not latch contention.
+func AblationLogBuffer(o Options) (Table, error) {
+	o = o.withDefaults()
+	if o.LogFlushDelay == 0 {
+		o.LogFlushDelay = 500 * time.Microsecond
+	}
+	if o.GroupCommitWindow == 0 {
+		o.GroupCommitWindow = 100 * time.Microsecond
+	}
+	userClients := o.Clients != 0
+	if !userClients {
+		// Overcommit clients so the SLI+ELR rows can fill the AsyncCommit
+		// pipeline (see AblationSLIELR).
+		o.Clients = 4 * o.PeakAgents
+	}
+	t := Table{
+		Title:   "Ablation: consolidated log buffer vs mutex log, x SLI+ELR (TPC-B)",
+		Columns: []string{"agents", "tps", "reserve-us/xct", "buffull-us/xct", "log-flush-%"},
+	}
+	grid := []struct {
+		name     string
+		mutexLog bool
+		pipeline bool // SLI + ELR + AsyncCommit
+	}{
+		{"mutex-log", true, false},
+		{"consolidated", false, false},
+		{"mutex-log +SLI+ELR", true, true},
+		{"consolidated +SLI+ELR", false, true},
+	}
+	for _, agents := range []int{1, o.PeakAgents} {
+		for _, g := range grid {
+			oo := o
+			if agents == 1 && !userClients {
+				// Scale the default overcommit down with the agent count; an
+				// explicit -clients setting applies to every cell unchanged.
+				oo.Clients = 4
+			}
+			e, gen, err := buildTPCBWithEngineConfig(oo, core.Config{
+				SLI:               g.pipeline,
+				EarlyLockRelease:  g.pipeline,
+				AsyncCommit:       g.pipeline,
+				MutexLog:          g.mutexLog,
+				Agents:            agents,
+				Profile:           true,
+				BufferFrames:      oo.BufferFrames,
+				GroupCommitWindow: oo.GroupCommitWindow,
+				LogFlushDelay:     oo.LogFlushDelay,
+				IODelay:           oo.IODelay,
+			})
+			if err != nil {
+				return t, err
+			}
+			res := oo.run(e, gen, agents)
+			e.Close()
+			perXct := func(c profiler.Category) float64 {
+				n := res.Completed()
+				if n == 0 {
+					return 0
+				}
+				return res.Breakdown.Get(c).Seconds() * 1e6 / float64(n)
+			}
+			t.Rows = append(t.Rows, Row{
+				Label: fmt.Sprintf("%s a=%d", g.name, agents),
+				Values: []float64{
+					float64(agents),
+					res.Throughput,
+					perXct(profiler.LogReserveWait),
+					perXct(profiler.LogBufferFullWait),
+					100 * res.Breakdown.GroupedShares().LogFlush,
+				},
+			})
+		}
+	}
+	return t, nil
+}
+
 // buildTPCBWithEngineConfig loads the TPC-B dataset into an engine with a
 // custom configuration (used by the commit-pipeline ablations).
 func buildTPCBWithEngineConfig(o Options, cfg core.Config) (*core.Engine, workload.Generator, error) {
@@ -351,14 +436,16 @@ func Ablation(name string, o Options) (Table, error) {
 		return AblationRovingHotspot(o)
 	case "sli-elr":
 		return AblationSLIELR(o)
+	case "log-buffer":
+		return AblationLogBuffer(o)
 	default:
-		return Table{}, fmt.Errorf("figures: unknown ablation %q (use hot-threshold, levels, bimodal, roving-hotspot, sli-elr)", name)
+		return Table{}, fmt.Errorf("figures: unknown ablation %q (use hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer)", name)
 	}
 }
 
 // Ablations lists the available ablation study names.
 func Ablations() []string {
-	return []string{"hot-threshold", "levels", "bimodal", "roving-hotspot", "sli-elr"}
+	return []string{"hot-threshold", "levels", "bimodal", "roving-hotspot", "sli-elr", "log-buffer"}
 }
 
 // quickOptions shrinks an Options for smoke tests; exported for reuse from

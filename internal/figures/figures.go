@@ -66,6 +66,10 @@ type Options struct {
 	// that ELR removes from the lock hold time visible on in-memory engines.
 	GroupCommitWindow time.Duration
 	LogFlushDelay     time.Duration
+	// MutexLog selects the legacy centralized WAL append path instead of the
+	// consolidated reserve/fill/publish log buffer (the baseline arm of the
+	// log-buffer ablation).
+	MutexLog bool
 	// Clients is the number of closed-loop client goroutines driving the
 	// engine; zero means one per agent. Overcommitting clients (> agents)
 	// is required to exercise AsyncCommit's flush pipelining: with exactly
@@ -262,6 +266,7 @@ func (o Options) buildEngine(key string, sli bool, agents int) (*core.Engine, wo
 		AsyncCommit:       o.AsyncCommit,
 		GroupCommitWindow: o.GroupCommitWindow,
 		LogFlushDelay:     o.LogFlushDelay,
+		MutexLog:          o.MutexLog,
 	}
 	// NDBB is the in-memory dataset; TPC-B and TPC-C are "disk-resident" and
 	// pay the artificial I/O penalty (paper §5.2).

@@ -70,16 +70,16 @@ func (m *Manager) blockersOf(req *Request) []*Owner {
 			seenSelf = true
 			return
 		}
-		switch r.status.Load() {
+		switch rst := r.status.Load(); rst {
 		case statusGranted, statusConverting:
-			if !Compatible(want, r.mode) {
-				if owner := r.owner.Load(); owner != nil {
-					out = append(out, owner)
-				}
-			}
-			// A pending conversion ahead of us also blocks us if its target
-			// conflicts with what we want.
-			if r.status.Load() == statusConverting && !Compatible(want, r.convMode) {
+			// The holder blocks us if its held mode conflicts, or — for a
+			// pending conversion — if its target mode does. A converting
+			// request whose held AND target modes both conflict is still one
+			// blocker: appending its owner twice would make every deadlock
+			// probe re-walk that owner's whole wait-for subtree.
+			blocked := !Compatible(want, r.mode) ||
+				(rst == statusConverting && !Compatible(want, r.convMode))
+			if blocked {
 				if owner := r.owner.Load(); owner != nil {
 					out = append(out, owner)
 				}

@@ -31,7 +31,8 @@ type Category int
 //	"work SLI"            = SLIWork (Figure 10 only)
 //	"contention SLI"      = SLIContention (Figure 10 only)
 //	"work other"          = LogWork + BufferWork + TxWork
-//	"contention other"    = LogContention + BufferContention + LatchContention
+//	"contention other"    = LogReserveWait + LogBufferFullWait +
+//	                        BufferContention + LatchContention
 //	"log flush"           = LogFlush (commit-fsync wait, reported separately)
 //
 // LockWait (blocked on a logical lock conflict) and IOWait are excluded from
@@ -40,16 +41,26 @@ type Category int
 //
 // LogFlush is the time a committing transaction spends waiting for the
 // group-commit force of its commit record — fsync latency, not log-latch
-// contention. It used to be folded into LogContention; keeping it separate
-// lets the figures show exactly what Early Lock Release removes from the
-// lock hold time (the locks are released before this wait when ELR is on).
+// contention. Keeping it separate lets the figures show exactly what Early
+// Lock Release removes from the lock hold time (the locks are released
+// before this wait when ELR is on).
+//
+// The old catch-all LogContention category is split in two so the log-buffer
+// ablation can show what the consolidated reserve/fill/publish buffer
+// removes: LogReserveWait is the time spent entering the log's reservation
+// critical section (the whole centralized log mutex under MutexLog; the
+// short reservation latch under the consolidated buffer) — the contention
+// the consolidated buffer attacks — while LogBufferFullWait is the time
+// blocked because the buffer had no space and the flusher had to drain it
+// first, a sizing/backpressure signal rather than latch contention.
 const (
 	LockMgrWork Category = iota
 	LockMgrContention
 	SLIWork
 	SLIContention
 	LogWork
-	LogContention
+	LogReserveWait
+	LogBufferFullWait
 	LogFlush
 	BufferWork
 	BufferContention
@@ -73,8 +84,10 @@ func (c Category) String() string {
 		return "sli-contention"
 	case LogWork:
 		return "log-work"
-	case LogContention:
-		return "log-contention"
+	case LogReserveWait:
+		return "log-reserve-wait"
+	case LogBufferFullWait:
+		return "log-buffer-full-wait"
 	case LogFlush:
 		return "log-flush"
 	case BufferWork:
@@ -197,7 +210,7 @@ func (b Breakdown) GroupedShares() Shares {
 		LockMgrContention: f(b[LockMgrContention]),
 		SLI:               f(b[SLIWork] + b[SLIContention]),
 		OtherWork:         f(b[LogWork] + b[BufferWork] + b[TxWork]),
-		OtherContention:   f(b[LogContention] + b[BufferContention] + b[LatchContention]),
+		OtherContention:   f(b[LogReserveWait] + b[LogBufferFullWait] + b[BufferContention] + b[LatchContention]),
 		LogFlush:          f(b[LogFlush]),
 	}
 }

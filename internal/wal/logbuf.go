@@ -1,0 +1,298 @@
+package wal
+
+// The consolidated log buffer: an Aether-style reserve/fill/publish protocol
+// that decentralizes log insertion. Instead of serializing every appender on
+// one mutex for the whole encode-and-copy, an appender
+//
+//  1. reserves — a short critical section assigns the record's LSN and a
+//     contiguous byte range of the shared buffer (O(1) arithmetic, no
+//     copying);
+//  2. fills   — encodes the record directly into its reserved range with no
+//     lock held, concurrently with every other appender;
+//  3. publishes — marks the reservation complete.
+//
+// A single flusher goroutine consumes the contiguous published prefix and
+// hands whole byte ranges to the durable sink, so the hot path shrinks from
+// "mutex across encode+copy per record" to "a few dozen instructions under a
+// latch per record". This is the log-side analogue of what SLI does to the
+// lock manager: the last centralized service on the commit path becomes a
+// short fixed-cost critical section.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLogBufferBytes is the default size of the consolidated log buffer.
+const DefaultLogBufferBytes = 4 << 20
+
+// minLogBufferBytes bounds how small a configured buffer may be; tiny buffers
+// are allowed (tests use them to force wraparound and buffer-full waits) but
+// must still hold a handful of records.
+const minLogBufferBytes = 4 << 10
+
+// rangeTargetBytes caps one flush range handed to the durable sink, so that
+// segment rotation (checked once per range) keeps segment files near their
+// configured size even when the flusher drains a very full buffer.
+const rangeTargetBytes = 512 << 10
+
+// AppendWaits reports where an Append spent time blocked, so callers can
+// attribute it to the profiler's reserve-wait and buffer-full-wait categories
+// separately from useful log work.
+type AppendWaits struct {
+	// Reserve is the time spent entering the reservation critical section:
+	// the consolidated buffer's short latch, or — in MutexLog mode — the
+	// whole centralized log mutex. This is the contention the consolidated
+	// buffer exists to shrink.
+	Reserve time.Duration
+	// BufferFull is the time spent waiting for the flusher to drain the
+	// buffer because the reservation did not fit. It indicates an undersized
+	// buffer or a saturated sink, not latch contention.
+	BufferFull time.Duration
+}
+
+// slot describes one reservation in the consolidated buffer, in LSN order.
+// Padding slots (pad == true) carry no record; they account for the unusable
+// bytes at the physical end of the ring when a frame would otherwise wrap.
+type slot struct {
+	rec   Record // LSN assigned at reserve time; zero for padding slots
+	off   int64  // virtual start offset of the reserved range
+	n     int64  // length of the reserved range in bytes
+	pad   bool
+	ready atomic.Bool // set by publish; pads are born ready
+}
+
+// flushRange is one physically contiguous run of published frames, ready to
+// be handed to a RangeSink or an io.Writer as-is.
+type flushRange struct {
+	data        []byte
+	first, last LSN
+}
+
+// logBuffer is the consolidated buffer itself: a byte ring addressed by
+// monotonically increasing virtual offsets (phys = off % size), plus the
+// reservation queue. Reservers contend only on mu for the short reserve
+// arithmetic; fills happen fully outside it. The flusher is the single
+// consumer.
+type logBuffer struct {
+	size int64
+	buf  []byte
+
+	mu      sync.Mutex
+	notFull *sync.Cond
+	head    int64   // next virtual offset to reserve
+	tail    int64   // oldest virtual offset still in use (advanced by release)
+	slots   []*slot // reservations not yet consumed, in LSN order
+	err     error   // set once by close: every later reserve fails with it
+
+	next        atomic.Uint64 // next LSN to assign; written under mu, read lock-free
+	fullWaiters atomic.Int32  // reservers blocked on a full buffer (flusher pressure signal)
+}
+
+func newLogBuffer(size int64, start LSN) *logBuffer {
+	if size <= 0 {
+		size = DefaultLogBufferBytes
+	}
+	if size < minLogBufferBytes {
+		size = minLogBufferBytes
+	}
+	lb := &logBuffer{size: size, buf: make([]byte, size)}
+	lb.notFull = sync.NewCond(&lb.mu)
+	lb.next.Store(uint64(start))
+	return lb
+}
+
+func (lb *logBuffer) phys(off int64) int64 { return off % lb.size }
+
+// lastLSN returns the highest LSN reserved so far.
+func (lb *logBuffer) lastLSN() LSN { return LSN(lb.next.Load()) - 1 }
+
+// fitsLocked reports whether a frame of n bytes fits right now, and the
+// padding needed to keep it from wrapping across the physical end of the
+// ring. It is the single statement of the ring's no-wrap admission rule,
+// shared by reserve's admission test and its full-wait recheck.
+func (lb *logBuffer) fitsLocked(n int64) (pad int64, fits bool) {
+	if rem := lb.size - lb.phys(lb.head); rem < n {
+		pad = rem
+	}
+	return pad, lb.head+pad+n-lb.tail <= lb.size
+}
+
+// reserve assigns rec's LSN and a byte range of the buffer. The critical
+// section is O(1): LSN assignment, exact-size computation and offset
+// arithmetic — no encoding, no copying. When the buffer is full the reserver
+// calls kick (with no locks held) so the flusher drains even before any
+// durability subscription exists, then waits for space. LSNs are assigned in
+// reservation-completion order, so the slot queue is always in LSN order.
+// timed gates the wait-clock reads so non-profiled appends pay no time.Now
+// on the hot path (and none inside the latch).
+func (lb *logBuffer) reserve(rec Record, kick func(), timed bool) (*slot, AppendWaits, error) {
+	var w AppendWaits
+	var lockStart time.Time
+	if timed {
+		lockStart = time.Now()
+	}
+	lb.mu.Lock()
+	if timed {
+		w.Reserve = time.Since(lockStart)
+	}
+	for {
+		if lb.err != nil {
+			err := lb.err
+			lb.mu.Unlock()
+			return nil, w, err
+		}
+		// The frame embeds the LSN as a varint, so the exact size is only
+		// known once the LSN is; both are computed inside the critical
+		// section, which stays O(1).
+		rec.LSN = LSN(lb.next.Load())
+		n := int64(rec.EncodedSize())
+		if n > maxFrameBytes || n > lb.size/2 {
+			// A frame past maxFrameBytes is undecodable by every reader
+			// (the decoder treats it as corruption), and one past half the
+			// buffer could starve forever behind smaller reservations;
+			// reject at append time instead of corrupting the log.
+			lb.mu.Unlock()
+			return nil, w, fmt.Errorf("wal: record frame of %d bytes exceeds log buffer capacity (max %d)", n, min(int64(maxFrameBytes), lb.size/2))
+		}
+		if pad, fits := lb.fitsLocked(n); fits {
+			if pad > 0 {
+				p := &slot{off: lb.head, n: pad, pad: true}
+				p.ready.Store(true)
+				lb.slots = append(lb.slots, p)
+				lb.head += pad
+			}
+			s := &slot{rec: rec, off: lb.head, n: n}
+			lb.slots = append(lb.slots, s)
+			lb.head += n
+			lb.next.Add(1)
+			lb.mu.Unlock()
+			return s, w, nil
+		}
+		// Full. Wake the flusher without holding the buffer latch, then wait
+		// for released space. The re-check under the lock avoids losing a
+		// broadcast that landed between kick and re-lock; the outer loop
+		// re-derives the size and padding because the LSN (and therefore the
+		// frame size) may have moved while we slept.
+		lb.fullWaiters.Add(1)
+		lb.mu.Unlock()
+		kick()
+		if timed {
+			lockStart = time.Now()
+		}
+		lb.mu.Lock()
+		if timed {
+			// Re-acquisition after the kick is latch contention too.
+			w.Reserve += time.Since(lockStart)
+		}
+		if _, fits := lb.fitsLocked(n); lb.err == nil && !fits {
+			var fullStart time.Time
+			if timed {
+				fullStart = time.Now()
+			}
+			lb.notFull.Wait()
+			if timed {
+				w.BufferFull += time.Since(fullStart)
+			}
+		}
+		lb.fullWaiters.Add(-1)
+	}
+}
+
+// fill encodes the reserved record directly into the shared buffer — outside
+// any latch, concurrently with other fillers — and publishes it. Reservations
+// never wrap the physical end of the ring (reserve pads instead), so the
+// destination is a single contiguous slice.
+func (lb *logBuffer) fill(s *slot) {
+	start := lb.phys(s.off)
+	if n := int64(s.rec.EncodeTo(lb.buf[start : start+s.n])); n != s.n {
+		panic(fmt.Sprintf("wal: reserved %d bytes but encoded %d", s.n, n))
+	}
+	s.ready.Store(true)
+}
+
+// consume removes the contiguous published prefix of the reservation queue
+// and returns it as physically contiguous byte ranges (split at ring
+// wraparound, padding, and rangeTargetBytes), the records it contains (only
+// when keepRecs is set), their count, the highest LSN taken, and the new
+// consumed watermark. The ranges alias the buffer: the caller must finish
+// reading them and then call release(end) to hand the space back to
+// reservers. end == 0 means nothing was consumable. Single consumer only.
+func (lb *logBuffer) consume(keepRecs bool) (ranges []flushRange, recs []Record, count int, last LSN, end int64) {
+	lb.mu.Lock()
+	k := 0
+	for _, s := range lb.slots {
+		if !s.ready.Load() {
+			break
+		}
+		k++
+	}
+	taken := lb.slots[:k:k]
+	lb.slots = lb.slots[k:]
+	lb.mu.Unlock()
+	if k == 0 {
+		return nil, nil, 0, 0, 0
+	}
+
+	curStart := int64(-1)
+	var curLen int64
+	var curFirst, curLast LSN
+	flushCur := func() {
+		if curStart >= 0 {
+			ranges = append(ranges, flushRange{
+				data:  lb.buf[curStart : curStart+curLen],
+				first: curFirst,
+				last:  curLast,
+			})
+			curStart = -1
+		}
+	}
+	for _, s := range taken {
+		end = s.off + s.n
+		if s.pad {
+			flushCur()
+			continue
+		}
+		start := lb.phys(s.off)
+		if curStart >= 0 && (start != curStart+curLen || curLen >= rangeTargetBytes) {
+			flushCur()
+		}
+		if curStart < 0 {
+			curStart, curLen, curFirst = start, 0, s.rec.LSN
+		}
+		curLen += s.n
+		curLast = s.rec.LSN
+		count++
+		last = s.rec.LSN
+		if keepRecs {
+			recs = append(recs, s.rec)
+		}
+	}
+	flushCur()
+	return ranges, recs, count, last, end
+}
+
+// release hands consumed buffer space back to reservers once the flusher has
+// finished reading it (the physical write; Sync never reads the buffer).
+func (lb *logBuffer) release(end int64) {
+	lb.mu.Lock()
+	if end > lb.tail {
+		lb.tail = end
+	}
+	lb.notFull.Broadcast()
+	lb.mu.Unlock()
+}
+
+// close wedges the buffer: every later reserve fails with err and blocked
+// reservers wake. Reservations already made may still fill and publish, so a
+// closing log can drain them.
+func (lb *logBuffer) close(err error) {
+	lb.mu.Lock()
+	if lb.err == nil {
+		lb.err = err
+	}
+	lb.notFull.Broadcast()
+	lb.mu.Unlock()
+}

@@ -1,0 +1,378 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// captureSink is an in-memory DurableSink + RangeSink that records exactly
+// the bytes it was handed, so tests can assert that the consolidated
+// buffer's range writes are byte-identical to per-record encoding.
+type captureSink struct {
+	mu     sync.Mutex
+	data   bytes.Buffer
+	ranges int
+	syncs  int
+}
+
+func (c *captureSink) WriteRecord(rec Record, encoded []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data.Write(encoded)
+	return nil
+}
+
+func (c *captureSink) WriteRange(encoded []byte, first, last LSN) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data.Write(encoded)
+	c.ranges++
+	return nil
+}
+
+func (c *captureSink) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncs++
+	return nil
+}
+
+func (c *captureSink) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.data.Bytes()...)
+}
+
+// recordSink is a DurableSink WITHOUT the range fast path (no WriteRange
+// method at all), forcing the flusher's per-record compatibility path.
+type recordSink struct {
+	mu   sync.Mutex
+	data bytes.Buffer
+}
+
+func (r *recordSink) WriteRecord(rec Record, encoded []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.data.Write(encoded)
+	return nil
+}
+
+func (r *recordSink) Sync() error { return nil }
+
+func (r *recordSink) bytes() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.data.Bytes()...)
+}
+
+// decodeAll decodes every frame in data, failing the test on any error.
+func decodeAll(t *testing.T, data []byte) []Record {
+	t.Helper()
+	var out []Record
+	reader := bytes.NewReader(data)
+	for {
+		rec, err := DecodeFrom(reader)
+		if err != nil {
+			break
+		}
+		out = append(out, rec)
+	}
+	if reader.Len() != 0 {
+		t.Fatalf("%d undecodable trailing bytes in sink stream", reader.Len())
+	}
+	return out
+}
+
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	cases := []Record{
+		{},
+		{LSN: 1, XID: 1, Type: RecBegin},
+		{LSN: 1 << 40, XID: 1 << 50, Type: RecUpdate, Table: 1 << 20, Page: 1 << 55, Slot: 1 << 30,
+			Before: bytes.Repeat([]byte{0xab}, 300), After: bytes.Repeat([]byte{0xcd}, 7)},
+		sampleRecord(),
+	}
+	for i, rec := range cases {
+		enc := rec.Encode()
+		if got := rec.EncodedSize(); got != len(enc) {
+			t.Fatalf("case %d: EncodedSize = %d, Encode produced %d bytes", i, got, len(enc))
+		}
+		buf := make([]byte, rec.EncodedSize())
+		if n := rec.EncodeTo(buf); n != len(enc) || !bytes.Equal(buf[:n], enc) {
+			t.Fatalf("case %d: EncodeTo produced different bytes than Encode", i)
+		}
+	}
+}
+
+// TestConsolidatedConcurrentAppendsRoundTrip is the core reserve/fill/publish
+// correctness test: many appenders race into a small buffer (forcing ring
+// wraparound, padding, and buffer-full waits), and the stream handed to the
+// sink must decode to exactly the records appended, in contiguous LSN order,
+// byte-identical to their individual encodings.
+func TestConsolidatedConcurrentAppendsRoundTrip(t *testing.T) {
+	sink := &captureSink{}
+	l := New(Config{Durable: sink, DropAfterFlush: true, BufferBytes: 8 << 10})
+	const (
+		appenders  = 8
+		perAppend  = 200
+		totalRecs  = appenders * perAppend
+		maxPayload = 200
+	)
+	var mu sync.Mutex
+	want := make(map[LSN]Record, totalRecs)
+	var wg sync.WaitGroup
+	for g := 0; g < appenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perAppend; i++ {
+				rec := Record{
+					XID:   uint64(g + 1),
+					Type:  RecUpdate,
+					Table: uint32(g),
+					Page:  uint64(i),
+					Slot:  uint32(i % 7),
+					After: bytes.Repeat([]byte{byte(g)}, 1+(g*31+i*17)%maxPayload),
+				}
+				lsn, err := l.Append(rec)
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				rec.LSN = lsn
+				mu.Lock()
+				want[lsn] = rec
+				mu.Unlock()
+				// Subscribe occasionally so flushing interleaves with appends.
+				if i%32 == 0 {
+					l.FlushAsync(lsn)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := decodeAll(t, sink.bytes())
+	if len(got) != totalRecs {
+		t.Fatalf("sink decoded %d records, want %d", len(got), totalRecs)
+	}
+	for i, rec := range got {
+		if rec.LSN != LSN(i+1) {
+			t.Fatalf("record %d has LSN %d: stream not in contiguous LSN order", i, rec.LSN)
+		}
+		w, ok := want[rec.LSN]
+		if !ok {
+			t.Fatalf("LSN %d was never appended", rec.LSN)
+		}
+		if !reflect.DeepEqual(rec, w) {
+			t.Fatalf("LSN %d round-trip mismatch:\nwant %+v\ngot  %+v", rec.LSN, w, rec)
+		}
+		if !bytes.Equal(rec.Encode(), w.Encode()) {
+			t.Fatalf("LSN %d not byte-identical through the shared buffer", rec.LSN)
+		}
+	}
+	if l.DurableLSN() != LSN(totalRecs) {
+		t.Fatalf("DurableLSN = %d, want %d", l.DurableLSN(), totalRecs)
+	}
+}
+
+// TestConsolidatedBackpressureDrainsWithoutSubscriptions pins the pressure
+// path: a single appender writing more bytes than the buffer holds — with no
+// durability subscription anywhere — must not deadlock; blocked reservations
+// kick the flusher directly.
+func TestConsolidatedBackpressureDrainsWithoutSubscriptions(t *testing.T) {
+	sink := &captureSink{}
+	l := New(Config{Durable: sink, DropAfterFlush: true, BufferBytes: 4 << 10})
+	payload := bytes.Repeat([]byte{0x5a}, 512)
+	const n = 64 // 64 * ~520B is several times the buffer
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if _, err := l.Append(Record{XID: 1, Type: RecInsert, After: payload}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("appends deadlocked on a full buffer with no flush subscription")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeAll(t, sink.bytes()); len(got) != n {
+		t.Fatalf("sink decoded %d records, want %d", len(got), n)
+	}
+}
+
+// TestConsolidatedMatchesPerRecordSink runs the same appends through a
+// range-capable sink and a records-only sink: the byte streams must be
+// identical, proving the range fast path changes no on-disk bytes.
+func TestConsolidatedMatchesPerRecordSink(t *testing.T) {
+	fast := &captureSink{}
+	slow := &recordSink{}
+	lf := New(Config{Durable: fast, DropAfterFlush: true, BufferBytes: 4 << 10})
+	ls := New(Config{Durable: slow, DropAfterFlush: true, BufferBytes: 4 << 10})
+	for i := 0; i < 300; i++ {
+		rec := Record{XID: uint64(i % 5), Type: RecUpdate, Table: 2, Page: uint64(i),
+			Before: bytes.Repeat([]byte{1}, i%90), After: bytes.Repeat([]byte{2}, (i*3)%50)}
+		if _, err := lf.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ls.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fast.ranges == 0 {
+		t.Fatal("range fast path never used despite RangeSink implementation")
+	}
+	if !bytes.Equal(fast.bytes(), slow.bytes()) {
+		t.Fatal("range-written stream differs from per-record stream")
+	}
+}
+
+// TestMutexLogModeMatchesConsolidated pins the ablation baseline: the legacy
+// mutex-per-append path must produce the same on-disk byte stream as the
+// consolidated buffer.
+func TestMutexLogModeMatchesConsolidated(t *testing.T) {
+	legacy := &captureSink{}
+	cons := &captureSink{}
+	ll := New(Config{Durable: legacy, DropAfterFlush: true, MutexLog: true})
+	lc := New(Config{Durable: cons, DropAfterFlush: true})
+	for i := 0; i < 100; i++ {
+		rec := Record{XID: 9, Type: RecInsert, Table: 1, Page: uint64(i), After: []byte("payload")}
+		if _, err := ll.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := lc.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ll.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.ranges != 0 {
+		t.Fatal("MutexLog mode must not use the range fast path")
+	}
+	if !bytes.Equal(legacy.bytes(), cons.bytes()) {
+		t.Fatal("MutexLog byte stream differs from consolidated byte stream")
+	}
+}
+
+// TestFlushAsyncReopenEdge pins the clamp-then-recheck fix: on a log
+// reopened at StartLSN with nothing appended yet, subscriptions at or below
+// the recovered durable prefix — and subscriptions beyond the last append,
+// which clamp down to it — must acknowledge immediately instead of
+// registering a waiter that no flush cycle ever satisfies.
+func TestFlushAsyncReopenEdge(t *testing.T) {
+	for _, mutexLog := range []bool{false, true} {
+		t.Run(fmt.Sprintf("mutexLog=%v", mutexLog), func(t *testing.T) {
+			l := New(Config{StartLSN: 100, MutexLog: mutexLog})
+			for _, upTo := range []LSN{0, 1, 50, 99, 100, 1000} {
+				select {
+				case err := <-l.FlushAsync(upTo):
+					if err != nil {
+						t.Fatalf("FlushAsync(%d) on reopened empty log: %v", upTo, err)
+					}
+				case <-time.After(2 * time.Second):
+					t.Fatalf("FlushAsync(%d) on reopened empty log never acked (nextLSN == StartLSN edge)", upTo)
+				}
+			}
+			// The log still works normally past the recovered prefix.
+			lsn, err := l.Append(Record{XID: 1, Type: RecCommit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lsn != 100 {
+				t.Fatalf("first LSN after reopen = %d, want 100", lsn)
+			}
+			if err := l.Flush(lsn); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// stuckSink parks the flusher inside its first write until released, keeping
+// the buffer full so tests can observe reservers blocked on space.
+type stuckSink struct {
+	release chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+func (s *stuckSink) WriteRecord(rec Record, encoded []byte) error {
+	s.once.Do(func() { close(s.entered) })
+	<-s.release
+	return nil
+}
+
+func (s *stuckSink) WriteRange(encoded []byte, first, last LSN) error {
+	s.once.Do(func() { close(s.entered) })
+	<-s.release
+	return nil
+}
+
+func (s *stuckSink) Sync() error { return nil }
+
+// TestConsolidatedCrashFailsBlockedReservers: a reserver blocked on a full
+// buffer must wake with the crash error, not hang — even while the flusher
+// is wedged inside a sink write and can never drain.
+func TestConsolidatedCrashFailsBlockedReservers(t *testing.T) {
+	sink := &stuckSink{release: make(chan struct{}), entered: make(chan struct{})}
+	defer close(sink.release)
+	l := New(Config{BufferBytes: 4 << 10, Durable: sink, DropAfterFlush: true})
+	payload := bytes.Repeat([]byte{1}, 1024)
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < 16; i++ {
+			if _, err := l.Append(Record{XID: 1, Type: RecInsert, After: payload}); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	// Wait for the flusher to wedge in the sink, then give the appender time
+	// to refill the buffer and block on space that will never be released.
+	select {
+	case <-sink.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher never reached the sink")
+	}
+	time.Sleep(50 * time.Millisecond)
+	l.Crash()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("blocked reserver got %v, want ErrCrashed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reserver stayed blocked across Crash")
+	}
+}

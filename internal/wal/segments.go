@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -182,6 +183,66 @@ func (s *Segments) WriteRecord(rec Record, encoded []byte) error {
 		s.maxLSN = rec.LSN
 	}
 	return nil
+}
+
+// WriteRange appends a contiguous run of already-encoded frames — the
+// consolidated log buffer's published prefix, in LSN order from first to
+// last — writing whole multi-frame chunks per write call instead of one
+// record at a time. It is the RangeSink fast path of the DurableSink
+// interface. Rotation decisions are identical to WriteRecord's: a frame goes
+// to the current segment iff the segment is still under the rotation size
+// when the frame starts, so a frame is never split across segment files and
+// every segment starts at a frame boundary whose LSN names the file.
+func (s *Segments) WriteRange(encoded []byte, first, last LSN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("wal: segments closed")
+	}
+	lsn := first
+	for len(encoded) > 0 {
+		if s.cur == nil || s.curSize >= s.segBytes {
+			if err := s.rotateLocked(lsn); err != nil {
+				return err
+			}
+		}
+		chunk, frames := rangePrefix(encoded, s.segBytes-s.curSize)
+		n, err := s.cur.Write(chunk)
+		s.curSize += int64(n)
+		if err != nil {
+			return fmt.Errorf("wal: segment range write: %w", err)
+		}
+		// The log assigns consecutive LSNs, so the next chunk's first frame
+		// (which may name a fresh segment) is lsn + frames.
+		lsn += LSN(frames)
+		encoded = encoded[len(chunk):]
+	}
+	if last > s.maxLSN {
+		s.maxLSN = last
+	}
+	return nil
+}
+
+// rangePrefix returns the longest prefix of encoded made of whole frames
+// that start within the current segment's remaining budget, and the number
+// of frames it holds. The first frame is always included (it may overshoot
+// the budget, exactly as WriteRecord's rotate-before-write check allows).
+func rangePrefix(encoded []byte, room int64) ([]byte, int) {
+	off, frames := 0, 0
+	for off < len(encoded) && (frames == 0 || int64(off) < room) {
+		length, n := binary.Uvarint(encoded[off:])
+		if n <= 0 || int(length) > len(encoded)-off-n {
+			// The flusher only hands over whole frames; a short parse here
+			// would be a log-buffer bug. Take the rest as one chunk rather
+			// than loop forever.
+			off = len(encoded)
+			frames++
+			break
+		}
+		off += n + int(length)
+		frames++
+	}
+	return encoded[:off], frames
 }
 
 // rotateLocked closes the current segment (forcing it to disk) and creates a

@@ -189,6 +189,112 @@ func TestSegmentsTornTailTruncated(t *testing.T) {
 	}
 }
 
+// TestTornTailAcrossRotationBoundary covers the crash signature where the
+// torn record straddles a segment rotation: the previous segment ends clean
+// at a frame boundary and the freshly rotated segment holds only the partial
+// first frame that was mid-write when the machine died. Repair must truncate
+// the new segment to empty (not reject it, and not disturb the full previous
+// segments), recover MaxLSN from the earlier segments, and let appends
+// resume into a valid log.
+func TestTornTailAcrossRotationBoundary(t *testing.T) {
+	dir := t.TempDir()
+	l, segs := logTo(t, dir, 128) // tiny segments force rotation
+	last := appendN(t, l, 1, 20)
+	if err := l.Flush(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := segs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := segs.SegmentCount(); n < 2 {
+		t.Fatalf("setup needs several segments, got %d", n)
+	}
+
+	// Simulate the crash: a new segment was created at rotation and the
+	// first record's frame only partially reached it. The partial frame is a
+	// valid length prefix with a truncated body — the straddle signature.
+	torn := Record{LSN: last + 1, XID: 2, Type: RecInsert, Table: 1, After: []byte("payload-payload")}.Encode()
+	torn = torn[:len(torn)/2]
+	path := filepath.Join(dir, segmentName(last+1))
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	segs2, err := OpenSegments(dir, 128)
+	if err != nil {
+		t.Fatalf("reopen with torn rotated segment: %v", err)
+	}
+	defer segs2.Close()
+	if got := segs2.MaxLSN(); got != last {
+		t.Fatalf("MaxLSN = %d, want %d (torn first record of rotated segment must not count)", got, last)
+	}
+	if got := collect(t, segs2, 1); len(got) != int(last) {
+		t.Fatalf("iterated %d records, want %d", len(got), last)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("torn rotated segment not truncated to empty: size=%v err=%v", fi.Size(), err)
+	}
+
+	// Appends resume seamlessly above the repaired tail.
+	l2 := New(Config{Durable: segs2, StartLSN: segs2.MaxLSN() + 1, DropAfterFlush: true})
+	lastResumed := appendN(t, l2, 3, 2)
+	if err := l2.Flush(lastResumed); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, segs2, 1)
+	if len(got) != int(last)+2 || got[len(got)-1].LSN != last+2 {
+		t.Fatalf("append after straddle repair: %d records, last LSN %d", len(got), got[len(got)-1].LSN)
+	}
+}
+
+// TestRangeWriteRotationMatchesPerRecord pins WriteRange's rotation rule: a
+// frame goes to the current segment iff the segment is under the rotation
+// size when the frame starts — the same rule WriteRecord applies — so range
+// writes never split a frame across segment files.
+func TestRangeWriteRotationMatchesPerRecord(t *testing.T) {
+	dir := t.TempDir()
+	segs, err := OpenSegments(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer segs.Close()
+	// One large range of many frames: rotation must slice it at frame
+	// boundaries into several segments.
+	var rng []byte
+	var first, last LSN
+	for i := 1; i <= 40; i++ {
+		rec := Record{LSN: LSN(i), XID: 7, Type: RecInsert, Table: 1, After: []byte("0123456789abcdef")}
+		if first == 0 {
+			first = rec.LSN
+		}
+		last = rec.LSN
+		rng = append(rng, rec.Encode()...)
+	}
+	if err := segs.WriteRange(rng, first, last); err != nil {
+		t.Fatal(err)
+	}
+	if err := segs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n := segs.SegmentCount(); n < 3 {
+		t.Fatalf("range write produced %d segments, want rotation to several", n)
+	}
+	// Every segment must scan clean (no frame split across files) and the
+	// full LSN sequence must be intact.
+	got := collect(t, segs, 1)
+	if len(got) != 40 {
+		t.Fatalf("iterated %d records, want 40", len(got))
+	}
+	for i, r := range got {
+		if r.LSN != LSN(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+}
+
 // TestCloseDrainsPendingRecords pins the Close/Flush contract: records
 // appended but never explicitly flushed must still reach the sink before
 // Close returns.

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -91,30 +92,62 @@ type Record struct {
 	After []byte
 }
 
-// Encode serializes the record to a compact binary form.
-func (r Record) Encode() []byte {
-	buf := make([]byte, 0, 64+len(r.Before)+len(r.After))
-	var tmp [binary.MaxVarintLen64]byte
-	put := func(v uint64) {
-		n := binary.PutUvarint(tmp[:], v)
-		buf = append(buf, tmp[:n]...)
+// uvarintLen returns the number of bytes binary.PutUvarint uses for v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
 	}
+	return n
+}
+
+// bodySize returns the size of the record body — everything inside the
+// length-prefixed frame.
+func (r Record) bodySize() int {
+	return uvarintLen(uint64(r.LSN)) + uvarintLen(r.XID) + 1 +
+		uvarintLen(uint64(r.Table)) + uvarintLen(r.Page) + uvarintLen(uint64(r.Slot)) +
+		uvarintLen(uint64(len(r.Before))) + len(r.Before) +
+		uvarintLen(uint64(len(r.After))) + len(r.After)
+}
+
+// EncodedSize returns the exact number of bytes Encode and EncodeTo produce
+// for the record, including the length-prefix frame. The size depends on the
+// LSN (it is varint-encoded), so it must be computed after the LSN is
+// assigned — which is why the consolidated log buffer computes it inside its
+// reservation critical section.
+func (r Record) EncodedSize() int {
+	body := r.bodySize()
+	return uvarintLen(uint64(body)) + body
+}
+
+// EncodeTo serializes the record — body and length-prefix frame together —
+// into buf, which must be at least EncodedSize() bytes, and returns the
+// number of bytes written. It allocates nothing, so appenders can encode
+// directly into the shared log buffer.
+func (r Record) EncodeTo(buf []byte) int {
+	pos := 0
+	put := func(v uint64) { pos += binary.PutUvarint(buf[pos:], v) }
+	put(uint64(r.bodySize()))
 	put(uint64(r.LSN))
 	put(r.XID)
-	buf = append(buf, byte(r.Type))
+	buf[pos] = byte(r.Type)
+	pos++
 	put(uint64(r.Table))
 	put(r.Page)
 	put(uint64(r.Slot))
 	put(uint64(len(r.Before)))
-	buf = append(buf, r.Before...)
+	pos += copy(buf[pos:], r.Before)
 	put(uint64(len(r.After)))
-	buf = append(buf, r.After...)
-	// Frame it with a length prefix so records can be streamed.
-	frame := make([]byte, 0, len(buf)+binary.MaxVarintLen64)
-	n := binary.PutUvarint(tmp[:], uint64(len(buf)))
-	frame = append(frame, tmp[:n]...)
-	frame = append(frame, buf...)
-	return frame
+	pos += copy(buf[pos:], r.After)
+	return pos
+}
+
+// Encode serializes the record to a compact binary form in a single
+// pre-sized allocation.
+func (r Record) Encode() []byte {
+	buf := make([]byte, r.EncodedSize())
+	return buf[:r.EncodeTo(buf)]
 }
 
 // ErrCorrupt is returned when a log record cannot be decoded.
@@ -265,17 +298,28 @@ func decodeBody(body []byte) (Record, error) {
 }
 
 // DurableSink is a stable-storage destination for flushed records. The log
-// writes every record of a group-commit batch with WriteRecord and then calls
-// Sync once per batch — the single physical "force" of the group commit.
-// Records are only counted as durable (and DurableLSN advanced) after Sync
-// returns nil. Segments implements DurableSink on a directory of on-disk
-// segment files.
+// writes every record of a group-commit batch (with WriteRecord, or whole
+// byte ranges at a time when the sink also implements RangeSink) and then
+// calls Sync once per batch — the single physical "force" of the group
+// commit. Records are only counted as durable (and DurableLSN advanced)
+// after Sync returns nil. Segments implements DurableSink on a directory of
+// on-disk segment files.
 type DurableSink interface {
 	// WriteRecord persists the encoded form of rec. encoded is the output of
 	// rec.Encode; it must not be retained after the call returns.
 	WriteRecord(rec Record, encoded []byte) error
 	// Sync forces previously written records to stable storage.
 	Sync() error
+}
+
+// RangeSink is the optional fast path of a DurableSink: the flusher hands it
+// whole byte ranges of the consolidated log buffer — many already-encoded
+// frames in LSN order — instead of one record at a time, so the sink pays
+// one write call (and one rotation check) per range rather than per record.
+// first and last are the LSNs of the first and last frame in encoded, which
+// must not be retained after the call returns.
+type RangeSink interface {
+	WriteRange(encoded []byte, first, last LSN) error
 }
 
 // Config configures the log.
@@ -306,6 +350,19 @@ type Config struct {
 	// KeepInMemory controls whether flushed records are retained in memory
 	// (needed for Records() and recovery tests). Default true.
 	DropAfterFlush bool
+	// MutexLog selects the legacy centralized append path — every Append
+	// takes the single log mutex and the flusher re-encodes record by
+	// record — instead of the consolidated reserve/fill/publish buffer. It
+	// exists as the baseline arm of the log-buffer ablation
+	// (cmd/slibench -ablation log-buffer); leave it off otherwise.
+	MutexLog bool
+	// BufferBytes sizes the consolidated log buffer (default 4 MiB). A
+	// reservation that does not fit blocks until the flusher drains the
+	// buffer, reported as AppendWaits.BufferFull. A single record frame
+	// larger than half the buffer (or than the decoder's 1 MiB frame limit,
+	// which would corrupt the log for every reader) is rejected at Append.
+	// Ignored under MutexLog.
+	BufferBytes int64
 }
 
 // Stats holds log counters.
@@ -329,24 +386,32 @@ type flushWaiter struct {
 	ch   chan error
 }
 
-// Log is the write-ahead log. Durability is driven by a single dedicated
-// flusher goroutine: committers subscribe to their commit LSN with FlushAsync
-// (or block in Flush) and the flusher performs one physical write+sync per
-// group-commit batch, advances the durable-LSN watermark, and acknowledges
-// every satisfied subscription in LSN order.
+// Log is the write-ahead log. Appends go through the consolidated
+// reserve/fill/publish buffer (see logbuf.go): the only centralized section
+// on the append path is the O(1) reservation latch, and records are encoded
+// into the shared buffer concurrently. Durability is driven by a single
+// dedicated flusher goroutine: committers subscribe to their commit LSN with
+// FlushAsync (or block in Flush) and the flusher consumes the contiguous
+// published prefix, performs one physical write+sync per group-commit batch
+// (handing whole byte ranges to a RangeSink), advances the durable-LSN
+// watermark, and acknowledges every satisfied subscription in LSN order.
+// Config.MutexLog restores the legacy single-mutex append path for ablation.
 type Log struct {
 	cfg Config
+	lb  *logBuffer // consolidated buffer; nil under MutexLog
 
 	mu            sync.Mutex
 	flushWork     *sync.Cond // signals the flusher goroutine that work arrived
-	records       []Record   // records appended but possibly not yet flushed
+	records       []Record   // MutexLog-mode append buffer
 	flushed       []Record   // records already flushed (retained unless DropAfterFlush)
-	nextLSN       LSN
-	flushLSN      LSN // highest LSN known durable
+	nextLSN       LSN        // MutexLog mode; the consolidated buffer owns its own
+	flushLSN      LSN        // highest LSN known durable
 	closed        bool
 	flusherActive bool          // the flusher goroutine has been started
 	waiters       []flushWaiter // pending durability subscriptions
 	failed        error         // first durable-sink error; wedges the log
+
+	fastRange bool // cfg.Durable also implements RangeSink
 
 	stats Stats
 }
@@ -359,25 +424,90 @@ func New(cfg Config) *Log {
 	}
 	l := &Log{cfg: cfg, nextLSN: start, flushLSN: start - 1}
 	l.flushWork = sync.NewCond(&l.mu)
+	if !cfg.MutexLog {
+		l.lb = newLogBuffer(cfg.BufferBytes, start)
+	}
+	if cfg.Durable != nil {
+		_, l.fastRange = cfg.Durable.(RangeSink)
+	}
 	return l
 }
 
 // Append adds a record to the log buffer and returns its LSN. The record is
 // not durable until Flush (directly or via group commit) covers its LSN.
+// Unlike AppendTimed it reads no clocks, so non-profiled callers pay nothing
+// for wait accounting on the hot path.
 func (l *Log) Append(rec Record) (LSN, error) {
+	lsn, _, err := l.append(rec, false)
+	return lsn, err
+}
+
+// AppendTimed is Append, additionally reporting where the call spent blocked
+// time so callers can attribute reserve waits and buffer-full waits to the
+// right profiler categories (and exclude them from useful log work).
+func (l *Log) AppendTimed(rec Record) (LSN, AppendWaits, error) {
+	return l.append(rec, true)
+}
+
+func (l *Log) append(rec Record, timed bool) (LSN, AppendWaits, error) {
+	if l.lb == nil {
+		return l.appendMutex(rec, timed)
+	}
+	s, w, err := l.lb.reserve(rec, l.kickFlusher, timed)
+	if err != nil {
+		return 0, w, err
+	}
+	l.lb.fill(s)
+	l.stats.Appends.Add(1)
+	return s.rec.LSN, w, nil
+}
+
+// appendMutex is the legacy centralized append path (Config.MutexLog): one
+// mutex serializes LSN assignment and the copy into the record slice, and
+// encoding happens later, record by record, in the flusher.
+func (l *Log) appendMutex(rec Record, timed bool) (LSN, AppendWaits, error) {
+	var w AppendWaits
+	var lockStart time.Time
+	if timed {
+		lockStart = time.Now()
+	}
 	l.mu.Lock()
+	if timed {
+		w.Reserve = time.Since(lockStart)
+	}
 	defer l.mu.Unlock()
 	if l.closed {
-		return 0, ErrClosed
+		return 0, w, ErrClosed
 	}
 	if l.failed != nil {
-		return 0, l.failed
+		return 0, w, l.failed
 	}
 	rec.LSN = l.nextLSN
 	l.nextLSN++
 	l.records = append(l.records, rec)
 	l.stats.Appends.Add(1)
-	return rec.LSN, nil
+	return rec.LSN, w, nil
+}
+
+// kickFlusher starts (if necessary) and wakes the flusher goroutine. It is
+// how a reserver blocked on a full buffer forces a drain even before any
+// durability subscription exists.
+func (l *Log) kickFlusher() {
+	l.mu.Lock()
+	if !l.closed && l.failed == nil {
+		l.startFlusherLocked()
+	}
+	l.flushWork.Signal()
+	l.mu.Unlock()
+}
+
+// lastLSNLocked returns the highest LSN assigned so far. Callers must hold
+// l.mu in MutexLog mode; the consolidated buffer's counter is read lock-free.
+func (l *Log) lastLSNLocked() LSN {
+	if l.lb != nil {
+		return l.lb.lastLSN()
+	}
+	return l.nextLSN - 1
 }
 
 // DurableLSN returns the highest LSN known to be durable: every record with
@@ -395,7 +525,7 @@ func (l *Log) DurableLSN() LSN {
 func (l *Log) LastLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.nextLSN - 1
+	return l.lastLSNLocked()
 }
 
 // Flush makes every record with LSN <= upTo durable and returns once it is.
@@ -426,10 +556,16 @@ func (l *Log) FlushAsync(upTo LSN) <-chan error {
 	default:
 		// An LSN beyond the last append can never be reached by flushing;
 		// clamp so the subscription means "everything appended so far".
-		if upTo >= l.nextLSN {
-			upTo = l.nextLSN - 1
+		if last := l.lastLSNLocked(); upTo > last {
+			upTo = last
 		}
 		if l.flushLSN >= upTo {
+			// Re-check after clamping. Besides the ordinary already-durable
+			// case, this covers the reopen edge where nothing has been
+			// appended yet (nextLSN == StartLSN, so lastLSN == StartLSN-1 ==
+			// flushLSN): a subscription at or below the recovered durable
+			// prefix must be acknowledged immediately — registering it would
+			// park a waiter that no flush cycle ever satisfies.
 			ch <- nil
 			return ch
 		}
@@ -462,94 +598,211 @@ func (l *Log) pendingFlushLocked() bool {
 	return false
 }
 
+// workPendingLocked reports whether the flusher has anything actionable:
+// an unsatisfied durability subscription, or — consolidated mode only —
+// reservers blocked on a full buffer (which must be drained even when no
+// commit has subscribed yet, e.g. a large loading transaction).
+func (l *Log) workPendingLocked() bool {
+	if l.pendingFlushLocked() {
+		return true
+	}
+	return l.lb != nil && l.lb.fullWaiters.Load() > 0
+}
+
 // flusherLoop is the dedicated flush daemon: one group-commit cycle per
-// wakeup, batching every record appended up to the moment the physical write
-// starts (commits arriving during the group-commit window join the batch).
+// wakeup, batching every record published up to the moment the physical
+// write starts (commits arriving during the group-commit window join the
+// batch).
 func (l *Log) flusherLoop() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	for {
-		for !l.closed && l.failed == nil && !l.pendingFlushLocked() {
+		l.mu.Lock()
+		for !l.closed && l.failed == nil && !l.workPendingLocked() {
 			l.flushWork.Wait()
 		}
 		if l.failed != nil {
-			l.failWaitersLocked(l.failed)
+			err := l.failed
+			l.failWaitersLocked(err)
 			l.flusherActive = false
-			return
-		}
-		if l.closed && !l.pendingFlushLocked() {
-			l.flusherActive = false
-			return
-		}
-
-		window := l.cfg.GroupCommitWindow
-		if window > 0 {
 			l.mu.Unlock()
+			if l.lb != nil {
+				// Fail reservers blocked on a full buffer too: no one will
+				// ever drain it again.
+				l.lb.close(err)
+			}
+			return
+		}
+		if l.closed && !l.workPendingLocked() {
+			l.flusherActive = false
+			l.mu.Unlock()
+			return
+		}
+		// The group-commit window exists to widen commit batches; when the
+		// only pending work is reservers blocked on a full buffer (no
+		// durability subscription yet), drain immediately instead of
+		// stalling bulk appends one buffer per window.
+		subscriptionsPending := l.pendingFlushLocked()
+		l.mu.Unlock()
+
+		if window := l.cfg.GroupCommitWindow; window > 0 && subscriptionsPending {
 			time.Sleep(window)
 			l.mu.Lock()
-			if l.failed != nil {
+			crashed := l.failed != nil
+			l.mu.Unlock()
+			if crashed {
 				// Crashed or wedged while the window was open: nothing from
 				// this cycle (or the append buffer) may reach the sink.
 				continue
 			}
 		}
-		// Snapshot everything appended so far: the whole group commits
-		// together, including records that arrived during the window.
-		batch := l.records
-		l.records = nil
-		target := l.nextLSN - 1
-		l.mu.Unlock()
-
-		var durableErr, sinkErr error
-		for _, r := range batch {
-			enc := r.Encode()
-			if l.cfg.Durable != nil {
-				if werr := l.cfg.Durable.WriteRecord(r, enc); werr != nil {
-					durableErr = werr
-					break
-				}
-			}
-			if l.cfg.Sink != nil && sinkErr == nil {
-				// The Sink is a best-effort mirror: its failure is reported
-				// but does not affect durability or stop the log.
-				if _, werr := l.cfg.Sink.Write(enc); werr != nil {
-					sinkErr = werr
-				}
-			}
+		progressed := l.flushMutexBatch
+		if l.lb != nil {
+			progressed = l.flushConsolidated
 		}
-		if durableErr == nil && l.cfg.Durable != nil {
-			// The single physical force of the group commit.
-			durableErr = l.cfg.Durable.Sync()
+		if !progressed() {
+			// Work is pending but nothing was consumable: a lower-LSN
+			// reservation is still being filled (a concurrent memcpy, gone in
+			// microseconds). Yield instead of spinning on the buffer latch.
+			runtime.Gosched()
 		}
-		if l.cfg.FlushDelay > 0 {
-			time.Sleep(l.cfg.FlushDelay)
-		}
-
-		l.mu.Lock()
-		if !l.cfg.DropAfterFlush {
-			l.flushed = append(l.flushed, batch...)
-		}
-		l.stats.Flushes.Add(1)
-		if l.failed != nil {
-			// Crashed while the batch was in flight: even if the sync
-			// succeeded, report failure — crash semantics allow un-acked
-			// records to survive, never the reverse.
-			continue
-		}
-		if durableErr != nil {
-			// The durable prefix can no longer grow contiguously: wedge the
-			// log so no later record is ever reported durable past the gap.
-			if l.failed == nil {
-				l.failed = durableErr
-			}
-			continue // top of loop fails the waiters and exits
-		}
-		if l.flushLSN < target {
-			l.flushLSN = target
-		}
-		l.stats.Synced.Add(uint64(len(batch)))
-		l.notifyWaitersLocked(sinkErr)
 	}
+}
+
+// flushMutexBatch is one legacy-mode group-commit cycle: snapshot the append
+// buffer, encode and write record by record, sync once.
+func (l *Log) flushMutexBatch() bool {
+	l.mu.Lock()
+	// Snapshot everything appended so far: the whole group commits together,
+	// including records that arrived during the window.
+	batch := l.records
+	l.records = nil
+	target := l.nextLSN - 1
+	l.mu.Unlock()
+
+	var durableErr, sinkErr error
+	for _, r := range batch {
+		enc := r.Encode()
+		if l.cfg.Durable != nil {
+			if werr := l.cfg.Durable.WriteRecord(r, enc); werr != nil {
+				durableErr = werr
+				break
+			}
+		}
+		if l.cfg.Sink != nil && sinkErr == nil {
+			// The Sink is a best-effort mirror: its failure is reported
+			// but does not affect durability or stop the log.
+			if _, werr := l.cfg.Sink.Write(enc); werr != nil {
+				sinkErr = werr
+			}
+		}
+	}
+	l.finishCycle(batch, len(batch), target, durableErr, sinkErr)
+	return true
+}
+
+// flushConsolidated is one consolidated-mode group-commit cycle: consume the
+// contiguous published prefix of the log buffer and hand whole byte ranges
+// to the sinks — no per-record re-encode, no per-record write call on the
+// RangeSink fast path. It returns false when nothing was consumable.
+func (l *Log) flushConsolidated() bool {
+	// Per-record structures are only materialized when something needs them:
+	// in-memory retention for Records(), or a durable sink without the
+	// range-write fast path.
+	keepRecs := !l.cfg.DropAfterFlush || (l.cfg.Durable != nil && !l.fastRange)
+	ranges, recs, count, last, end := l.lb.consume(keepRecs)
+	if end == 0 {
+		return false
+	}
+	if count == 0 {
+		// Only wraparound padding was consumable (the record after it is
+		// still being filled): free the pad space but don't pay a sync or
+		// the flush delay for zero records.
+		l.lb.release(end)
+		return true
+	}
+
+	// The best-effort Sink mirror trails the durable sink: a chunk only
+	// reaches the mirror once the durable sink accepted it, so after a wedge
+	// the mirror stream never contains records that missed stable storage.
+	var durableErr, sinkErr error
+	mirror := func(data []byte) {
+		if l.cfg.Sink == nil || sinkErr != nil {
+			return
+		}
+		if _, werr := l.cfg.Sink.Write(data); werr != nil {
+			sinkErr = werr
+		}
+	}
+	switch {
+	case l.cfg.Durable != nil && l.fastRange:
+		rs := l.cfg.Durable.(RangeSink)
+		for _, r := range ranges {
+			if werr := rs.WriteRange(r.data, r.first, r.last); werr != nil {
+				durableErr = werr
+				break
+			}
+			mirror(r.data)
+		}
+	case l.cfg.Durable != nil:
+		// Compatibility path for DurableSinks that only take records:
+		// re-encode each one, exactly like the legacy flusher.
+		for _, rec := range recs {
+			enc := rec.Encode()
+			if werr := l.cfg.Durable.WriteRecord(rec, enc); werr != nil {
+				durableErr = werr
+				break
+			}
+			mirror(enc)
+		}
+	default:
+		for _, r := range ranges {
+			mirror(r.data)
+		}
+	}
+	// The physical writes above are the last readers of the consumed bytes
+	// (Sync forces the OS, it never touches the buffer), so the space goes
+	// back to reservers before the sync latency is paid.
+	l.lb.release(end)
+
+	l.finishCycle(recs, count, last, durableErr, sinkErr)
+	return true
+}
+
+// finishCycle is the shared tail of a group-commit cycle: the single
+// physical force, retention, the durable-watermark advance, and the LSN-
+// ordered acknowledgements — or the wedge/crash handling that replaces them.
+func (l *Log) finishCycle(recs []Record, count int, target LSN, durableErr, sinkErr error) {
+	if durableErr == nil && l.cfg.Durable != nil {
+		// The single physical force of the group commit.
+		durableErr = l.cfg.Durable.Sync()
+	}
+	if l.cfg.FlushDelay > 0 {
+		time.Sleep(l.cfg.FlushDelay)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.cfg.DropAfterFlush {
+		l.flushed = append(l.flushed, recs...)
+	}
+	l.stats.Flushes.Add(1)
+	if l.failed != nil {
+		// Crashed while the batch was in flight: even if the sync succeeded,
+		// never acknowledge — crash semantics allow un-acked records to
+		// survive, never the reverse. The loop top fails the waiters.
+		return
+	}
+	if durableErr != nil {
+		// The durable prefix can no longer grow contiguously: wedge the log
+		// so no later record is ever reported durable past the gap. The loop
+		// top fails the waiters and exits.
+		l.failed = durableErr
+		return
+	}
+	if l.flushLSN < target {
+		l.flushLSN = target
+	}
+	l.stats.Synced.Add(uint64(count))
+	l.notifyWaitersLocked(sinkErr)
 }
 
 // notifyWaitersLocked acknowledges every subscription satisfied by the
@@ -592,11 +845,18 @@ func (l *Log) Records() []Record {
 	return out
 }
 
-// PendingRecords returns the number of appended-but-unflushed records.
+// PendingRecords returns the number of appended-but-not-yet-durable records.
 func (l *Log) PendingRecords() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.records)
+	if l.lb == nil {
+		return len(l.records)
+	}
+	last := l.lastLSNLocked()
+	if last <= l.flushLSN {
+		return 0
+	}
+	return int(last - l.flushLSN)
 }
 
 // StatsSnapshot returns a copy of the log counters.
@@ -610,13 +870,18 @@ func (l *Log) StatsSnapshot() (appends, flushes, synced uint64) {
 // every record ever accepted by Append. The flusher goroutine exits once the
 // drain completes. Close is idempotent.
 func (l *Log) Close() error {
+	if l.lb != nil {
+		// Refuse new reservations first so the drain below is complete;
+		// records already reserved still fill, publish and drain.
+		l.lb.close(ErrClosed)
+	}
 	for {
 		l.mu.Lock()
 		if l.closed {
 			l.mu.Unlock()
 			return nil
 		}
-		last := l.nextLSN - 1
+		last := l.lastLSNLocked()
 		if l.flushLSN >= last && len(l.records) == 0 {
 			l.closed = true
 			l.flushWork.Broadcast()
@@ -638,15 +903,21 @@ func (l *Log) Close() error {
 // un-acked records to survive on disk, never an acked record to be lost.
 func (l *Log) Crash() {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.failed == nil {
 		l.failed = ErrCrashed
 	}
+	err := l.failed
 	l.closed = true
 	l.records = nil
 	if !l.flusherActive {
 		// No flusher to deliver the failure; fail the waiters directly.
-		l.failWaitersLocked(l.failed)
+		l.failWaitersLocked(err)
 	}
 	l.flushWork.Broadcast()
+	l.mu.Unlock()
+	if l.lb != nil {
+		// Discard the consolidated buffer: reservations fail from here on and
+		// blocked reservers wake with the crash error.
+		l.lb.close(err)
+	}
 }

@@ -484,3 +484,63 @@ func TestCheckpointRequiresDataDir(t *testing.T) {
 		t.Fatalf("Checkpoint on volatile engine = %v, want ErrNotDurable", err)
 	}
 }
+
+// TestReopenFlushBelowStartLSNAcksImmediately pins the WAL clamp-then-
+// recheck reopen edge through the public API: right after OpenAt on an
+// existing directory the log's next LSN equals its recovered StartLSN with
+// nothing appended, so any durability subscription at or below the
+// recovered prefix (Checkpoint's "flush everything appended so far" is
+// exactly that) must acknowledge immediately instead of parking a waiter
+// that no flush cycle ever satisfies — which would hang Checkpoint and
+// Close forever.
+func TestReopenFlushBelowStartLSNAcksImmediately(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	db, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupBank(t, db, 2, 10)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Checkpoint flushes up to LastLSN == StartLSN-1 before snapshotting:
+		// the subscription below StartLSN that used to be able to hang.
+		if err := db2.Checkpoint(); err != nil {
+			done <- err
+			return
+		}
+		done <- db2.Close()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Checkpoint/Close after reopen hung: flush subscription below StartLSN never acked")
+	}
+
+	// The directory is still recoverable after the checkpoint.
+	db3, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	rows := 0
+	err = db3.Exec(func(tx *slidb.Tx) error {
+		return tx.ScanTable("accounts", func(slidb.Row) bool { rows++; return true })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 10 {
+		t.Fatalf("accounts after checkpointed reopen = %d, want 10", rows)
+	}
+}
