@@ -8,6 +8,8 @@
 //	slibench -figure 11 -scale paper       # SLI speedups at paper-like scale
 //	slibench -ablation hot-threshold       # SLI design-choice ablation
 //	slibench -ablation sli-elr             # SLI x Early-Lock-Release grid
+//	slibench -ablation abort-elr           # ELR for aborts under forced rollbacks
+//	slibench -workload tpcb/tpcb -sli -elr -abortrate 0.3  # CLR rollback path
 //	slibench -workload ndbb/mix -agents 16 -sli -duration 5s
 //	slibench -workload tpcb/tpcb -sli -elr -async     # scalable commit pipeline
 //	slibench -workload tpcb/tpcb -datadir /tmp/slidb  # durable run (real fsyncs)
@@ -33,7 +35,7 @@ import (
 func main() {
 	var (
 		figureN    = flag.Int("figure", 0, "paper figure to regenerate (1, 6, 7, 8, 9, 10, 11); 0 = none")
-		ablation   = flag.String("ablation", "", "ablation study to run (hot-threshold, levels, bimodal, roving-hotspot, sli-elr)")
+		ablation   = flag.String("ablation", "", "ablation study to run (hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer, abort-elr)")
 		wl         = flag.String("workload", "", "single workload to run, e.g. ndbb/mix, tpcb/tpcb, tpcc/Payment")
 		scale      = flag.String("scale", "quick", "dataset/measurement scale: quick, default, or paper")
 		agents     = flag.Int("agents", 0, "agent (worker) count for -workload runs; 0 = scale default")
@@ -42,6 +44,7 @@ func main() {
 		elr        = flag.Bool("elr", false, "enable Early Lock Release (locks released at commit-record append, not after the fsync)")
 		async      = flag.Bool("async", false, "enable flush pipelining (agents run ahead of the log force, bounded by the pipeline depth)")
 		mutexLog   = flag.Bool("mutexlog", false, "use the legacy mutex-per-append WAL path instead of the consolidated log buffer (ablation baseline)")
+		abortRate  = flag.Float64("abortrate", 0, "fraction of transactions forced to abort after doing their work (exercises the CLR rollback path; used by -workload and as the -ablation abort-elr rate)")
 		gcWindow   = flag.Duration("gcwindow", 0, "group-commit window for -workload/-benchout engines")
 		flushDelay = flag.Duration("flushdelay", 0, "simulated log-force latency for -workload/-benchout engines")
 		duration   = flag.Duration("duration", 0, "override measurement duration")
@@ -94,6 +97,7 @@ func main() {
 	opt.GroupCommitWindow = *gcWindow
 	opt.LogFlushDelay = *flushDelay
 	opt.Clients = *clients
+	opt.AbortRate = *abortRate
 
 	switch {
 	case *benchout != "":
@@ -140,11 +144,12 @@ func emitFigure(n int, opt figures.Options) {
 }
 
 func runSingle(wl string, opt figures.Options, agents int, sli bool) {
-	res, lag, err := figures.RunWorkload(wl, opt, sli, agents)
+	res, es, err := figures.RunWorkload(wl, opt, sli, agents)
 	exitOn(err)
 	s := res.Breakdown.GroupedShares()
 	ls := res.LockStats
-	fmt.Printf("%s  (sli=%v elr=%v async=%v mutexlog=%v)\n", wl, sli, opt.EarlyLockRelease, opt.AsyncCommit, opt.MutexLog)
+	fmt.Printf("%s  (sli=%v elr=%v async=%v mutexlog=%v abortrate=%.2f)\n",
+		wl, sli, opt.EarlyLockRelease, opt.AsyncCommit, opt.MutexLog, opt.AbortRate)
 	fmt.Printf("  throughput        %.1f tps (%d committed, %d failed, %d errors)\n",
 		res.Throughput, res.Committed, res.Failed, res.Errors)
 	fmt.Printf("  avg latency       %v\n", res.AvgLatency.Round(time.Microsecond))
@@ -154,8 +159,12 @@ func runSingle(wl string, opt figures.Options, agents int, sli bool) {
 		res.Breakdown.Get(profiler.LogBufferFullWait).Round(time.Microsecond))
 	fmt.Printf("  sli passed        %d (reclaimed %d, invalidated %d, discarded %d)\n",
 		ls.SLIPassed, ls.SLIReclaimed, ls.SLIInvalidated, ls.SLIDiscarded)
-	fmt.Printf("  elr releases      %d\n", ls.ELRReleases)
-	fmt.Printf("  durable lag       %d records (at measurement end)\n", lag)
+	fmt.Printf("  elr releases      %d commits, %d aborts\n", ls.ELRReleases, es.ELRAborts)
+	fmt.Printf("  abort path        undo %v, clr-append %v (totals; %d undo failures)\n",
+		res.Breakdown.Get(profiler.UndoWork).Round(time.Microsecond),
+		res.Breakdown.Get(profiler.AbortLogWork).Round(time.Microsecond),
+		es.UndoFailures)
+	fmt.Printf("  durable lag       %d records (at measurement end)\n", es.DurableLag)
 }
 
 // benchConfig is one configuration of the -benchout comparison sweep.
@@ -216,7 +225,7 @@ func runBench(opt figures.Options, agents int, outPath string) {
 			o := opt
 			o.EarlyLockRelease = c.ELR
 			o.AsyncCommit = c.Async
-			res, lag, err := figures.RunWorkload(wl, o, c.SLI, agents)
+			res, es, err := figures.RunWorkload(wl, o, c.SLI, agents)
 			exitOn(err)
 			e := benchEntry{
 				Workload:      wl,
@@ -229,7 +238,7 @@ func runBench(opt figures.Options, agents int, outPath string) {
 				ReserveWaitMs: res.Breakdown.Get(profiler.LogReserveWait).Seconds() * 1000,
 				SLIPassed:     res.LockStats.SLIPassed,
 				ELRReleases:   res.LockStats.ELRReleases,
-				DurableLag:    lag,
+				DurableLag:    es.DurableLag,
 				Errors:        res.Errors,
 			}
 			entries = append(entries, e)
@@ -256,9 +265,12 @@ func runRecover(dir string) {
 	fmt.Printf("  checkpoint LSN    %d\n", st.CheckpointLSN)
 	fmt.Printf("  tables restored   %d (%d rows)\n", st.TablesRestored, st.RowsRestored)
 	fmt.Printf("  log tail scanned  %d records\n", st.LogRecordsScanned)
-	fmt.Printf("  winners / losers  %d / %d\n", st.Winners, st.Losers)
-	fmt.Printf("  records redone    %d (+%d loser records discarded, %d DDL)\n",
-		st.RecordsRedone, st.RecordsDiscarded, st.DDLReplayed)
+	fmt.Printf("  winners / losers  %d / %d (%d rollbacks fully logged)\n",
+		st.Winners, st.Losers, st.RollbacksComplete)
+	fmt.Printf("  records redone    %d (+%d CLRs, %d DDL)\n",
+		st.RecordsRedone, st.CLRsRedone, st.DDLReplayed)
+	fmt.Printf("  records undone    %d (%d tx rolled back, %d rollbacks resumed)\n",
+		st.RecordsUndone, st.TxUndone, st.RollbacksResumed)
 	fmt.Println("tables:")
 	for _, tbl := range e.Catalog().Tables() {
 		rows := 0

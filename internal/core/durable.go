@@ -29,10 +29,23 @@ type RecoveryStats struct {
 	// classified by the durability of their commit record.
 	Winners int
 	Losers  int
-	// RecordsRedone counts winner data records replayed; RecordsDiscarded
-	// counts loser data records skipped.
-	RecordsRedone    int
-	RecordsDiscarded int
+	// RollbacksComplete counts losers whose rollback was fully logged
+	// before the crash (durable abort record, or a CLR chain ending at
+	// UndoNext 0): redo repeats their history verbatim and the undo pass
+	// skips them.
+	RollbacksComplete int
+	// RecordsRedone counts data records replayed by the repeat-history redo
+	// pass (winners and losers alike); CLRsRedone counts the compensation
+	// records replayed alongside them.
+	RecordsRedone int
+	CLRsRedone    int
+	// RecordsUndone counts loser data records rolled back by the restart
+	// undo pass; TxUndone counts the transactions it completed, and
+	// RollbacksResumed the subset whose partially-logged rollback was
+	// resumed from its last durable CLR's UndoNext instead of restarted.
+	RecordsUndone    int
+	TxUndone         int
+	RollbacksResumed int
 	// DDLReplayed counts CREATE TABLE / CREATE INDEX records replayed.
 	DDLReplayed int
 }
@@ -103,6 +116,18 @@ func OpenAt(dir string, cfg Config) (*Engine, error) {
 		segs.Close()
 		return nil, err
 	}
+	// The undo pass logs its work into the new incarnation's log: one CLR
+	// per record undone plus an abort record per completed rollback, so the
+	// next restart sees these losers as fully rolled back instead of
+	// re-undoing them on top of whatever commits in the meantime.
+	undo, err := recovery.Undo(iter, an, engineApplier{e}, func(rec wal.Record) error {
+		_, aerr := e.log.Append(rec)
+		return aerr
+	})
+	if err != nil {
+		segs.Close()
+		return nil, err
+	}
 	if an.MaxXID > e.nextXID.Load() {
 		// Resume XID allocation above every XID in the log tail, so a new
 		// transaction can never share an XID with a stale loser record.
@@ -111,8 +136,12 @@ func OpenAt(dir string, cfg Config) (*Engine, error) {
 	e.recStats.LogRecordsScanned = an.Scanned
 	e.recStats.Winners = len(an.Winners)
 	e.recStats.Losers = len(an.Losers)
+	e.recStats.RollbacksComplete = len(an.RolledBack)
 	e.recStats.RecordsRedone = redo.Redone
-	e.recStats.RecordsDiscarded = redo.SkippedLoser
+	e.recStats.CLRsRedone = redo.CLRs
+	e.recStats.RecordsUndone = undo.Undone
+	e.recStats.TxUndone = undo.TxUndone
+	e.recStats.RollbacksResumed = undo.Resumed
 	e.recStats.DDLReplayed = redo.DDL
 
 	e.SetConcurrency(cfg.Agents)

@@ -149,6 +149,14 @@ type Engine struct {
 
 	committed atomic.Uint64
 	aborted   atomic.Uint64
+	// elrAborts counts aborting transactions that released their locks at
+	// abort-record append (before the flush) under EarlyLockRelease.
+	elrAborts atomic.Uint64
+	// undoFailures counts undo actions (abort-time or inline after a failed
+	// log append) that returned an error — each one means the in-memory
+	// state may no longer match the pre-transaction state. Always zero in a
+	// healthy engine; torture tests fail when it is not.
+	undoFailures atomic.Uint64
 }
 
 type job struct {
@@ -280,6 +288,16 @@ func (e *Engine) Committed() uint64 { return e.committed.Load() }
 
 // Aborted returns the number of aborted transactions (after retries).
 func (e *Engine) Aborted() uint64 { return e.aborted.Load() }
+
+// ELRAborts returns the number of aborting transactions whose locks were
+// released at abort-record append — before the abort record was forced to
+// disk — under EarlyLockRelease.
+func (e *Engine) ELRAborts() uint64 { return e.elrAborts.Load() }
+
+// UndoFailures returns the number of rollback undo actions that failed.
+// Any non-zero value indicates in-memory corruption: an aborted
+// transaction's effects could not be fully rolled back.
+func (e *Engine) UndoFailures() uint64 { return e.undoFailures.Load() }
 
 // DurableLag returns the number of log records appended but not yet durable
 // — the depth of the commit pipeline at this instant. It is zero whenever

@@ -58,6 +58,16 @@ func indexKey(vals []record.Value, rid heap.RID, unique bool) string {
 // undoAction rolls back one data modification during abort.
 type undoAction func(tx *Tx) error
 
+// undoEntry is one registered rollback action: the in-memory undo of a
+// logged data modification, the LSN of the original record (the CLR chain's
+// UndoNext pointer targets it), and the redo-only compensation record that
+// tx.abort logs after applying the undo.
+type undoEntry struct {
+	lsn   wal.LSN
+	apply undoAction
+	clr   wal.Record
+}
+
 // Tx is a transaction handle passed to the function given to Engine.Exec.
 // It is only valid for the duration of that function and must not be used
 // from other goroutines.
@@ -67,7 +77,7 @@ type Tx struct {
 	owner *lockmgr.Owner
 	prof  *profiler.Handle
 
-	undo    []undoAction
+	undo    []undoEntry
 	lastLSN wal.LSN
 	logged  bool
 }
@@ -79,8 +89,10 @@ func (tx *Tx) XID() uint64 { return tx.xid }
 // profiler's log categories: blocked time entering the reservation critical
 // section (reserve-wait), blocked time waiting for the flusher to drain a
 // full buffer (buffer-full-wait), and the remainder — the reserve arithmetic
-// plus encoding the record into the shared buffer — as useful log work.
-func (tx *Tx) appendTimed(rec wal.Record) (wal.LSN, error) {
+// plus encoding the record into the shared buffer — as useful log work,
+// attributed to workCat so the abort path's CLR appends are reported apart
+// from forward-path logging.
+func (tx *Tx) appendTimed(rec wal.Record, workCat profiler.Category) (wal.LSN, error) {
 	if tx.prof == nil {
 		// No accounting consumer: take the clock-free append path.
 		return tx.e.log.Append(rec)
@@ -90,7 +102,7 @@ func (tx *Tx) appendTimed(rec wal.Record) (wal.LSN, error) {
 	total := time.Since(start)
 	tx.prof.Add(profiler.LogReserveWait, waits.Reserve)
 	tx.prof.Add(profiler.LogBufferFullWait, waits.BufferFull)
-	tx.prof.Add(profiler.LogWork, total-waits.Reserve-waits.BufferFull)
+	tx.prof.Add(workCat, total-waits.Reserve-waits.BufferFull)
 	return lsn, err
 }
 
@@ -98,12 +110,12 @@ func (tx *Tx) appendTimed(rec wal.Record) (wal.LSN, error) {
 func (tx *Tx) logAppend(rec wal.Record) error {
 	rec.XID = tx.xid
 	if !tx.logged {
-		if _, err := tx.appendTimed(wal.Record{XID: tx.xid, Type: wal.RecBegin}); err != nil {
+		if _, err := tx.appendTimed(wal.Record{XID: tx.xid, Type: wal.RecBegin}, profiler.LogWork); err != nil {
 			return err
 		}
 		tx.logged = true
 	}
-	lsn, err := tx.appendTimed(rec)
+	lsn, err := tx.appendTimed(rec, profiler.LogWork)
 	if err != nil {
 		return err
 	}
@@ -159,23 +171,85 @@ func (tx *Tx) preCommit() (<-chan error, error) {
 }
 
 // abort rolls back every modification (in reverse order) and releases locks.
+//
+// Rollback is compensation-logged, ARIES-style: each undo action is applied
+// in memory and then logged as a redo-only CLR whose UndoNext points at the
+// transaction's next still-to-be-undone record, so a restart that finds a
+// partial CLR chain resumes the rollback where it stopped instead of
+// re-undoing compensated work. Once the chain is complete an abort record is
+// appended; a durable abort record marks the rollback as fully logged.
+//
+// Lock release mirrors preCommit. Under Early Lock Release the locks are
+// released (with SLI inheritance) as soon as the abort record is appended —
+// before any flush — which is safe for the same log-ordering reason as
+// commit-side ELR: the undo is fully applied before release, so any
+// transaction that observed the restored values logs at a higher LSN than
+// the abort record; if that dependent's commit becomes durable, the entire
+// CLR chain and abort record below it are durable too, and if the tail is
+// lost both sides roll back together. Without ELR the transaction holds its
+// locks until the abort record is durable — the strict baseline whose flush
+// wait the high-abort ablation measures.
 func (tx *Tx) abort() {
+	logOK := tx.logged
 	for i := len(tx.undo) - 1; i >= 0; i-- {
-		// Undo actions operate on data this transaction still holds X locks
-		// on; errors here indicate a bug and are surfaced by panicking in
-		// tests via the engine's abort counter rather than silently ignored.
-		_ = tx.undo[i](tx)
+		ent := tx.undo[i]
+		var undoStart time.Time
+		if tx.prof != nil {
+			undoStart = time.Now()
+		}
+		if err := ent.apply(tx); err != nil {
+			// Undo actions operate on data this transaction still holds X
+			// locks on; a failure means the in-memory state may be corrupt.
+			// Count it so torture tests (and operators) can fail loudly.
+			tx.e.undoFailures.Add(1)
+		}
+		if tx.prof != nil {
+			tx.prof.Add(profiler.UndoWork, time.Since(undoStart))
+		}
+		if logOK {
+			clr := ent.clr
+			clr.Type = wal.RecCLR
+			clr.XID = tx.xid
+			if i > 0 {
+				clr.UndoNext = tx.undo[i-1].lsn
+			}
+			lsn, err := tx.appendTimed(clr, profiler.AbortLogWork)
+			if err != nil {
+				// The log is wedged or crashed: keep applying the in-memory
+				// undo (locks are still held, memory must stay consistent)
+				// but stop logging — recovery will finish the rollback from
+				// the durable prefix.
+				logOK = false
+			} else {
+				tx.lastLSN = lsn
+			}
+		}
 	}
-	if tx.logged {
-		_ = tx.logAppendNoBegin(wal.Record{XID: tx.xid, Type: wal.RecAbort})
+	if logOK {
+		lsn, err := tx.appendTimed(wal.Record{XID: tx.xid, Type: wal.RecAbort}, profiler.AbortLogWork)
+		if err == nil {
+			tx.lastLSN = lsn
+			if tx.e.cfg.EarlyLockRelease {
+				// ELR for aborts: the rollback is applied and fully logged;
+				// release now and let the abort record reach disk with the
+				// next group commit. The subscription's ack is discarded —
+				// nothing waits on an abort's durability — but it must still
+				// be registered: the flusher only wakes for subscriptions (or
+				// a full buffer), so without it an abort on an otherwise idle
+				// engine would sit in the volatile buffer indefinitely.
+				_ = tx.e.log.FlushAsync(tx.lastLSN)
+				tx.e.elrAborts.Add(1)
+				tx.owner.ReleaseAllEarly()
+				tx.undo = nil
+				return
+			}
+			flushStart := time.Now()
+			_ = tx.e.log.Flush(tx.lastLSN)
+			tx.prof.Add(profiler.LogFlush, time.Since(flushStart))
+		}
 	}
 	tx.owner.ReleaseAll()
 	tx.undo = nil
-}
-
-func (tx *Tx) logAppendNoBegin(rec wal.Record) error {
-	_, err := tx.appendTimed(rec)
-	return err
 }
 
 // lockRecord acquires a record lock (and, implicitly, intention locks on the
@@ -238,15 +312,27 @@ func (tx *Tx) Insert(table string, row record.Row) error {
 			return fmt.Errorf("%w: index %s", ErrDuplicateKey, rt.secs[i].meta.Name)
 		}
 	}
-	if err := tx.logAppend(wal.Record{Type: wal.RecInsert, Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, After: data}); err != nil {
-		return err
-	}
-	tx.undo = append(tx.undo, func(tx *Tx) error {
+	undo := func(tx *Tx) error {
 		for i, sec := range rt.secs {
 			sec.tree.remove(secKeys[i])
 		}
 		rt.pk.tree.remove(pkKey)
 		return rt.hf.Delete(tx.prof, rid)
+	}
+	if err := tx.logAppend(wal.Record{Type: wal.RecInsert, Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, After: data}); err != nil {
+		// The row is already in the heap and indexes but nothing reached the
+		// log: roll the mutation back inline so a wedged log cannot leave a
+		// phantom row with no registered undo.
+		if uerr := undo(tx); uerr != nil {
+			tx.e.undoFailures.Add(1)
+		}
+		return err
+	}
+	tx.undo = append(tx.undo, undoEntry{
+		lsn:   tx.lastLSN,
+		apply: undo,
+		// Compensating an insert is a delete: Before carries the row image.
+		clr: wal.Record{Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, Before: data},
 	})
 	return nil
 }
@@ -351,15 +437,27 @@ func (tx *Tx) Update(table string, key []record.Value, mutate func(record.Row) (
 		sec.tree.insert(newKey, rid)
 		changes = append(changes, secChange{sec, oldKey, newKey})
 	}
-	if err := tx.logAppend(wal.Record{Type: wal.RecUpdate, Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, Before: oldData, After: newData}); err != nil {
-		return err
-	}
-	tx.undo = append(tx.undo, func(tx *Tx) error {
+	undo := func(tx *Tx) error {
 		for _, ch := range changes {
 			ch.sec.tree.remove(ch.new)
 			ch.sec.tree.insert(ch.old, rid)
 		}
 		return rt.hf.Update(tx.prof, rid, oldData)
+	}
+	if err := tx.logAppend(wal.Record{Type: wal.RecUpdate, Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, Before: oldData, After: newData}); err != nil {
+		// Heap and index already carry the new image; restore the old one
+		// inline since no undo was registered for this mutation.
+		if uerr := undo(tx); uerr != nil {
+			tx.e.undoFailures.Add(1)
+		}
+		return err
+	}
+	tx.undo = append(tx.undo, undoEntry{
+		lsn:   tx.lastLSN,
+		apply: undo,
+		// Compensating an update restores the before-image: update the row
+		// matching Before's primary key back to After.
+		clr: wal.Record{Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, Before: newData, After: oldData},
 	})
 	return nil
 }
@@ -383,31 +481,39 @@ func (tx *Tx) Delete(table string, key ...record.Value) error {
 		return err
 	}
 	pkKey := record.EncodeKey(rt.meta.PrimaryKeyOf(oldRow)...)
-	var secKeys []string
 	for _, sec := range rt.secs {
-		k := indexKey(sec.meta.KeyOf(oldRow), rid, sec.meta.Unique)
-		sec.tree.remove(k)
-		secKeys = append(secKeys, k)
+		sec.tree.remove(indexKey(sec.meta.KeyOf(oldRow), rid, sec.meta.Unique))
 	}
 	rt.pk.tree.remove(pkKey)
 	if err := rt.hf.Delete(tx.prof, rid); err != nil {
 		return err
 	}
-	if err := tx.logAppend(wal.Record{Type: wal.RecDelete, Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, Before: oldData}); err != nil {
-		return err
-	}
-	tx.undo = append(tx.undo, func(tx *Tx) error {
+	// The undo re-inserts the row at a fresh RID and rebuilds every index key
+	// from it; the RIDs the original row occupied are not reserved.
+	undo := func(tx *Tx) error {
 		newRID, uerr := rt.hf.Insert(tx.prof, oldData)
 		if uerr != nil {
 			return uerr
 		}
 		rt.pk.tree.insert(pkKey, newRID)
-		for i, sec := range rt.secs {
-			_ = i
+		for _, sec := range rt.secs {
 			sec.tree.insert(indexKey(sec.meta.KeyOf(oldRow), newRID, sec.meta.Unique), newRID)
 		}
-		_ = secKeys
 		return nil
+	}
+	if err := tx.logAppend(wal.Record{Type: wal.RecDelete, Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, Before: oldData}); err != nil {
+		// The row is already gone from heap and indexes; put it back inline
+		// since no undo was registered for this mutation.
+		if uerr := undo(tx); uerr != nil {
+			tx.e.undoFailures.Add(1)
+		}
+		return err
+	}
+	tx.undo = append(tx.undo, undoEntry{
+		lsn:   tx.lastLSN,
+		apply: undo,
+		// Compensating a delete re-inserts the row: After carries the image.
+		clr: wal.Record{Table: rt.meta.ID, Page: rid.Page, Slot: rid.Slot, After: oldData},
 	})
 	return nil
 }
@@ -533,19 +639,13 @@ func (tx *Tx) ScanTable(table string, fn func(record.Row) bool) error {
 	if err := tx.lockTable(rt.meta.ID, lockmgr.S); err != nil {
 		return err
 	}
-	stop := false
 	err = rt.hf.Scan(tx.prof, func(rid heap.RID, rec []byte) bool {
 		row, derr := rt.meta.Schema.Decode(rec)
 		if derr != nil {
 			err = derr
 			return false
 		}
-		if !fn(row) {
-			stop = true
-			return false
-		}
-		return true
+		return fn(row)
 	})
-	_ = stop
 	return err
 }

@@ -304,6 +304,83 @@ func AblationSLIELR(o Options) (Table, error) {
 	return t, nil
 }
 
+// AblationAbortELR measures the commit pipeline under a high abort rate:
+// TPC-B with a forced conflict-style abort rate (each chosen transaction
+// does its full account/branch/history work and then rolls back), a
+// non-zero log force latency, and the strict engine vs the full ELR
+// pipeline (EarlyLockRelease + AsyncCommit — one Config knob governs both
+// the commit-side and abort-side release policy, so the arms differ on
+// both paths). The abort-specific signal is the elr-aborts column: without
+// ELR an aborting transaction undoes, logs its CLR chain, and then holds
+// every lock across the force of its abort record — at a 30% abort rate
+// that flush wait shows up directly in lock-wait-ms/xct — while under ELR
+// every rollback releases at abort-record append and the lock-wait column
+// collapses. Both arms run with SLI on.
+func AblationAbortELR(o Options) (Table, error) {
+	o = o.withDefaults()
+	if o.LogFlushDelay == 0 {
+		o.LogFlushDelay = 500 * time.Microsecond
+	}
+	if o.GroupCommitWindow == 0 {
+		o.GroupCommitWindow = 100 * time.Microsecond
+	}
+	if o.Clients == 0 {
+		// Overcommit clients so the ELR arm can fill the AsyncCommit
+		// pipeline (see AblationSLIELR).
+		o.Clients = 4 * o.PeakAgents
+	}
+	if o.AbortRate == 0 {
+		o.AbortRate = 0.3
+	}
+	t := Table{
+		Title:   fmt.Sprintf("Ablation: ELR for aborts (TPC-B, %.0f%% forced aborts, non-zero log force latency)", 100*o.AbortRate),
+		Columns: []string{"tps", "abort-%", "lock-wait-ms/xct", "log-flush-%", "elr-aborts/1k"},
+	}
+	for _, elr := range []bool{false, true} {
+		e, gen, err := buildTPCBWithEngineConfig(o, core.Config{
+			SLI:               true,
+			EarlyLockRelease:  elr,
+			AsyncCommit:       elr,
+			Agents:            o.PeakAgents,
+			Profile:           true,
+			BufferFrames:      o.BufferFrames,
+			GroupCommitWindow: o.GroupCommitWindow,
+			LogFlushDelay:     o.LogFlushDelay,
+			IODelay:           o.IODelay,
+		})
+		if err != nil {
+			return t, err
+		}
+		gen = workload.WithAbortRate(gen, o.AbortRate)
+		res := o.run(e, gen, o.PeakAgents)
+		elrAborts, undoFailures := e.ELRAborts(), e.UndoFailures()
+		e.Close()
+		if undoFailures != 0 {
+			return t, fmt.Errorf("figures: abort-elr ablation recorded %d undo failures (elr=%v)", undoFailures, elr)
+		}
+		lockWaitMs := 0.0
+		if n := res.Completed(); n > 0 {
+			lockWaitMs = res.Breakdown.Get(profiler.LockWait).Seconds() * 1000 / float64(n)
+		}
+		perK := 0.0
+		if res.LockStats.Transactions > 0 {
+			perK = 1000 * float64(elrAborts) / float64(res.LockStats.Transactions)
+		}
+		label := "strict aborts (hold until durable)"
+		if elr {
+			label = "ELR aborts (release at append)"
+		}
+		t.Rows = append(t.Rows, Row{Label: label, Values: []float64{
+			res.Throughput,
+			100 * res.FailureRate(),
+			lockWaitMs,
+			100 * res.Breakdown.GroupedShares().LogFlush,
+			perK,
+		}})
+	}
+	return t, nil
+}
+
 // AblationLogBuffer measures the consolidated reserve/fill/publish log
 // buffer against the legacy mutex-per-append log on TPC-B, crossed with the
 // SLI + ELR commit pipeline, at one agent and at the peak agent count. The
@@ -438,14 +515,16 @@ func Ablation(name string, o Options) (Table, error) {
 		return AblationSLIELR(o)
 	case "log-buffer":
 		return AblationLogBuffer(o)
+	case "abort-elr":
+		return AblationAbortELR(o)
 	default:
-		return Table{}, fmt.Errorf("figures: unknown ablation %q (use hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer)", name)
+		return Table{}, fmt.Errorf("figures: unknown ablation %q (use hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer, abort-elr)", name)
 	}
 }
 
 // Ablations lists the available ablation study names.
 func Ablations() []string {
-	return []string{"hot-threshold", "levels", "bimodal", "roving-hotspot", "sli-elr", "log-buffer"}
+	return []string{"hot-threshold", "levels", "bimodal", "roving-hotspot", "sli-elr", "log-buffer", "abort-elr"}
 }
 
 // quickOptions shrinks an Options for smoke tests; exported for reuse from

@@ -76,6 +76,11 @@ type Options struct {
 	// one blocking client per agent the per-worker in-flight window can
 	// never hold more than one transaction.
 	Clients int
+	// AbortRate, when positive, makes that fraction of generated
+	// transactions perform their full body and then abort, exercising the
+	// compensation-logged rollback path (see workload.WithAbortRate). Zero
+	// keeps every transaction committing.
+	AbortRate float64
 }
 
 // DefaultOptions returns a laptop-scale configuration: small datasets and
@@ -313,6 +318,9 @@ func (o Options) buildEngine(key string, sli bool, agents int) (*core.Engine, wo
 		e.Close()
 		return nil, nil, err
 	}
+	if o.AbortRate > 0 {
+		gen = workload.WithAbortRate(gen, o.AbortRate)
+	}
 	return e, gen, nil
 }
 
@@ -338,23 +346,42 @@ func (o Options) measure(key string, sli bool, agents int) (workload.Result, err
 	return o.run(e, gen, agents), nil
 }
 
+// EngineStats carries engine-side counters sampled the moment a RunWorkload
+// measurement ends, complementing the interval-scoped workload.Result.
+type EngineStats struct {
+	// DurableLag is the number of log records appended but not yet forced —
+	// the visible depth of the asynchronous commit pipeline.
+	DurableLag uint64
+	// ELRAborts counts aborting transactions that released their locks at
+	// abort-record append (before the force) under EarlyLockRelease.
+	ELRAborts uint64
+	// UndoFailures counts rollback undo actions that failed; non-zero means
+	// the run corrupted in-memory state.
+	UndoFailures uint64
+}
+
 // RunWorkload builds, runs and tears down one workload configuration,
-// additionally reporting the engine's durable lag (log records appended but
-// not yet forced) sampled the moment the measurement ended — the visible
-// depth of the asynchronous commit pipeline. It is the entry point used by
-// cmd/slibench for single-workload and comparison runs.
-func RunWorkload(key string, o Options, sli bool, agents int) (workload.Result, uint64, error) {
+// additionally reporting engine-side counters (durable lag, abort-path ELR
+// releases, undo failures) sampled the moment the measurement ended. It is
+// the entry point used by cmd/slibench for single-workload and comparison
+// runs.
+func RunWorkload(key string, o Options, sli bool, agents int) (workload.Result, EngineStats, error) {
 	o = o.withDefaults()
 	if agents <= 0 {
 		agents = o.PeakAgents
 	}
 	e, gen, err := o.buildEngine(key, sli, agents)
 	if err != nil {
-		return workload.Result{}, 0, err
+		return workload.Result{}, EngineStats{}, err
 	}
 	defer e.Close()
 	res := o.run(e, gen, agents)
-	return res, e.DurableLag(), nil
+	es := EngineStats{
+		DurableLag:   e.DurableLag(),
+		ELRAborts:    e.ELRAborts(),
+		UndoFailures: e.UndoFailures(),
+	}
+	return res, es, nil
 }
 
 // sortedKeys returns map keys in deterministic order (helper for summaries).

@@ -261,12 +261,14 @@ func (o *Owner) Lock(id LockID, mode Mode) error { return o.mgr.Lock(o, id, mode
 // completion (commit or abort).
 func (o *Owner) ReleaseAll() { o.mgr.ReleaseAll(o) }
 
-// ReleaseAllEarly is ReleaseAll invoked at pre-commit under Early Lock
-// Release: the transaction's commit record has been appended to the log but
-// is not yet durable. The release path is identical — SLI inheritance still
-// applies, so hot locks pass to the agent's next transaction without waiting
-// for the fsync — but the event is counted separately so ablations and tests
-// can verify that no lock is held across a log flush.
+// ReleaseAllEarly is ReleaseAll invoked under Early Lock Release once the
+// transaction's outcome record — the commit record at pre-commit, or the
+// abort record after a fully compensation-logged rollback — has been
+// appended to the log but is not yet durable. The release path is identical
+// — SLI inheritance still applies, so hot locks pass to the agent's next
+// transaction without waiting for the fsync — but the event is counted
+// separately so ablations and tests can verify that no lock is held across
+// a log flush.
 func (o *Owner) ReleaseAllEarly() {
 	if o.finished {
 		return

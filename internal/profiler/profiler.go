@@ -30,7 +30,8 @@ type Category int
 //	"contention lock mgr" = LockMgrContention
 //	"work SLI"            = SLIWork (Figure 10 only)
 //	"contention SLI"      = SLIContention (Figure 10 only)
-//	"work other"          = LogWork + BufferWork + TxWork
+//	"work other"          = LogWork + AbortLogWork + UndoWork + BufferWork +
+//	                        TxWork
 //	"contention other"    = LogReserveWait + LogBufferFullWait +
 //	                        BufferContention + LatchContention
 //	"log flush"           = LogFlush (commit-fsync wait, reported separately)
@@ -53,6 +54,16 @@ type Category int
 // the consolidated buffer attacks — while LogBufferFullWait is the time
 // blocked because the buffer had no space and the flusher had to drain it
 // first, a sizing/backpressure signal rather than latch contention.
+//
+// The abort path gets its own attribution so the high-abort-rate ablation
+// can show what ELR-for-aborts removes from lock hold times: UndoWork is the
+// time spent applying in-memory undo actions during rollback, and
+// AbortLogWork is the encode/reserve work of appending the rollback's CLR
+// and abort records (the abort-path share of what LogWork measures on the
+// forward path; reserve and buffer-full waits still land in their own
+// categories). The strict abort's wait for the abort record to become
+// durable is attributed to LogFlush, exactly like a commit's force — that is
+// the wait ELR-for-aborts moves out of the lock hold window.
 const (
 	LockMgrWork Category = iota
 	LockMgrContention
@@ -66,6 +77,8 @@ const (
 	BufferContention
 	LatchContention
 	TxWork
+	UndoWork
+	AbortLogWork
 	LockWait
 	IOWait
 	numCategories
@@ -98,6 +111,10 @@ func (c Category) String() string {
 		return "latch-contention"
 	case TxWork:
 		return "tx-work"
+	case UndoWork:
+		return "undo-work"
+	case AbortLogWork:
+		return "abort-log-work"
 	case LockWait:
 		return "lock-wait"
 	case IOWait:
@@ -209,7 +226,7 @@ func (b Breakdown) GroupedShares() Shares {
 		LockMgrWork:       f(b[LockMgrWork]),
 		LockMgrContention: f(b[LockMgrContention]),
 		SLI:               f(b[SLIWork] + b[SLIContention]),
-		OtherWork:         f(b[LogWork] + b[BufferWork] + b[TxWork]),
+		OtherWork:         f(b[LogWork] + b[AbortLogWork] + b[UndoWork] + b[BufferWork] + b[TxWork]),
 		OtherContention:   f(b[LogReserveWait] + b[LogBufferFullWait] + b[BufferContention] + b[LatchContention]),
 		LogFlush:          f(b[LogFlush]),
 	}

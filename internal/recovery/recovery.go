@@ -1,19 +1,25 @@
 // Package recovery implements ARIES-style restart for the slidb storage
-// manager: an analysis pass over the durable log tail that separates winner
-// transactions (whose commit record reached the log) from losers, and a redo
-// pass that replays the winners' data records — plus non-transactional DDL —
-// against the storage layer, in log order. It also defines the checkpoint
+// manager: an analysis pass over the durable log tail that classifies every
+// transaction by its durable outcome record (committed, fully rolled back,
+// or interrupted), a redo pass that repeats history — replaying every data
+// record and compensation record (CLR), plus non-transactional DDL, in log
+// order — and an undo pass that completes the rollback of transactions
+// interrupted mid-flight or mid-rollback. It also defines the checkpoint
 // file format that bounds how much log the restart has to scan.
 //
 // Redo here is logical: data records carry full before/after images, and the
 // applier locates rows by primary key rather than by the record IDs the
 // original run happened to use. Combined with strict two-phase locking at
-// run time (conflicting writes are ordered by their commit order in the
-// log), replaying the winners' records in LSN order reconstructs exactly the
-// committed state. Losers — transactions with no durable commit record,
-// whether they were in flight or had already aborted — are simply never
-// replayed; undo is therefore unnecessary, which is what lets the engine
-// checkpoint logical snapshots instead of physical pages.
+// run time (conflicting writes are ordered by their position in the log),
+// replaying every record in LSN order reproduces exactly the pre-crash
+// sequence of states. Rollbacks are compensation-logged at run time: each
+// undo action appends a redo-only CLR whose UndoNext field points at the
+// transaction's next still-to-be-undone record, so redo replays completed
+// rollback work verbatim and the undo pass resumes each interrupted
+// rollback from its last durable CLR instead of re-undoing compensated
+// actions. A transaction whose abort record reached the log (or whose CLR
+// chain ends with UndoNext 0) is fully rolled back by redo alone and needs
+// no restart undo.
 package recovery
 
 import (
@@ -28,13 +34,29 @@ import (
 // production implementation.
 type Iterator func(fn func(wal.Record) error) error
 
+// undoAll is the UndoNext sentinel for a transaction with no durable CLR:
+// its entire update chain still needs to be undone.
+const undoAll = wal.LSN(^uint64(0))
+
 // Analysis is the result of the analysis pass.
 type Analysis struct {
 	// Winners holds the XIDs of transactions whose commit record is durable.
 	Winners map[uint64]struct{}
 	// Losers holds the XIDs of transactions that appear in the log tail but
-	// never durably committed (in-flight at the crash, or aborted).
+	// never durably committed — whether interrupted in flight, interrupted
+	// mid-rollback, or fully rolled back before the crash.
 	Losers map[uint64]struct{}
+	// RolledBack holds the subset of Losers whose rollback is completely
+	// logged: a durable abort record, or a CLR chain ending at UndoNext 0.
+	// Redo repeats their entire history (updates and compensations) and the
+	// undo pass skips them.
+	RolledBack map[uint64]struct{}
+	// UndoNext maps each loser XID to its rollback resume point: the
+	// UndoNext of the transaction's last durable CLR, or the undoAll
+	// sentinel when no CLR reached the log. Only records with LSN at or
+	// below the resume point still need undoing; higher-LSN records were
+	// already compensated by durable CLRs that redo replays.
+	UndoNext map[uint64]wal.LSN
 	// MaxLSN is the highest LSN seen in the scan.
 	MaxLSN wal.LSN
 	// MaxXID is the highest transaction ID seen; the engine resumes its XID
@@ -45,11 +67,31 @@ type Analysis struct {
 	Scanned int
 }
 
+// NeedsUndo reports whether the transaction has rollback work left for the
+// undo pass: it is a loser whose rollback was not completely logged.
+func (an *Analysis) NeedsUndo(xid uint64) bool {
+	if _, lost := an.Losers[xid]; !lost {
+		return false
+	}
+	_, done := an.RolledBack[xid]
+	return !done
+}
+
+// undoNextOf returns the rollback resume point for a loser transaction.
+func (an *Analysis) undoNextOf(xid uint64) wal.LSN {
+	if next, ok := an.UndoNext[xid]; ok {
+		return next
+	}
+	return undoAll
+}
+
 // Analyze runs the analysis pass over the log tail.
 func Analyze(iter Iterator) (*Analysis, error) {
 	an := &Analysis{
-		Winners: make(map[uint64]struct{}),
-		Losers:  make(map[uint64]struct{}),
+		Winners:    make(map[uint64]struct{}),
+		Losers:     make(map[uint64]struct{}),
+		RolledBack: make(map[uint64]struct{}),
+		UndoNext:   make(map[uint64]wal.LSN),
 	}
 	err := iter(func(rec wal.Record) error {
 		an.Scanned++
@@ -63,6 +105,19 @@ func Analyze(iter Iterator) (*Analysis, error) {
 		case wal.RecCommit:
 			an.Winners[rec.XID] = struct{}{}
 			delete(an.Losers, rec.XID)
+		case wal.RecAbort:
+			// The rollback completed and its outcome record is durable; the
+			// CLR chain below it is durable too (single totally ordered log).
+			an.Losers[rec.XID] = struct{}{}
+			an.RolledBack[rec.XID] = struct{}{}
+		case wal.RecCLR:
+			an.Losers[rec.XID] = struct{}{}
+			an.UndoNext[rec.XID] = rec.UndoNext
+			if rec.UndoNext == 0 {
+				// Every action is compensated; only the abort record is
+				// missing. Nothing left for the undo pass.
+				an.RolledBack[rec.XID] = struct{}{}
+			}
 		case wal.RecCreateTable, wal.RecCreateIndex:
 			// DDL is non-transactional; it belongs to no XID.
 		default:
@@ -80,36 +135,54 @@ func Analyze(iter Iterator) (*Analysis, error) {
 	return an, nil
 }
 
-// Applier receives the redo pass's replay calls. The engine implements it on
-// top of its heap files and B+tree indexes.
+// Applier receives the redo and undo passes' replay calls. The engine
+// implements it on top of its heap files and B+tree indexes.
 type Applier interface {
 	// CreateTable replays table DDL. It must be idempotent with respect to
 	// tables already present (e.g. restored from a checkpoint).
 	CreateTable(meta catalog.TableMeta) error
 	// CreateIndex replays index DDL, backfilling from rows already replayed.
 	CreateIndex(meta catalog.IndexMeta) error
-	// Insert replays a committed insert; after is the encoded row.
+	// Insert replays an insert; after is the encoded row.
 	Insert(table uint32, after []byte) error
-	// Update replays a committed update; before/after are encoded rows with
-	// an unchanged primary key.
+	// Update replays an update; before/after are encoded rows with an
+	// unchanged primary key.
 	Update(table uint32, before, after []byte) error
-	// Delete replays a committed delete; before is the encoded row.
+	// Delete replays a delete; before is the encoded row.
 	Delete(table uint32, before []byte) error
 }
 
 // RedoStats summarizes the redo pass.
 type RedoStats struct {
-	// Redone counts winner data records replayed.
+	// Redone counts data records replayed (repeating history: winners and
+	// losers alike), excluding CLRs.
 	Redone int
-	// SkippedLoser counts loser data records discarded.
-	SkippedLoser int
+	// CLRs counts compensation records replayed.
+	CLRs int
 	// DDL counts CREATE TABLE / CREATE INDEX records replayed.
 	DDL int
 }
 
-// Redo replays the log tail against ap: DDL records unconditionally, data
-// records only for transactions the analysis classified as winners, all in
-// LSN order.
+// applyCLR replays one compensation record. The compensating operation is
+// carried by the images: Before+After restores a row to After, After alone
+// re-inserts a deleted row, Before alone removes an inserted row.
+func applyCLR(ap Applier, rec wal.Record) error {
+	switch {
+	case len(rec.Before) > 0 && len(rec.After) > 0:
+		return ap.Update(rec.Table, rec.Before, rec.After)
+	case len(rec.After) > 0:
+		return ap.Insert(rec.Table, rec.After)
+	case len(rec.Before) > 0:
+		return ap.Delete(rec.Table, rec.Before)
+	default:
+		return fmt.Errorf("CLR with no images")
+	}
+}
+
+// Redo repeats history over the log tail against ap: DDL records and every
+// data record — including losers' updates and the CLRs that compensate them
+// — in LSN order. Replaying losers verbatim is what lets the undo pass
+// resume an interrupted rollback exactly where the durable CLR chain stops.
 func Redo(iter Iterator, an *Analysis, ap Applier) (RedoStats, error) {
 	var st RedoStats
 	err := iter(func(rec wal.Record) error {
@@ -128,20 +201,21 @@ func Redo(iter Iterator, an *Analysis, ap Applier) (RedoStats, error) {
 			}
 			st.DDL++
 			return ap.CreateIndex(meta)
-		case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
-			if _, won := an.Winners[rec.XID]; !won {
-				st.SkippedLoser++
-				return nil
-			}
-			st.Redone++
+		case wal.RecInsert, wal.RecUpdate, wal.RecDelete, wal.RecCLR:
 			var err error
 			switch rec.Type {
 			case wal.RecInsert:
+				st.Redone++
 				err = ap.Insert(rec.Table, rec.After)
 			case wal.RecUpdate:
+				st.Redone++
 				err = ap.Update(rec.Table, rec.Before, rec.After)
 			case wal.RecDelete:
+				st.Redone++
 				err = ap.Delete(rec.Table, rec.Before)
+			case wal.RecCLR:
+				st.CLRs++
+				err = applyCLR(ap, rec)
 			}
 			if err != nil {
 				return fmt.Errorf("LSN %d (%v, xid %d): %w", rec.LSN, rec.Type, rec.XID, err)
@@ -154,6 +228,132 @@ func Redo(iter Iterator, an *Analysis, ap Applier) (RedoStats, error) {
 	})
 	if err != nil {
 		return st, fmt.Errorf("recovery: redo: %w", err)
+	}
+	return st, nil
+}
+
+// UndoStats summarizes the undo pass.
+type UndoStats struct {
+	// Undone counts loser data records rolled back.
+	Undone int
+	// TxUndone counts transactions the pass rolled back (fully or resuming
+	// a partial rollback).
+	TxUndone int
+	// Resumed counts the subset of TxUndone whose rollback had already
+	// started before the crash (a durable CLR chain was found) and was
+	// resumed from its last UndoNext rather than restarted.
+	Resumed int
+}
+
+// CLRLogger receives the log records describing a restart undo — one
+// redo-only CLR per record undone, in undo order, plus the abort record
+// that closes each completed rollback — so the caller can append them to
+// the new incarnation's log. Logging the restart rollback is what makes it
+// happen exactly once: without it, a transaction undone by this restart
+// would still look like an interrupted loser to the next restart, which
+// would then re-apply the undo on top of whatever committed after this
+// restart. The records need no force of their own — they sit at lower LSNs
+// than anything the new incarnation logs, so any durable later commit
+// implies they are durable too, and if the whole tail is lost the next
+// restart simply reruns the same undo against the same state.
+type CLRLogger func(wal.Record) error
+
+// Undo completes the rollback of every interrupted loser after redo has
+// repeated history: it collects the losers' data records still at or below
+// their rollback resume points and applies the inverse operations in
+// descending LSN order. Work above a transaction's resume point was already
+// compensated by durable CLRs (which redo replayed), so it is skipped —
+// an interrupted rollback is completed, never repeated. logRec, when
+// non-nil, receives the CLR chain and abort records that make this undo
+// durable-exactly-once (see CLRLogger).
+func Undo(iter Iterator, an *Analysis, ap Applier, logRec CLRLogger) (UndoStats, error) {
+	var st UndoStats
+	// The common restart has nothing to undo (every transaction committed
+	// or fully rolled back); skip the log scan entirely then.
+	anyPending := false
+	for xid := range an.Losers {
+		if an.NeedsUndo(xid) {
+			anyPending = true
+			break
+		}
+	}
+	if !anyPending {
+		return st, nil
+	}
+	var pending []wal.Record
+	touched := make(map[uint64]struct{})
+	err := iter(func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
+		default:
+			return nil
+		}
+		if !an.NeedsUndo(rec.XID) || rec.LSN > an.undoNextOf(rec.XID) {
+			return nil
+		}
+		pending = append(pending, rec)
+		touched[rec.XID] = struct{}{}
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("recovery: undo: %w", err)
+	}
+	// prevOf[i] is the index of the same transaction's next-older pending
+	// record — the target of the CLR's UndoNext pointer (-1 closes the
+	// chain; a partial pre-crash rollback already compensated everything
+	// above the resume point, so the new chain continues seamlessly).
+	prevOf := make([]int, len(pending))
+	lastIdx := make(map[uint64]int)
+	for i, rec := range pending {
+		if j, ok := lastIdx[rec.XID]; ok {
+			prevOf[i] = j
+		} else {
+			prevOf[i] = -1
+		}
+		lastIdx[rec.XID] = i
+	}
+	// Iterators deliver ascending LSNs; undo applies the inverses newest
+	// first, interleaving transactions exactly as ARIES' backward scan does.
+	for i := len(pending) - 1; i >= 0; i-- {
+		rec := pending[i]
+		var uerr error
+		clr := wal.Record{Type: wal.RecCLR, XID: rec.XID, Table: rec.Table, Page: rec.Page, Slot: rec.Slot}
+		switch rec.Type {
+		case wal.RecInsert:
+			uerr = ap.Delete(rec.Table, rec.After)
+			clr.Before = rec.After
+		case wal.RecUpdate:
+			uerr = ap.Update(rec.Table, rec.After, rec.Before)
+			clr.Before, clr.After = rec.After, rec.Before
+		case wal.RecDelete:
+			uerr = ap.Insert(rec.Table, rec.Before)
+			clr.After = rec.Before
+		}
+		if uerr != nil {
+			return st, fmt.Errorf("recovery: undo LSN %d (%v, xid %d): %w", rec.LSN, rec.Type, rec.XID, uerr)
+		}
+		st.Undone++
+		if logRec != nil {
+			if j := prevOf[i]; j >= 0 {
+				clr.UndoNext = pending[j].LSN
+			}
+			if err := logRec(clr); err != nil {
+				return st, fmt.Errorf("recovery: undo: logging CLR for xid %d: %w", rec.XID, err)
+			}
+			if prevOf[i] < 0 {
+				// Oldest pending record of the transaction: its rollback is
+				// now complete; close it with an abort record.
+				if err := logRec(wal.Record{Type: wal.RecAbort, XID: rec.XID}); err != nil {
+					return st, fmt.Errorf("recovery: undo: logging abort for xid %d: %w", rec.XID, err)
+				}
+			}
+		}
+	}
+	st.TxUndone = len(touched)
+	for xid := range touched {
+		if _, ok := an.UndoNext[xid]; ok {
+			st.Resumed++
+		}
 	}
 	return st, nil
 }

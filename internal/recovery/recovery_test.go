@@ -32,7 +32,12 @@ func TestAnalyzeClassifiesWinnersAndLosers(t *testing.T) {
 		{LSN: 5, XID: 1, Type: wal.RecCommit},
 		{LSN: 6, XID: 3, Type: wal.RecBegin}, // in flight at crash
 		{LSN: 7, XID: 3, Type: wal.RecUpdate, Table: 1, Before: []byte("a"), After: []byte("c")},
-		{LSN: 8, XID: 2, Type: wal.RecAbort}, // aborted before crash
+		{LSN: 8, XID: 2, Type: wal.RecCLR, Table: 1, Before: []byte("b"), UndoNext: 0},
+		{LSN: 9, XID: 2, Type: wal.RecAbort},  // aborted before crash
+		{LSN: 10, XID: 4, Type: wal.RecBegin}, // crashed mid-rollback
+		{LSN: 11, XID: 4, Type: wal.RecInsert, Table: 1, After: []byte("d")},
+		{LSN: 12, XID: 4, Type: wal.RecInsert, Table: 1, After: []byte("e")},
+		{LSN: 13, XID: 4, Type: wal.RecCLR, Table: 1, Before: []byte("e"), UndoNext: 11},
 	}
 	an, err := Analyze(sliceIter(recs))
 	if err != nil {
@@ -41,7 +46,7 @@ func TestAnalyzeClassifiesWinnersAndLosers(t *testing.T) {
 	if _, ok := an.Winners[1]; !ok {
 		t.Error("xid 1 committed but not a winner")
 	}
-	for _, xid := range []uint64{2, 3} {
+	for _, xid := range []uint64{2, 3, 4} {
 		if _, ok := an.Winners[xid]; ok {
 			t.Errorf("xid %d must not be a winner", xid)
 		}
@@ -49,7 +54,22 @@ func TestAnalyzeClassifiesWinnersAndLosers(t *testing.T) {
 			t.Errorf("xid %d must be a loser", xid)
 		}
 	}
-	if an.MaxLSN != 8 || an.MaxXID != 3 || an.Scanned != len(recs) {
+	// xid 2's rollback is fully logged: nothing left for the undo pass.
+	if _, ok := an.RolledBack[2]; !ok {
+		t.Error("xid 2 has a durable abort record but is not classified as rolled back")
+	}
+	if an.NeedsUndo(2) {
+		t.Error("xid 2 must not need restart undo")
+	}
+	// xid 3 crashed in flight with no CLR: everything needs undoing.
+	if !an.NeedsUndo(3) || an.undoNextOf(3) != undoAll {
+		t.Errorf("xid 3: NeedsUndo=%v undoNext=%d, want true/undoAll", an.NeedsUndo(3), an.undoNextOf(3))
+	}
+	// xid 4 crashed mid-rollback: resume below the last durable CLR.
+	if !an.NeedsUndo(4) || an.undoNextOf(4) != 11 {
+		t.Errorf("xid 4: NeedsUndo=%v undoNext=%d, want true/11", an.NeedsUndo(4), an.undoNextOf(4))
+	}
+	if an.MaxLSN != 13 || an.MaxXID != 4 || an.Scanned != len(recs) {
 		t.Errorf("analysis = %+v", an)
 	}
 }
@@ -80,7 +100,7 @@ func (f *fakeApplier) Delete(table uint32, before []byte) error {
 	return nil
 }
 
-func TestRedoReplaysWinnersOnly(t *testing.T) {
+func TestRedoRepeatsHistoryIncludingCLRs(t *testing.T) {
 	tblMeta := catalog.TableMeta{
 		ID: 1, Name: "t",
 		Columns:    []record.Column{{Name: "id", Type: record.TypeInt}},
@@ -93,9 +113,12 @@ func TestRedoReplaysWinnersOnly(t *testing.T) {
 		{LSN: 4, XID: 2, Type: wal.RecInsert, Table: 1, After: []byte("loser")},
 		{LSN: 5, XID: 1, Type: wal.RecUpdate, Table: 1, Before: []byte("w1"), After: []byte("w2")},
 		{LSN: 6, XID: 1, Type: wal.RecCommit},
-		{LSN: 7, XID: 3, Type: wal.RecInsert, Table: 1, After: []byte("w3")},
-		{LSN: 8, XID: 3, Type: wal.RecDelete, Table: 1, Before: []byte("w3")},
-		{LSN: 9, XID: 3, Type: wal.RecCommit},
+		// xid 2 rolled back before the crash: its CLR chain repeats verbatim.
+		{LSN: 7, XID: 2, Type: wal.RecCLR, Table: 1, Before: []byte("loser"), UndoNext: 0},
+		{LSN: 8, XID: 2, Type: wal.RecAbort},
+		{LSN: 9, XID: 3, Type: wal.RecInsert, Table: 1, After: []byte("w3")},
+		{LSN: 10, XID: 3, Type: wal.RecDelete, Table: 1, Before: []byte("w3")},
+		{LSN: 11, XID: 3, Type: wal.RecCommit},
 	}
 	an, err := Analyze(sliceIter(recs))
 	if err != nil {
@@ -109,15 +132,81 @@ func TestRedoReplaysWinnersOnly(t *testing.T) {
 	want := []string{
 		"create-table:t",
 		"insert:w1",
+		"insert:loser",
 		"update:w1->w2",
+		"delete:loser", // xid 2's CLR compensates its insert
 		"insert:w3",
 		"delete:w3",
 	}
 	if !reflect.DeepEqual(ap.ops, want) {
 		t.Errorf("replayed ops = %v, want %v", ap.ops, want)
 	}
-	if st.Redone != 4 || st.SkippedLoser != 1 || st.DDL != 1 {
+	if st.Redone != 5 || st.CLRs != 1 || st.DDL != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+	// xid 2's rollback completed via redo alone; the undo pass has nothing.
+	ust, err := Undo(sliceIter(recs), an, ap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ust.Undone != 0 || ust.TxUndone != 0 {
+		t.Errorf("undo stats = %+v, want all zero", ust)
+	}
+}
+
+// TestUndoResumesPartialRollback pins the restart-undo contract: a rollback
+// interrupted at a CLR boundary is completed from the last durable CLR's
+// UndoNext — the already-compensated record is not undone a second time —
+// while a loser with no CLR chain is undone in full, newest record first.
+func TestUndoResumesPartialRollback(t *testing.T) {
+	recs := []wal.Record{
+		{LSN: 1, XID: 1, Type: wal.RecBegin},
+		{LSN: 2, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("a")},
+		{LSN: 3, XID: 1, Type: wal.RecUpdate, Table: 1, Before: []byte("x1"), After: []byte("x2")},
+		{LSN: 4, XID: 1, Type: wal.RecDelete, Table: 1, Before: []byte("gone")},
+		// Rollback started: the delete at LSN 4 was compensated (row
+		// re-inserted), then the crash hit. UndoNext points at LSN 3.
+		{LSN: 5, XID: 1, Type: wal.RecCLR, Table: 1, After: []byte("gone"), UndoNext: 3},
+		// A second loser with no CLRs at all.
+		{LSN: 6, XID: 2, Type: wal.RecInsert, Table: 1, After: []byte("b")},
+	}
+	an, err := Analyze(sliceIter(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := &fakeApplier{}
+	var logged []wal.Record
+	st, err := Undo(sliceIter(recs), an, ap, func(rec wal.Record) error {
+		logged = append(logged, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"delete:b",      // xid 2's insert, newest uncompensated record first
+		"update:x2->x1", // xid 1 resumes at LSN 3
+		"delete:a",      // then its first action
+	}
+	if !reflect.DeepEqual(ap.ops, want) {
+		t.Errorf("undone ops = %v, want %v", ap.ops, want)
+	}
+	if st.Undone != 3 || st.TxUndone != 2 || st.Resumed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The restart undo logs itself: a CLR per undone record (UndoNext
+	// chaining within each transaction) and an abort record closing each
+	// completed rollback, so the next restart treats both transactions as
+	// fully rolled back instead of undoing them again.
+	wantLog := []wal.Record{
+		{Type: wal.RecCLR, XID: 2, Table: 1, Before: []byte("b")},
+		{Type: wal.RecAbort, XID: 2},
+		{Type: wal.RecCLR, XID: 1, Table: 1, Before: []byte("x2"), After: []byte("x1"), UndoNext: 2},
+		{Type: wal.RecCLR, XID: 1, Table: 1, Before: []byte("a")},
+		{Type: wal.RecAbort, XID: 1},
+	}
+	if !reflect.DeepEqual(logged, wantLog) {
+		t.Errorf("logged records:\ngot  %+v\nwant %+v", logged, wantLog)
 	}
 }
 

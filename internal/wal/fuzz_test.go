@@ -10,14 +10,16 @@ import (
 // FuzzRecordRoundTrip builds a record from fuzzed fields, encodes it, and
 // requires decoding to return the identical record with nothing left over.
 func FuzzRecordRoundTrip(f *testing.F) {
-	f.Add(uint64(1), uint64(42), byte(RecUpdate), uint32(3), uint64(9), uint32(4), []byte("before"), []byte("after"))
-	f.Add(uint64(0), uint64(0), byte(RecBegin), uint32(0), uint64(0), uint32(0), []byte(nil), []byte(nil))
-	f.Add(uint64(1<<63), uint64(1<<62), byte(RecCreateTable), uint32(1<<31), uint64(1)<<60, uint32(7), []byte{0, 0xff}, bytes.Repeat([]byte{0xaa}, 300))
-	f.Fuzz(func(t *testing.T, lsn, xid uint64, typ byte, table uint32, page uint64, slot uint32, before, after []byte) {
+	f.Add(uint64(1), uint64(42), byte(RecUpdate), uint32(3), uint64(9), uint32(4), uint64(0), []byte("before"), []byte("after"))
+	f.Add(uint64(0), uint64(0), byte(RecBegin), uint32(0), uint64(0), uint32(0), uint64(0), []byte(nil), []byte(nil))
+	f.Add(uint64(1<<63), uint64(1<<62), byte(RecCreateTable), uint32(1<<31), uint64(1)<<60, uint32(7), uint64(0), []byte{0, 0xff}, bytes.Repeat([]byte{0xaa}, 300))
+	f.Add(uint64(17), uint64(9), byte(RecCLR), uint32(2), uint64(5), uint32(1), uint64(12), []byte("new"), []byte("old"))
+	f.Fuzz(func(t *testing.T, lsn, xid uint64, typ byte, table uint32, page uint64, slot uint32, undoNext uint64, before, after []byte) {
 		in := Record{
 			LSN: LSN(lsn), XID: xid, Type: RecType(typ),
 			Table: table, Page: page, Slot: slot,
-			Before: before, After: after,
+			UndoNext: LSN(undoNext),
+			Before:   before, After: after,
 		}
 		// Decode normalizes empty images to nil; mirror that for comparison.
 		want := in
@@ -131,6 +133,7 @@ func FuzzConcurrentReserveFillPublish(f *testing.F) {
 func FuzzRecordDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(Record{LSN: 5, XID: 1, Type: RecCommit}.Encode())
+	f.Add(Record{LSN: 8, XID: 3, Type: RecCLR, Table: 1, UndoNext: 6, After: []byte("img")}.Encode())
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rec, n, err := Decode(data)

@@ -48,6 +48,18 @@ const (
 	// RecCreateIndex records secondary-index DDL (After holds the encoded
 	// index metadata).
 	RecCreateIndex
+	// RecCLR is an ARIES-style compensation log record: the redo-only record
+	// of one undo action performed during rollback. Its images describe the
+	// compensating operation directly — Before+After means "update the row
+	// matching Before's primary key back to After", After alone means
+	// "re-insert After" (compensating a delete), Before alone means "delete
+	// the row matching Before" (compensating an insert) — and UndoNext holds
+	// the LSN of the next original record of the same transaction still to
+	// be undone (0 when the rollback is complete). Restart redo replays CLRs
+	// like any other data record; restart undo resumes an interrupted
+	// rollback from the last durable CLR's UndoNext instead of re-undoing
+	// work the CLR chain already compensated.
+	RecCLR
 )
 
 // String returns the record type name.
@@ -69,6 +81,8 @@ func (t RecType) String() string {
 		return "CREATE-TABLE"
 	case RecCreateIndex:
 		return "CREATE-INDEX"
+	case RecCLR:
+		return "CLR"
 	default:
 		return fmt.Sprintf("rectype(%d)", uint8(t))
 	}
@@ -86,6 +100,11 @@ type Record struct {
 	Table uint32
 	Page  uint64
 	Slot  uint32
+	// UndoNext is the rollback resume point carried by RecCLR records: the
+	// LSN of the transaction's next still-to-be-undone data record, or 0
+	// when this CLR compensated the transaction's first action (rollback
+	// complete). Zero on every other record type.
+	UndoNext LSN
 	// Before is the before-image (updates and deletes).
 	Before []byte
 	// After is the after-image (inserts and updates).
@@ -107,6 +126,7 @@ func uvarintLen(v uint64) int {
 func (r Record) bodySize() int {
 	return uvarintLen(uint64(r.LSN)) + uvarintLen(r.XID) + 1 +
 		uvarintLen(uint64(r.Table)) + uvarintLen(r.Page) + uvarintLen(uint64(r.Slot)) +
+		uvarintLen(uint64(r.UndoNext)) +
 		uvarintLen(uint64(len(r.Before))) + len(r.Before) +
 		uvarintLen(uint64(len(r.After))) + len(r.After)
 }
@@ -136,6 +156,7 @@ func (r Record) EncodeTo(buf []byte) int {
 	put(uint64(r.Table))
 	put(r.Page)
 	put(uint64(r.Slot))
+	put(uint64(r.UndoNext))
 	put(uint64(len(r.Before)))
 	pos += copy(buf[pos:], r.Before)
 	put(uint64(len(r.After)))
@@ -225,7 +246,9 @@ func readUvarintCounted(r io.ByteReader, n *int) (uint64, error) {
 // the record and the number of bytes consumed.
 func Decode(data []byte) (Record, int, error) {
 	length, n := binary.Uvarint(data)
-	if n <= 0 || int(length) > len(data)-n {
+	// The frame cap also guards the uint64→int conversion below: a garbage
+	// length beyond 2^63 would convert negative and panic the slice bounds.
+	if n <= 0 || length > maxFrameBytes || int(length) > len(data)-n {
 		return Record{}, 0, ErrCorrupt
 	}
 	rec, err := decodeBody(data[n : n+int(length)])
@@ -268,14 +291,20 @@ func decodeBody(body []byte) (Record, error) {
 	if !ok {
 		return rec, ErrCorrupt
 	}
+	undoNext, ok := get()
+	if !ok {
+		return rec, ErrCorrupt
+	}
+	// Compare image lengths in uint64 space: converting a garbage length to
+	// int first could wrap negative and panic the slice expressions.
 	beforeLen, ok := get()
-	if !ok || pos+int(beforeLen) > len(body) {
+	if !ok || beforeLen > uint64(len(body)-pos) {
 		return rec, ErrCorrupt
 	}
 	before := append([]byte(nil), body[pos:pos+int(beforeLen)]...)
 	pos += int(beforeLen)
 	afterLen, ok := get()
-	if !ok || pos+int(afterLen) > len(body) {
+	if !ok || afterLen > uint64(len(body)-pos) {
 		return rec, ErrCorrupt
 	}
 	after := append([]byte(nil), body[pos:pos+int(afterLen)]...)
@@ -286,7 +315,8 @@ func decodeBody(body []byte) (Record, error) {
 	rec = Record{
 		LSN: LSN(lsn), XID: xid, Type: typ,
 		Table: uint32(table), Page: pageNo, Slot: uint32(slot),
-		Before: before, After: after,
+		UndoNext: LSN(undoNext),
+		Before:   before, After: after,
 	}
 	if len(rec.Before) == 0 {
 		rec.Before = nil

@@ -75,6 +75,25 @@ func TestRecordDecodeCorruption(t *testing.T) {
 	}
 }
 
+// TestDecodeRejectsHugeLengthPrefixes pins the overflow guards found by
+// FuzzRecordDecode (regression corpus in testdata/fuzz): a frame length or
+// image length near 2^64 used to wrap negative in the int conversion and
+// panic the slice expressions; both must decode as ErrCorrupt instead.
+func TestDecodeRejectsHugeLengthPrefixes(t *testing.T) {
+	// Frame length ≈ 2^63: a valid 10-byte uvarint far beyond the frame cap.
+	hugeVarint := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	if _, _, err := Decode(hugeVarint); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge frame length: err = %v, want ErrCorrupt", err)
+	}
+	// Valid frame whose body claims a ≈2^63-byte before-image.
+	body := []byte{1, 1, byte(RecUpdate), 0, 0, 0, 0} // LSN, XID, type, table, page, slot, undoNext
+	body = append(body, hugeVarint...)                // before-image length
+	frame := append([]byte{byte(len(body))}, body...)
+	if _, _, err := Decode(frame); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge image length: err = %v, want ErrCorrupt", err)
+	}
+}
+
 func TestRecordEncodeDecodeQuick(t *testing.T) {
 	f := func(xid uint64, table uint32, pageNo uint64, slot uint32, before, after []byte) bool {
 		rec := Record{XID: xid, Type: RecUpdate, Table: table, Page: pageNo, Slot: slot, Before: before, After: after}
@@ -92,8 +111,35 @@ func TestRecordEncodeDecodeQuick(t *testing.T) {
 	}
 }
 
+// TestCLRRoundTrip pins the compensation-record format: UndoNext survives
+// both decoders, and a zero UndoNext (rollback complete) is preserved rather
+// than conflated with "no field".
+func TestCLRRoundTrip(t *testing.T) {
+	for _, undoNext := range []LSN{0, 7, 1 << 40} {
+		rec := Record{
+			LSN: 12, XID: 5, Type: RecCLR,
+			Table: 2, Page: 9, Slot: 1,
+			UndoNext: undoNext,
+			Before:   []byte("compensated new"),
+			After:    []byte("restored old"),
+		}
+		enc := rec.Encode()
+		got, n, err := Decode(enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("Decode: n=%d err=%v", n, err)
+		}
+		if !reflect.DeepEqual(rec, got) {
+			t.Fatalf("CLR round trip mismatch:\nwant %+v\ngot  %+v", rec, got)
+		}
+		got2, err := DecodeFrom(bytes.NewReader(enc))
+		if err != nil || !reflect.DeepEqual(rec, got2) {
+			t.Fatalf("DecodeFrom mismatch (err=%v): %+v vs %+v", err, rec, got2)
+		}
+	}
+}
+
 func TestRecTypeStrings(t *testing.T) {
-	for _, rt := range []RecType{RecBegin, RecInsert, RecUpdate, RecDelete, RecCommit, RecAbort} {
+	for _, rt := range []RecType{RecBegin, RecInsert, RecUpdate, RecDelete, RecCommit, RecAbort, RecCreateTable, RecCreateIndex, RecCLR} {
 		if rt.String() == "" {
 			t.Fatalf("empty name for %d", rt)
 		}

@@ -59,6 +59,41 @@ func (m Mix) Next(rng *rand.Rand) (string, TxFunc) {
 	return last.Name, last.Make(rng)
 }
 
+// WithAbortRate wraps gen so that the given fraction of transactions perform
+// their full body and then return core.Abort, forcing a complete rollback of
+// every modification they made. It is the driver for high-abort-rate
+// experiments: the aborted transactions pay the whole forward cost (locks,
+// heap and index mutations, log appends) plus the undo and CLR-logging cost
+// of the abort path, exactly like a conflict-victim retry would. A rate <= 0
+// returns gen unchanged; rates are clamped to 1.
+func WithAbortRate(gen Generator, rate float64) Generator {
+	if rate <= 0 {
+		return gen
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return abortingGenerator{gen: gen, rate: rate}
+}
+
+type abortingGenerator struct {
+	gen  Generator
+	rate float64
+}
+
+func (g abortingGenerator) Next(rng *rand.Rand) (string, TxFunc) {
+	name, fn := g.gen.Next(rng)
+	if rng.Float64() >= g.rate {
+		return name, fn
+	}
+	return name, func(tx *core.Tx) error {
+		if err := fn(tx); err != nil {
+			return err
+		}
+		return core.Abort
+	}
+}
+
 // Options controls a benchmark run.
 type Options struct {
 	// Clients is the number of closed-loop client goroutines. If zero it

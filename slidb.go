@@ -36,10 +36,13 @@
 // acknowledged only after its log records have been fsynced (one sync per
 // group-commit batch, shared by every transaction in the batch), and
 // reopening the directory after a crash runs an ARIES-style restart —
-// analysis of the log tail to separate transactions with a durable commit
-// record from losers, followed by redo of the winners' effects. Committed
-// transactions always survive; transactions in flight at the crash (or
-// aborted) leave no trace.
+// analysis of the log tail classifies every transaction by its durable
+// outcome record, redo repeats history (every data record and rollback
+// compensation record, in log order), and an undo pass completes the
+// rollback of transactions interrupted in flight or mid-rollback, resuming
+// partially-logged rollbacks from their last durable compensation record.
+// Committed transactions always survive; transactions in flight at the
+// crash (or aborted) leave no trace.
 //
 //	db, err := slidb.OpenAt("/var/lib/myapp/data", slidb.Config{Agents: 8})
 //	// ... use db exactly as an in-memory engine ...
@@ -52,7 +55,9 @@
 // commit fsync — the paper-faithful baseline. Two Config knobs decouple
 // lock release and agent scheduling from log durability:
 // Config.EarlyLockRelease releases a transaction's locks (applying SLI) as
-// soon as its commit record is appended, shrinking lock hold times by the
+// soon as its commit record is appended — and, symmetrically, an aborting
+// transaction's locks as soon as its compensation-logged rollback has
+// appended its abort record — shrinking lock hold times by the
 // entire flush latency; Config.AsyncCommit lets each agent run ahead of the
 // log force with a bounded window of in-flight pre-committed transactions.
 // Exec still blocks until the commit is durable; Engine.ExecAsync returns a

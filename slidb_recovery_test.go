@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"slidb"
+	"slidb/internal/wal"
 )
 
 // accountsSchema and friends model a TPC-B-style bank: branches hold the
@@ -236,6 +237,9 @@ func TestCrashRecoveryTorture(t *testing.T) {
 	if ckptErr != nil {
 		t.Fatalf("checkpoint: %v", ckptErr)
 	}
+	if got := db.UndoFailures(); got != 0 {
+		t.Fatalf("UndoFailures = %d, want 0 (a rollback corrupted in-memory state)", got)
+	}
 	// CRASH: abandon db without Close. Unflushed log buffer contents and all
 	// in-memory state are lost; only what the WAL and checkpoint captured
 	// survives into the reopened engine.
@@ -413,6 +417,285 @@ func TestELRCrashInPreCommitWindow(t *testing.T) {
 		if hid >= 1000 {
 			t.Errorf("pre-committed (never durable) transfer %d survived the crash", hid)
 		}
+	}
+}
+
+// TestCrashDuringAbortTorture exercises every crash point inside a
+// compensation-logged rollback. A transaction under ELR + AsyncCommit
+// inserts, updates and deletes, then aborts; the resulting log — data
+// records, the CLR chain, the abort record — is replayed into a fresh data
+// directory truncated at every record boundary, simulating a crash that
+// lost the tail at exactly that point. Whatever the cut, slidb.OpenAt must
+// recover the pre-transaction state: rollback work whose CLR reached disk
+// is redone verbatim and never undone a second time (double-undo of the
+// delete would duplicate the re-inserted row; double-undo of the insert
+// would fail the recovery outright), while uncompensated work is completed
+// by the restart undo pass.
+func TestCrashDuringAbortTorture(t *testing.T) {
+	srcDir := t.TempDir()
+	db, err := slidb.OpenAt(srcDir, slidb.Config{
+		Agents:           2,
+		EarlyLockRelease: true,
+		AsyncCommit:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.CreateTable("accounts", accountsSchema, []string{"aid"}))
+	must(db.Exec(func(tx *slidb.Tx) error {
+		for aid := int64(0); aid < 3; aid++ {
+			if err := tx.Insert("accounts", slidb.Row{slidb.Int(aid), slidb.Int(0), slidb.Int(100)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	// The aborting transaction: one of each mutation kind, then rollback.
+	err = db.Exec(func(tx *slidb.Tx) error {
+		if err := tx.Insert("accounts", slidb.Row{slidb.Int(50), slidb.Int(0), slidb.Int(1)}); err != nil {
+			return err
+		}
+		if err := tx.Update("accounts", []slidb.Value{slidb.Int(0)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(r[2].AsInt() + 10)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		if err := tx.Delete("accounts", slidb.Int(2)); err != nil {
+			return err
+		}
+		return errDeliberateAbort
+	})
+	if !errors.Is(err, errDeliberateAbort) {
+		t.Fatalf("aborting tx returned %v, want errDeliberateAbort", err)
+	}
+	if got := db.ELRAborts(); got != 1 {
+		t.Fatalf("ELRAborts = %d, want 1", got)
+	}
+	if got := db.UndoFailures(); got != 0 {
+		t.Fatalf("UndoFailures = %d, want 0", got)
+	}
+	// Close drains the log: the full CLR chain and abort record reach disk.
+	must(db.Close())
+
+	segs, err := wal.OpenSegments(srcDir, wal.DefaultSegmentBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []wal.Record
+	must(segs.Iterate(1, func(r wal.Record) error {
+		recs = append(recs, r)
+		return nil
+	}))
+	must(segs.Close())
+
+	// The aborting transaction has the highest XID; its first record marks
+	// the earliest interesting cut point.
+	var abortXID uint64
+	for _, r := range recs {
+		if r.XID > abortXID {
+			abortXID = r.XID
+		}
+	}
+	base := -1
+	for i, r := range recs {
+		if r.XID == abortXID {
+			base = i
+			break
+		}
+	}
+	if base < 0 {
+		t.Fatal("aborting transaction not found in the log")
+	}
+
+	for cut := base; cut <= len(recs); cut++ {
+		kept := recs[:cut]
+		// Predict the undo pass's workload from the kept tail: each durable
+		// CLR compensates one data record; a durable abort record (or a CLR
+		// closing the chain) leaves nothing to undo.
+		dataN, clrN, complete := 0, 0, false
+		for _, r := range kept {
+			if r.XID != abortXID {
+				continue
+			}
+			switch r.Type {
+			case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
+				dataN++
+			case wal.RecCLR:
+				clrN++
+				complete = r.UndoNext == 0
+			case wal.RecAbort:
+				complete = true
+			}
+		}
+		wantUndone := dataN - clrN
+		if complete {
+			wantUndone = 0
+		}
+
+		dir := t.TempDir()
+		out, err := wal.OpenSegments(dir, wal.DefaultSegmentBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range kept {
+			must(out.WriteRecord(r, r.Encode()))
+		}
+		must(out.Sync())
+		must(out.Close())
+
+		db2, err := slidb.OpenAt(dir, slidb.Config{})
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		rows := make(map[int64]int64)
+		count := 0
+		if err := db2.Exec(func(tx *slidb.Tx) error {
+			return tx.ScanTable("accounts", func(r slidb.Row) bool {
+				rows[r[0].AsInt()] = r[2].AsInt()
+				count++
+				return true
+			})
+		}); err != nil {
+			t.Fatalf("cut %d: read: %v", cut, err)
+		}
+		if count != 3 {
+			t.Errorf("cut %d: %d heap rows, want 3 (double-undo duplicates or lost rows): %v", cut, count, rows)
+		}
+		for aid := int64(0); aid < 3; aid++ {
+			if rows[aid] != 100 {
+				t.Errorf("cut %d: account %d balance = %d, want 100", cut, aid, rows[aid])
+			}
+		}
+		if _, leaked := rows[50]; leaked {
+			t.Errorf("cut %d: aborted insert leaked through recovery", cut)
+		}
+		st := db2.RecoveryStats()
+		if st.RecordsUndone != wantUndone {
+			t.Errorf("cut %d: RecordsUndone = %d, want %d (stats %+v)", cut, st.RecordsUndone, wantUndone, st)
+		}
+		if clrN > 0 && !complete && st.RollbacksResumed != 1 {
+			t.Errorf("cut %d: RollbacksResumed = %d, want 1 (partial CLR chain)", cut, st.RollbacksResumed)
+		}
+		if complete && dataN > 0 && st.RollbacksComplete == 0 {
+			t.Errorf("cut %d: rollback fully logged but not classified complete (stats %+v)", cut, st)
+		}
+		// The recovered engine stays usable: commit a transfer and verify.
+		if err := db2.Exec(func(tx *slidb.Tx) error {
+			return tx.Update("accounts", []slidb.Value{slidb.Int(1)}, func(r slidb.Row) (slidb.Row, error) {
+				r[2] = slidb.Int(r[2].AsInt() + 5)
+				return r, nil
+			})
+		}); err != nil {
+			t.Fatalf("cut %d: post-recovery update: %v", cut, err)
+		}
+		if got := db2.UndoFailures(); got != 0 {
+			t.Errorf("cut %d: UndoFailures = %d, want 0", cut, got)
+		}
+		must(db2.Close())
+	}
+}
+
+// TestRestartUndoIsLoggedExactlyOnce is the regression test for restart
+// undo re-execution: recovery that rolls back an interrupted loser must log
+// that rollback (CLRs + abort record) into the new log, because otherwise a
+// LATER restart still sees the loser as interrupted and re-applies the old
+// undo on top of work committed after the first recovery — silently
+// reverting durable commits.
+func TestRestartUndoIsLoggedExactlyOnce(t *testing.T) {
+	srcDir := t.TempDir()
+	db, err := slidb.OpenAt(srcDir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.CreateTable("accounts", accountsSchema, []string{"aid"}))
+	must(db.Exec(func(tx *slidb.Tx) error {
+		return tx.Insert("accounts", slidb.Row{slidb.Int(1), slidb.Int(0), slidb.Int(100)})
+	}))
+	// The soon-to-be loser: an update and an insert, committed for now —
+	// the commit record is dropped below to simulate a lost tail.
+	must(db.Exec(func(tx *slidb.Tx) error {
+		if err := tx.Update("accounts", []slidb.Value{slidb.Int(1)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(200)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		return tx.Insert("accounts", slidb.Row{slidb.Int(2), slidb.Int(0), slidb.Int(1)})
+	}))
+	must(db.Close())
+
+	// Rewrite the log without the final commit record: the second
+	// transaction's data records are durable but its outcome is not.
+	segs, err := wal.OpenSegments(srcDir, wal.DefaultSegmentBytes)
+	must(err)
+	var recs []wal.Record
+	must(segs.Iterate(1, func(r wal.Record) error {
+		recs = append(recs, r)
+		return nil
+	}))
+	must(segs.Close())
+	if recs[len(recs)-1].Type != wal.RecCommit {
+		t.Fatalf("last record is %v, want COMMIT", recs[len(recs)-1].Type)
+	}
+	dir := t.TempDir()
+	out, err := wal.OpenSegments(dir, wal.DefaultSegmentBytes)
+	must(err)
+	for _, r := range recs[:len(recs)-1] {
+		must(out.WriteRecord(r, r.Encode()))
+	}
+	must(out.Sync())
+	must(out.Close())
+
+	// Restart 1: the loser is undone (row 1 back to 100, row 2 gone).
+	db1, err := slidb.OpenAt(dir, slidb.Config{})
+	must(err)
+	if st := db1.RecoveryStats(); st.TxUndone != 1 || st.RecordsUndone != 2 {
+		t.Fatalf("restart 1: TxUndone=%d RecordsUndone=%d, want 1/2 (stats %+v)", st.TxUndone, st.RecordsUndone, st)
+	}
+	// New work commits on top of the undone state.
+	must(db1.Exec(func(tx *slidb.Tx) error {
+		if err := tx.Update("accounts", []slidb.Value{slidb.Int(1)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(300)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		return tx.Insert("accounts", slidb.Row{slidb.Int(2), slidb.Int(0), slidb.Int(55)})
+	}))
+	must(db1.Close())
+
+	// Restart 2: the stale loser must be seen as fully rolled back; the
+	// committed 300/55 must survive, not be reverted by a re-run undo.
+	db2, err := slidb.OpenAt(dir, slidb.Config{})
+	must(err)
+	defer db2.Close()
+	if st := db2.RecoveryStats(); st.RecordsUndone != 0 || st.TxUndone != 0 {
+		t.Errorf("restart 2 re-ran the undo: %+v", st)
+	}
+	rows := map[int64]int64{}
+	count := 0
+	must(db2.Exec(func(tx *slidb.Tx) error {
+		return tx.ScanTable("accounts", func(r slidb.Row) bool {
+			rows[r[0].AsInt()] = r[2].AsInt()
+			count++
+			return true
+		})
+	}))
+	if count != 2 || rows[1] != 300 || rows[2] != 55 {
+		t.Fatalf("state after second restart = %v (%d rows), want {1:300 2:55}", rows, count)
 	}
 }
 
