@@ -27,11 +27,12 @@ import (
 // Decoding ignores any extra fields, so the two tools can evolve their
 // schemas independently.
 type entry struct {
-	Workload     string  `json:"workload"`
-	Config       string  `json:"config"`
-	Agents       int     `json:"agents"`
-	TPS          float64 `json:"tps"`
-	AvgLatencyUs float64 `json:"avg_latency_us"`
+	Workload      string  `json:"workload"`
+	Config        string  `json:"config"`
+	Agents        int     `json:"agents"`
+	TPS           float64 `json:"tps"`
+	AvgLatencyUs  float64 `json:"avg_latency_us"`
+	ReserveWaitMs float64 `json:"log_reserve_wait_ms_total"`
 }
 
 type key struct {
@@ -80,15 +81,20 @@ func main() {
 	}
 
 	regressions := 0
-	fmt.Printf("%-12s %-10s %7s %12s %12s %9s\n", "workload", "config", "agents", "tps-prev", "tps-now", "delta-%")
+	// The reserve-wait columns track the fetch-and-add reservation win (the
+	// log-lsn refactor) across runs; they are informational, never a gate.
+	fmt.Printf("%-12s %-10s %7s %12s %12s %9s %12s %12s\n",
+		"workload", "config", "agents", "tps-prev", "tps-now", "delta-%", "rsv-ms-prev", "rsv-ms-now")
 	for _, e := range newEntries {
 		old, ok := prev[key{e.Workload, e.Config, e.Agents}]
 		if !ok || old.TPS <= 0 {
-			fmt.Printf("%-12s %-10s %7d %12s %12.1f %9s\n", e.Workload, e.Config, e.Agents, "-", e.TPS, "new")
+			fmt.Printf("%-12s %-10s %7d %12s %12.1f %9s %12s %12.2f\n",
+				e.Workload, e.Config, e.Agents, "-", e.TPS, "new", "-", e.ReserveWaitMs)
 			continue
 		}
 		delta := 100 * (e.TPS - old.TPS) / old.TPS
-		fmt.Printf("%-12s %-10s %7d %12.1f %12.1f %+8.1f%%\n", e.Workload, e.Config, e.Agents, old.TPS, e.TPS, delta)
+		fmt.Printf("%-12s %-10s %7d %12.1f %12.1f %+8.1f%% %12.2f %12.2f\n",
+			e.Workload, e.Config, e.Agents, old.TPS, e.TPS, delta, old.ReserveWaitMs, e.ReserveWaitMs)
 		if delta < -*threshold {
 			regressions++
 			fmt.Printf("::warning::benchdiff: %s/%s (agents=%d) tps regressed %.1f%% (%.1f -> %.1f)\n",

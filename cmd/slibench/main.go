@@ -41,9 +41,11 @@ func main() {
 		agents     = flag.Int("agents", 0, "agent (worker) count for -workload runs; 0 = scale default")
 		clients    = flag.Int("clients", 0, "closed-loop client goroutines; 0 = one per agent (use > agents to exercise -async pipelining)")
 		sli        = flag.Bool("sli", false, "enable Speculative Lock Inheritance for -workload runs")
-		elr        = flag.Bool("elr", false, "enable Early Lock Release (locks released at commit-record append, not after the fsync)")
+		elr        = flag.Bool("elr", false, "enable Early Lock Release on both the commit and abort paths (locks released at outcome-record append, not after the fsync)")
+		elrAborts  = flag.Bool("elraborts", false, "enable Early Lock Release on the abort path only (see -elr; the two knobs are independent in core.Config)")
 		async      = flag.Bool("async", false, "enable flush pipelining (agents run ahead of the log force, bounded by the pipeline depth)")
 		mutexLog   = flag.Bool("mutexlog", false, "use the legacy mutex-per-append WAL path instead of the consolidated log buffer (ablation baseline)")
+		latchedLog = flag.Bool("latchedlog", false, "reserve log space under the PR-3 latch instead of the fetch-and-add on the virtual head (log-lsn ablation baseline)")
 		abortRate  = flag.Float64("abortrate", 0, "fraction of transactions forced to abort after doing their work (exercises the CLR rollback path; used by -workload and as the -ablation abort-elr rate)")
 		gcWindow   = flag.Duration("gcwindow", 0, "group-commit window for -workload/-benchout engines")
 		flushDelay = flag.Duration("flushdelay", 0, "simulated log-force latency for -workload/-benchout engines")
@@ -92,8 +94,10 @@ func main() {
 		opt.DataDir = *datadir
 	}
 	opt.EarlyLockRelease = *elr
+	opt.EarlyLockReleaseAborts = *elr || *elrAborts
 	opt.AsyncCommit = *async
 	opt.MutexLog = *mutexLog
+	opt.LatchedLog = *latchedLog
 	opt.GroupCommitWindow = *gcWindow
 	opt.LogFlushDelay = *flushDelay
 	opt.Clients = *clients
@@ -148,8 +152,8 @@ func runSingle(wl string, opt figures.Options, agents int, sli bool) {
 	exitOn(err)
 	s := res.Breakdown.GroupedShares()
 	ls := res.LockStats
-	fmt.Printf("%s  (sli=%v elr=%v async=%v mutexlog=%v abortrate=%.2f)\n",
-		wl, sli, opt.EarlyLockRelease, opt.AsyncCommit, opt.MutexLog, opt.AbortRate)
+	fmt.Printf("%s  (sli=%v elr=%v elraborts=%v async=%v mutexlog=%v latchedlog=%v abortrate=%.2f)\n",
+		wl, sli, opt.EarlyLockRelease, opt.EarlyLockReleaseAborts, opt.AsyncCommit, opt.MutexLog, opt.LatchedLog, opt.AbortRate)
 	fmt.Printf("  throughput        %.1f tps (%d committed, %d failed, %d errors)\n",
 		res.Throughput, res.Committed, res.Failed, res.Errors)
 	fmt.Printf("  avg latency       %v\n", res.AvgLatency.Round(time.Microsecond))
@@ -164,7 +168,7 @@ func runSingle(wl string, opt figures.Options, agents int, sli bool) {
 		res.Breakdown.Get(profiler.UndoWork).Round(time.Microsecond),
 		res.Breakdown.Get(profiler.AbortLogWork).Round(time.Microsecond),
 		es.UndoFailures)
-	fmt.Printf("  durable lag       %d records (at measurement end)\n", es.DurableLag)
+	fmt.Printf("  durable lag       %d bytes (at measurement end)\n", es.DurableLag)
 }
 
 // benchConfig is one configuration of the -benchout comparison sweep.
@@ -188,8 +192,9 @@ type benchEntry struct {
 	ReserveWaitMs float64 `json:"log_reserve_wait_ms_total"`
 	SLIPassed     uint64  `json:"sli_passed"`
 	ELRReleases   uint64  `json:"elr_releases"`
-	DurableLag    uint64  `json:"durable_lag"`
-	Errors        uint64  `json:"errors"`
+	// DurableLag is in bytes of unforced log (byte-offset LSNs).
+	DurableLag uint64 `json:"durable_lag"`
+	Errors     uint64 `json:"errors"`
 }
 
 // runBench sweeps TPC-B and the TM-1 (NDBB) mix across the baseline, SLI,
@@ -224,6 +229,7 @@ func runBench(opt figures.Options, agents int, outPath string) {
 		for _, c := range configs {
 			o := opt
 			o.EarlyLockRelease = c.ELR
+			o.EarlyLockReleaseAborts = c.ELR
 			o.AsyncCommit = c.Async
 			res, es, err := figures.RunWorkload(wl, o, c.SLI, agents)
 			exitOn(err)

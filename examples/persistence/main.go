@@ -29,6 +29,9 @@ func main() {
 
 	// --- first incarnation: create, write, "crash" -----------------------
 	db, err := slidb.OpenAt(dir, slidb.Config{Agents: 4})
+	if errors.Is(err, slidb.ErrLogFormat) {
+		log.Fatalf("%v\n%s was written by an older slidb build; delete it (or point this example at a fresh directory) and re-run", err, dir)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

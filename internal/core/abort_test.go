@@ -121,11 +121,12 @@ func TestELRAbortReleasesLocksBeforeDurable(t *testing.T) {
 		delay = 30 * time.Millisecond
 	)
 	e := openELREngine(t, Config{
-		Agents:           4,
-		EarlyLockRelease: true,
-		AsyncCommit:      true,
-		LogFlushDelay:    delay,
-		Profile:          true,
+		Agents:                 4,
+		EarlyLockRelease:       true,
+		EarlyLockReleaseAborts: true,
+		AsyncCommit:            true,
+		LogFlushDelay:          delay,
+		Profile:                true,
 	})
 
 	start := time.Now()

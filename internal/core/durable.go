@@ -79,9 +79,14 @@ func OpenAt(dir string, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 
-	var from wal.LSN = 1
+	// The checkpoint LSN is the durable watermark the snapshot covered — an
+	// exclusive end offset, i.e. exactly the frame boundary the replay
+	// resumes at. Byte-offset LSNs make both the resume point and the
+	// restart of LSN allocation pure boundary arithmetic: no "+1 past the
+	// last record" — dense-LSN counting — survives here.
+	var from wal.LSN
 	if haveCkpt {
-		from = snap.LSN + 1
+		from = snap.LSN
 	}
 	iter := recovery.Iterator(func(fn func(wal.Record) error) error {
 		return segs.Iterate(from, fn)
@@ -92,9 +97,9 @@ func OpenAt(dir string, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 
-	startLSN := segs.MaxLSN() + 1
-	if haveCkpt && snap.LSN >= segs.MaxLSN() {
-		startLSN = snap.LSN + 1
+	startLSN := segs.End()
+	if haveCkpt && snap.LSN > startLSN {
+		startLSN = snap.LSN
 	}
 	e := newEngine(cfg, segs, startLSN)
 	if haveCkpt {

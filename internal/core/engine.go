@@ -58,8 +58,16 @@ type Config struct {
 	// totally-ordered log: commits are acknowledged in LSN order, so a
 	// transaction that read ELR-exposed data is never durable before the
 	// transaction that exposed it. Off by default (the paper-faithful
-	// baseline holds locks until the commit is durable).
+	// baseline holds locks until the commit is durable). This knob governs
+	// the commit path only; the abort path has its own knob below, so the
+	// abort-elr ablation can difference the two policies independently.
 	EarlyLockRelease bool
+	// EarlyLockReleaseAborts applies the same policy to rollbacks: an
+	// aborting transaction releases its locks (with SLI inheritance) as soon
+	// as its compensation-logged rollback has appended its abort record,
+	// instead of holding them across the force of that record. Independent
+	// of EarlyLockRelease — enable both for the full ELR pipeline.
+	EarlyLockReleaseAborts bool
 	// AsyncCommit lets each agent worker start its next transaction while up
 	// to PipelineDepth earlier transactions are still waiting for their
 	// commit records to be forced to disk (flush pipelining). Exec still
@@ -88,6 +96,11 @@ type Config struct {
 	// reserve/fill/publish log buffer. It exists as the baseline arm of the
 	// log-buffer ablation; leave it off otherwise.
 	MutexLog bool
+	// LatchedLog keeps the consolidated log buffer but reserves under a
+	// short mutex (the PR-3 protocol) instead of the lock-free fetch-and-add
+	// on the virtual head. It exists as the baseline arm of the log-lsn
+	// ablation; leave it off otherwise. Ignored under MutexLog.
+	LatchedLog bool
 	// LogBufferBytes sizes the consolidated log buffer; zero uses the WAL
 	// default (4 MiB).
 	LogBufferBytes int64
@@ -150,7 +163,7 @@ type Engine struct {
 	committed atomic.Uint64
 	aborted   atomic.Uint64
 	// elrAborts counts aborting transactions that released their locks at
-	// abort-record append (before the flush) under EarlyLockRelease.
+	// abort-record append (before the flush) under EarlyLockReleaseAborts.
 	elrAborts atomic.Uint64
 	// undoFailures counts undo actions (abort-time or inline after a failed
 	// log append) that returned an error — each one means the in-memory
@@ -235,6 +248,7 @@ func newEngine(cfg Config, durable *wal.Segments, startLSN wal.LSN) *Engine {
 		Durable:           sink,
 		StartLSN:          startLSN,
 		MutexLog:          cfg.MutexLog,
+		LatchedLog:        cfg.LatchedLog,
 		BufferBytes:       cfg.LogBufferBytes,
 	})
 	e.pool = buffer.NewPool(buffer.NewMemStore(), buffer.Config{
@@ -291,7 +305,7 @@ func (e *Engine) Aborted() uint64 { return e.aborted.Load() }
 
 // ELRAborts returns the number of aborting transactions whose locks were
 // released at abort-record append — before the abort record was forced to
-// disk — under EarlyLockRelease.
+// disk — under EarlyLockReleaseAborts.
 func (e *Engine) ELRAborts() uint64 { return e.elrAborts.Load() }
 
 // UndoFailures returns the number of rollback undo actions that failed.
@@ -299,10 +313,12 @@ func (e *Engine) ELRAborts() uint64 { return e.elrAborts.Load() }
 // transaction's effects could not be fully rolled back.
 func (e *Engine) UndoFailures() uint64 { return e.undoFailures.Load() }
 
-// DurableLag returns the number of log records appended but not yet durable
-// — the depth of the commit pipeline at this instant. It is zero whenever
-// the flush daemon has caught up (always, between bursts) and grows with
-// AsyncCommit under load.
+// DurableLag returns the number of log BYTES appended but not yet durable —
+// the depth of the commit pipeline at this instant. With byte-offset LSNs
+// the lag is the distance between the log's virtual end and the durable
+// watermark; record counts no longer exist (LSNs are ordered, not dense).
+// It is zero whenever the flush daemon has caught up (always, between
+// bursts) and grows with AsyncCommit under load.
 func (e *Engine) DurableLag() uint64 {
 	last, durable := e.log.LastLSN(), e.log.DurableLSN()
 	if last <= durable {

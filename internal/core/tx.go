@@ -61,9 +61,13 @@ type undoAction func(tx *Tx) error
 // undoEntry is one registered rollback action: the in-memory undo of a
 // logged data modification, the LSN of the original record (the CLR chain's
 // UndoNext pointer targets it), and the redo-only compensation record that
-// tx.abort logs after applying the undo.
+// tx.abort logs after applying the undo. seq is the entry's birth stamp
+// within the transaction, used to detect stale savepoints: after a
+// RollbackTo truncates the stack, later entries reuse the same positions
+// but carry new stamps.
 type undoEntry struct {
 	lsn   wal.LSN
+	seq   uint64
 	apply undoAction
 	clr   wal.Record
 }
@@ -78,8 +82,17 @@ type Tx struct {
 	prof  *profiler.Handle
 
 	undo    []undoEntry
+	undoSeq uint64 // birth stamps for undo entries (see undoEntry.seq)
 	lastLSN wal.LSN
 	logged  bool
+}
+
+// pushUndo registers one rollback entry, stamping it for savepoint
+// validation.
+func (tx *Tx) pushUndo(ent undoEntry) {
+	tx.undoSeq++
+	ent.seq = tx.undoSeq
+	tx.undo = append(tx.undo, ent)
 }
 
 // XID returns the transaction identifier.
@@ -179,49 +192,33 @@ func (tx *Tx) preCommit() (<-chan error, error) {
 // re-undoing compensated work. Once the chain is complete an abort record is
 // appended; a durable abort record marks the rollback as fully logged.
 //
-// Lock release mirrors preCommit. Under Early Lock Release the locks are
+// Lock release mirrors preCommit, governed by its own knob
+// (Config.EarlyLockReleaseAborts) so the abort-elr ablation can isolate the
+// abort-side policy from commit-side ELR. Under ELR-for-aborts the locks are
 // released (with SLI inheritance) as soon as the abort record is appended —
 // before any flush — which is safe for the same log-ordering reason as
 // commit-side ELR: the undo is fully applied before release, so any
 // transaction that observed the restored values logs at a higher LSN than
 // the abort record; if that dependent's commit becomes durable, the entire
 // CLR chain and abort record below it are durable too, and if the tail is
-// lost both sides roll back together. Without ELR the transaction holds its
+// lost both sides roll back together. Without it the transaction holds its
 // locks until the abort record is durable — the strict baseline whose flush
 // wait the high-abort ablation measures.
 func (tx *Tx) abort() {
 	logOK := tx.logged
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		ent := tx.undo[i]
-		var undoStart time.Time
-		if tx.prof != nil {
-			undoStart = time.Now()
-		}
-		if err := ent.apply(tx); err != nil {
-			// Undo actions operate on data this transaction still holds X
-			// locks on; a failure means the in-memory state may be corrupt.
-			// Count it so torture tests (and operators) can fail loudly.
-			tx.e.undoFailures.Add(1)
-		}
-		if tx.prof != nil {
-			tx.prof.Add(profiler.UndoWork, time.Since(undoStart))
-		}
+		// Failures are counted by applyUndo; rollback continues regardless,
+		// since locks are still held and memory must stay as consistent as
+		// possible.
+		_ = tx.applyUndo(ent)
 		if logOK {
-			clr := ent.clr
-			clr.Type = wal.RecCLR
-			clr.XID = tx.xid
-			if i > 0 {
-				clr.UndoNext = tx.undo[i-1].lsn
-			}
-			lsn, err := tx.appendTimed(clr, profiler.AbortLogWork)
-			if err != nil {
+			if _, err := tx.logCLR(ent, i); err != nil {
 				// The log is wedged or crashed: keep applying the in-memory
 				// undo (locks are still held, memory must stay consistent)
 				// but stop logging — recovery will finish the rollback from
 				// the durable prefix.
 				logOK = false
-			} else {
-				tx.lastLSN = lsn
 			}
 		}
 	}
@@ -229,7 +226,7 @@ func (tx *Tx) abort() {
 		lsn, err := tx.appendTimed(wal.Record{XID: tx.xid, Type: wal.RecAbort}, profiler.AbortLogWork)
 		if err == nil {
 			tx.lastLSN = lsn
-			if tx.e.cfg.EarlyLockRelease {
+			if tx.e.cfg.EarlyLockReleaseAborts {
 				// ELR for aborts: the rollback is applied and fully logged;
 				// release now and let the abort record reach disk with the
 				// next group commit. The subscription's ack is discarded —
@@ -250,6 +247,117 @@ func (tx *Tx) abort() {
 	}
 	tx.owner.ReleaseAll()
 	tx.undo = nil
+}
+
+// applyUndo applies one registered undo action in memory, attributing its
+// time to the UndoWork profiler category and counting failures (which mean
+// the in-memory state may be corrupt — torture tests fail loudly on them).
+func (tx *Tx) applyUndo(ent undoEntry) error {
+	var undoStart time.Time
+	if tx.prof != nil {
+		undoStart = time.Now()
+	}
+	err := ent.apply(tx)
+	if err != nil {
+		tx.e.undoFailures.Add(1)
+	}
+	if tx.prof != nil {
+		tx.prof.Add(profiler.UndoWork, time.Since(undoStart))
+	}
+	return err
+}
+
+// logCLR appends the compensation record for undo entry i of tx.undo: its
+// UndoNext points at the next-older registered entry's LSN (0 when entry 0's
+// compensation closes the chain).
+func (tx *Tx) logCLR(ent undoEntry, i int) (wal.LSN, error) {
+	clr := ent.clr
+	clr.Type = wal.RecCLR
+	clr.XID = tx.xid
+	if i > 0 {
+		clr.UndoNext = tx.undo[i-1].lsn
+	}
+	lsn, err := tx.appendTimed(clr, profiler.AbortLogWork)
+	if err != nil {
+		return 0, err
+	}
+	tx.lastLSN = lsn
+	return lsn, nil
+}
+
+// Savepoint marks the transaction's current rollback position. A later
+// RollbackTo(sp) undoes every modification made after the mark while keeping
+// the transaction (and all its locks) alive, so it can continue and commit.
+type Savepoint struct {
+	n   int    // length of tx.undo at the time of the mark
+	seq uint64 // birth stamp of the entry just below the mark (0 at n == 0)
+}
+
+// Savepoint returns a savepoint at the transaction's current position.
+func (tx *Tx) Savepoint() Savepoint {
+	sp := Savepoint{n: len(tx.undo)}
+	if sp.n > 0 {
+		sp.seq = tx.undo[sp.n-1].seq
+	}
+	return sp
+}
+
+// ErrBadSavepoint is returned by RollbackTo when the savepoint does not
+// belong to this transaction's current undo chain — it was taken above work
+// that a previous RollbackTo already rolled back, even if later writes have
+// since regrown the chain past its position (the birth stamp of the entry
+// below the mark distinguishes the two). Savepoints below the rolled-back
+// span stay valid, so nested savepoint patterns work.
+var ErrBadSavepoint = errors.New("core: invalid savepoint")
+
+// RollbackTo rolls the transaction back to sp: every modification registered
+// after the savepoint is undone in memory and compensation-logged exactly as
+// an abort would — one redo-only CLR per record, newest first, chained
+// through UndoNext past the rolled-back span — but the transaction keeps its
+// locks and remains open. Work done before the savepoint, and work done
+// after RollbackTo returns, commits or aborts with the transaction as usual;
+// a crash at any point is handled by recovery, which resumes from the last
+// durable CLR and also undoes records logged after it (the post-savepoint
+// continuation).
+//
+// On a wedged or crashed log the in-memory rollback still completes (the
+// transaction's locks protect the data, so memory must stay consistent) but
+// the error is returned; the caller should abort the transaction.
+func (tx *Tx) RollbackTo(sp Savepoint) error {
+	if sp.n < 0 || sp.n > len(tx.undo) {
+		return ErrBadSavepoint
+	}
+	if sp.n > 0 && tx.undo[sp.n-1].seq != sp.seq {
+		// The stack regrew past sp.n after an earlier RollbackTo truncated
+		// below it: positionally plausible, but the mark's span is gone.
+		return ErrBadSavepoint
+	}
+	var retErr, logErr error
+	for i := len(tx.undo) - 1; i >= sp.n; i-- {
+		ent := tx.undo[i]
+		// An in-memory undo failure is counted (UndoFailures) and reported,
+		// but — exactly like abort() — it must NOT stop the CLR logging:
+		// the remaining entries' compensations still have to reach the log,
+		// or a later durable abort record would mark the rollback complete
+		// with uncompensated records in it. Only a log failure stops
+		// appending (the log is wedged; recovery finishes the rollback from
+		// the durable prefix).
+		if err := tx.applyUndo(ent); err != nil && retErr == nil {
+			retErr = err
+		}
+		if logErr == nil {
+			if _, err := tx.logCLR(ent, i); err != nil {
+				logErr = err
+				if retErr == nil {
+					retErr = err
+				}
+			}
+		}
+		// The entry is undone in memory either way; drop it so a later abort
+		// (or RollbackTo) never double-undoes it.
+		tx.undo = tx.undo[:i]
+	}
+	return retErr
 }
 
 // lockRecord acquires a record lock (and, implicitly, intention locks on the
@@ -328,7 +436,7 @@ func (tx *Tx) Insert(table string, row record.Row) error {
 		}
 		return err
 	}
-	tx.undo = append(tx.undo, undoEntry{
+	tx.pushUndo(undoEntry{
 		lsn:   tx.lastLSN,
 		apply: undo,
 		// Compensating an insert is a delete: Before carries the row image.
@@ -452,7 +560,7 @@ func (tx *Tx) Update(table string, key []record.Value, mutate func(record.Row) (
 		}
 		return err
 	}
-	tx.undo = append(tx.undo, undoEntry{
+	tx.pushUndo(undoEntry{
 		lsn:   tx.lastLSN,
 		apply: undo,
 		// Compensating an update restores the before-image: update the row
@@ -509,7 +617,7 @@ func (tx *Tx) Delete(table string, key ...record.Value) error {
 		}
 		return err
 	}
-	tx.undo = append(tx.undo, undoEntry{
+	tx.pushUndo(undoEntry{
 		lsn:   tx.lastLSN,
 		apply: undo,
 		// Compensating a delete re-inserts the row: After carries the image.

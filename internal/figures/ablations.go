@@ -3,6 +3,7 @@ package figures
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -265,14 +266,15 @@ func AblationSLIELR(o Options) (Table, error) {
 	}
 	for _, g := range grid {
 		e, gen, err := buildTPCBWithEngineConfig(o, core.Config{
-			SLI:               g.sli,
-			EarlyLockRelease:  g.elr,
-			AsyncCommit:       g.elr,
-			Agents:            o.PeakAgents,
-			Profile:           true,
-			BufferFrames:      o.BufferFrames,
-			GroupCommitWindow: o.GroupCommitWindow,
-			LogFlushDelay:     o.LogFlushDelay,
+			SLI:                    g.sli,
+			EarlyLockRelease:       g.elr,
+			EarlyLockReleaseAborts: g.elr,
+			AsyncCommit:            g.elr,
+			Agents:                 o.PeakAgents,
+			Profile:                true,
+			BufferFrames:           o.BufferFrames,
+			GroupCommitWindow:      o.GroupCommitWindow,
+			LogFlushDelay:          o.LogFlushDelay,
 			// TPC-B is disk-resident in the paper (§5.2); keep the same
 			// per-I/O penalty the per-workload figures apply.
 			IODelay: o.IODelay,
@@ -304,18 +306,18 @@ func AblationSLIELR(o Options) (Table, error) {
 	return t, nil
 }
 
-// AblationAbortELR measures the commit pipeline under a high abort rate:
-// TPC-B with a forced conflict-style abort rate (each chosen transaction
-// does its full account/branch/history work and then rolls back), a
-// non-zero log force latency, and the strict engine vs the full ELR
-// pipeline (EarlyLockRelease + AsyncCommit — one Config knob governs both
-// the commit-side and abort-side release policy, so the arms differ on
-// both paths). The abort-specific signal is the elr-aborts column: without
-// ELR an aborting transaction undoes, logs its CLR chain, and then holds
-// every lock across the force of its abort record — at a 30% abort rate
-// that flush wait shows up directly in lock-wait-ms/xct — while under ELR
-// every rollback releases at abort-record append and the lock-wait column
-// collapses. Both arms run with SLI on.
+// AblationAbortELR isolates Early Lock Release on the ABORT path: TPC-B
+// with a forced conflict-style abort rate (each chosen transaction does its
+// full account/branch/history work and then rolls back) and a non-zero log
+// force latency. Both arms run the identical commit pipeline — SLI +
+// commit-side ELR + AsyncCommit — and differ only in
+// Config.EarlyLockReleaseAborts, so the measured difference is purely the
+// abort-side release policy (the knob split fixed the previous confound
+// where one flag governed both paths). Without abort-side ELR a rollback
+// undoes, logs its CLR chain, and then holds every lock across the force of
+// its abort record — at a 30% abort rate that flush wait shows up directly
+// in lock-wait-ms/xct — while with it every rollback releases at
+// abort-record append and the lock-wait column collapses.
 func AblationAbortELR(o Options) (Table, error) {
 	o = o.withDefaults()
 	if o.LogFlushDelay == 0 {
@@ -336,17 +338,18 @@ func AblationAbortELR(o Options) (Table, error) {
 		Title:   fmt.Sprintf("Ablation: ELR for aborts (TPC-B, %.0f%% forced aborts, non-zero log force latency)", 100*o.AbortRate),
 		Columns: []string{"tps", "abort-%", "lock-wait-ms/xct", "log-flush-%", "elr-aborts/1k"},
 	}
-	for _, elr := range []bool{false, true} {
+	for _, abortELR := range []bool{false, true} {
 		e, gen, err := buildTPCBWithEngineConfig(o, core.Config{
-			SLI:               true,
-			EarlyLockRelease:  elr,
-			AsyncCommit:       elr,
-			Agents:            o.PeakAgents,
-			Profile:           true,
-			BufferFrames:      o.BufferFrames,
-			GroupCommitWindow: o.GroupCommitWindow,
-			LogFlushDelay:     o.LogFlushDelay,
-			IODelay:           o.IODelay,
+			SLI:                    true,
+			EarlyLockRelease:       true,
+			EarlyLockReleaseAborts: abortELR,
+			AsyncCommit:            true,
+			Agents:                 o.PeakAgents,
+			Profile:                true,
+			BufferFrames:           o.BufferFrames,
+			GroupCommitWindow:      o.GroupCommitWindow,
+			LogFlushDelay:          o.LogFlushDelay,
+			IODelay:                o.IODelay,
 		})
 		if err != nil {
 			return t, err
@@ -356,7 +359,7 @@ func AblationAbortELR(o Options) (Table, error) {
 		elrAborts, undoFailures := e.ELRAborts(), e.UndoFailures()
 		e.Close()
 		if undoFailures != 0 {
-			return t, fmt.Errorf("figures: abort-elr ablation recorded %d undo failures (elr=%v)", undoFailures, elr)
+			return t, fmt.Errorf("figures: abort-elr ablation recorded %d undo failures (abortELR=%v)", undoFailures, abortELR)
 		}
 		lockWaitMs := 0.0
 		if n := res.Completed(); n > 0 {
@@ -367,7 +370,7 @@ func AblationAbortELR(o Options) (Table, error) {
 			perK = 1000 * float64(elrAborts) / float64(res.LockStats.Transactions)
 		}
 		label := "strict aborts (hold until durable)"
-		if elr {
+		if abortELR {
 			label = "ELR aborts (release at append)"
 		}
 		t.Rows = append(t.Rows, Row{Label: label, Values: []float64{
@@ -428,16 +431,17 @@ func AblationLogBuffer(o Options) (Table, error) {
 				oo.Clients = 4
 			}
 			e, gen, err := buildTPCBWithEngineConfig(oo, core.Config{
-				SLI:               g.pipeline,
-				EarlyLockRelease:  g.pipeline,
-				AsyncCommit:       g.pipeline,
-				MutexLog:          g.mutexLog,
-				Agents:            agents,
-				Profile:           true,
-				BufferFrames:      oo.BufferFrames,
-				GroupCommitWindow: oo.GroupCommitWindow,
-				LogFlushDelay:     oo.LogFlushDelay,
-				IODelay:           oo.IODelay,
+				SLI:                    g.pipeline,
+				EarlyLockRelease:       g.pipeline,
+				EarlyLockReleaseAborts: g.pipeline,
+				AsyncCommit:            g.pipeline,
+				MutexLog:               g.mutexLog,
+				Agents:                 agents,
+				Profile:                true,
+				BufferFrames:           oo.BufferFrames,
+				GroupCommitWindow:      oo.GroupCommitWindow,
+				LogFlushDelay:          oo.LogFlushDelay,
+				IODelay:                oo.IODelay,
 			})
 			if err != nil {
 				return t, err
@@ -466,10 +470,107 @@ func AblationLogBuffer(o Options) (Table, error) {
 	return t, nil
 }
 
+// AblationLogLSN measures what byte-offset LSNs buy on the reservation path:
+// the same consolidated reserve/fill/publish buffer, with the reservation
+// performed either under the PR-3 latch (LSN and offset assigned inside a
+// short mutex) or as the lock-free fetch-and-add that byte-offset LSNs make
+// possible (the LSN IS the offset, so one CAS on the virtual head does
+// both). Run on TPC-B with the full SLI+ELR pipeline — the configuration in
+// which PR 3 showed the log to be the last centralized service on the
+// commit path — at one agent and at the peak agent count. The reserve-wait
+// column is the direct measurement: it contains the latch acquisition (or
+// CAS retries plus the in-order publish fence), so the latched arm's growth
+// with agent count is exactly the serialization the fetch-and-add removes.
+// Honors Options.DataDir, so `slibench -ablation log-lsn -datadir ...`
+// measures it with real fsyncs on real segment files.
+func AblationLogLSN(o Options) (Table, error) {
+	o = o.withDefaults()
+	if o.LogFlushDelay == 0 {
+		o.LogFlushDelay = 500 * time.Microsecond
+	}
+	if o.GroupCommitWindow == 0 {
+		o.GroupCommitWindow = 100 * time.Microsecond
+	}
+	userClients := o.Clients != 0
+	if !userClients {
+		// Overcommit clients so the pipeline stays full (see AblationSLIELR).
+		o.Clients = 4 * o.PeakAgents
+	}
+	t := Table{
+		Title:   "Ablation: log reservation protocol — latched (PR-3) vs fetch-and-add byte-offset LSNs (TPC-B, SLI+ELR)",
+		Columns: []string{"agents", "tps", "reserve-us/xct", "buffull-us/xct", "log-flush-%"},
+	}
+	arms := []struct {
+		name    string
+		latched bool
+	}{
+		{"latched", true},
+		{"fetch-and-add", false},
+	}
+	for _, agents := range []int{1, o.PeakAgents} {
+		for _, a := range arms {
+			oo := o
+			if agents == 1 && !userClients {
+				oo.Clients = 4
+			}
+			e, gen, err := buildTPCBWithEngineConfig(oo, core.Config{
+				SLI:                    true,
+				EarlyLockRelease:       true,
+				EarlyLockReleaseAborts: true,
+				AsyncCommit:            true,
+				LatchedLog:             a.latched,
+				Agents:                 agents,
+				Profile:                true,
+				BufferFrames:           oo.BufferFrames,
+				GroupCommitWindow:      oo.GroupCommitWindow,
+				LogFlushDelay:          oo.LogFlushDelay,
+				IODelay:                oo.IODelay,
+			})
+			if err != nil {
+				return t, err
+			}
+			res := oo.run(e, gen, agents)
+			e.Close()
+			perXct := func(c profiler.Category) float64 {
+				n := res.Completed()
+				if n == 0 {
+					return 0
+				}
+				return res.Breakdown.Get(c).Seconds() * 1e6 / float64(n)
+			}
+			t.Rows = append(t.Rows, Row{
+				Label: fmt.Sprintf("%s a=%d", a.name, agents),
+				Values: []float64{
+					float64(agents),
+					res.Throughput,
+					perXct(profiler.LogReserveWait),
+					perXct(profiler.LogBufferFullWait),
+					100 * res.Breakdown.GroupedShares().LogFlush,
+				},
+			})
+		}
+	}
+	return t, nil
+}
+
 // buildTPCBWithEngineConfig loads the TPC-B dataset into an engine with a
-// custom configuration (used by the commit-pipeline ablations).
+// custom configuration (used by the commit-pipeline ablations). When
+// Options.DataDir is set the engine is disk-backed (real WAL segments and
+// fsyncs) in a fresh subdirectory, matching Options.buildEngine.
 func buildTPCBWithEngineConfig(o Options, cfg core.Config) (*core.Engine, workload.Generator, error) {
-	e := core.Open(cfg)
+	var e *core.Engine
+	if o.DataDir != "" {
+		dir, err := os.MkdirTemp(o.DataDir, "ablation-tpcb-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err = core.OpenAt(dir, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		e = core.Open(cfg)
+	}
 	bcfg := tpcb.Config{Branches: o.TPCBBranches, AccountsPerBranch: o.TPCBAccountsPerBranch, Seed: o.Seed}
 	if err := tpcb.Load(e, bcfg); err != nil {
 		e.Close()
@@ -515,16 +616,18 @@ func Ablation(name string, o Options) (Table, error) {
 		return AblationSLIELR(o)
 	case "log-buffer":
 		return AblationLogBuffer(o)
+	case "log-lsn":
+		return AblationLogLSN(o)
 	case "abort-elr":
 		return AblationAbortELR(o)
 	default:
-		return Table{}, fmt.Errorf("figures: unknown ablation %q (use hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer, abort-elr)", name)
+		return Table{}, fmt.Errorf("figures: unknown ablation %q (use hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer, log-lsn, abort-elr)", name)
 	}
 }
 
 // Ablations lists the available ablation study names.
 func Ablations() []string {
-	return []string{"hot-threshold", "levels", "bimodal", "roving-hotspot", "sli-elr", "log-buffer", "abort-elr"}
+	return []string{"hot-threshold", "levels", "bimodal", "roving-hotspot", "sli-elr", "log-buffer", "log-lsn", "abort-elr"}
 }
 
 // quickOptions shrinks an Options for smoke tests; exported for reuse from

@@ -59,8 +59,11 @@ type Options struct {
 	DataDir string
 	// EarlyLockRelease and AsyncCommit enable the scalable commit pipeline
 	// (locks released at commit-record append; agents pipeline flush waits).
-	EarlyLockRelease bool
-	AsyncCommit      bool
+	// EarlyLockReleaseAborts applies the release-at-append policy to the
+	// abort path independently (see core.Config).
+	EarlyLockRelease       bool
+	EarlyLockReleaseAborts bool
+	AsyncCommit            bool
 	// GroupCommitWindow and LogFlushDelay configure the engine's commit
 	// force cost (see core.Config). Non-zero values make the fsync latency
 	// that ELR removes from the lock hold time visible on in-memory engines.
@@ -68,8 +71,11 @@ type Options struct {
 	LogFlushDelay     time.Duration
 	// MutexLog selects the legacy centralized WAL append path instead of the
 	// consolidated reserve/fill/publish log buffer (the baseline arm of the
-	// log-buffer ablation).
-	MutexLog bool
+	// log-buffer ablation). LatchedLog keeps the consolidated buffer but
+	// reserves under the PR-3 latch instead of the fetch-and-add (the
+	// baseline arm of the log-lsn ablation).
+	MutexLog   bool
+	LatchedLog bool
 	// Clients is the number of closed-loop client goroutines driving the
 	// engine; zero means one per agent. Overcommitting clients (> agents)
 	// is required to exercise AsyncCommit's flush pipelining: with exactly
@@ -263,15 +269,17 @@ func (o Options) buildEngine(key string, sli bool, agents int) (*core.Engine, wo
 	}
 	benchName, txName := parts[0], parts[1]
 	cfg := core.Config{
-		SLI:               sli,
-		Agents:            agents,
-		Profile:           true,
-		BufferFrames:      o.BufferFrames,
-		EarlyLockRelease:  o.EarlyLockRelease,
-		AsyncCommit:       o.AsyncCommit,
-		GroupCommitWindow: o.GroupCommitWindow,
-		LogFlushDelay:     o.LogFlushDelay,
-		MutexLog:          o.MutexLog,
+		SLI:                    sli,
+		Agents:                 agents,
+		Profile:                true,
+		BufferFrames:           o.BufferFrames,
+		EarlyLockRelease:       o.EarlyLockRelease,
+		EarlyLockReleaseAborts: o.EarlyLockReleaseAborts,
+		AsyncCommit:            o.AsyncCommit,
+		GroupCommitWindow:      o.GroupCommitWindow,
+		LogFlushDelay:          o.LogFlushDelay,
+		MutexLog:               o.MutexLog,
+		LatchedLog:             o.LatchedLog,
 	}
 	// NDBB is the in-memory dataset; TPC-B and TPC-C are "disk-resident" and
 	// pay the artificial I/O penalty (paper §5.2).
@@ -349,11 +357,12 @@ func (o Options) measure(key string, sli bool, agents int) (workload.Result, err
 // EngineStats carries engine-side counters sampled the moment a RunWorkload
 // measurement ends, complementing the interval-scoped workload.Result.
 type EngineStats struct {
-	// DurableLag is the number of log records appended but not yet forced —
-	// the visible depth of the asynchronous commit pipeline.
+	// DurableLag is the number of log bytes appended but not yet forced —
+	// the visible depth of the asynchronous commit pipeline. (Bytes, not
+	// records: byte-offset LSNs have no record count.)
 	DurableLag uint64
 	// ELRAborts counts aborting transactions that released their locks at
-	// abort-record append (before the force) under EarlyLockRelease.
+	// abort-record append (before the force) under EarlyLockReleaseAborts.
 	ELRAborts uint64
 	// UndoFailures counts rollback undo actions that failed; non-zero means
 	// the run corrupted in-memory state.

@@ -16,19 +16,27 @@ import (
 // CheckpointFile is the name of the checkpoint inside a data directory.
 const CheckpointFile = "checkpoint.db"
 
-// checkpointMagic identifies (and versions) the checkpoint format.
-var checkpointMagic = []byte("SLDBCKP1")
+// checkpointMagic identifies (and versions) the checkpoint format. Version 2
+// is the byte-offset LSN format: Snapshot.LSN is the durable watermark (an
+// exclusive end offset) rather than a dense record counter.
+var checkpointMagic = []byte("SLDBCKP2")
+
+// checkpointMagicV1 is the pre-byte-offset format; its LSNs are dense record
+// numbers and cannot be interpreted by this build, so reading one fails with
+// wal.ErrLogFormat instead of a misleading corruption error.
+var checkpointMagicV1 = []byte("SLDBCKP1")
 
 // ErrBadCheckpoint is returned when a checkpoint file fails validation.
 var ErrBadCheckpoint = errors.New("recovery: corrupt checkpoint")
 
 // Snapshot is a point-in-time logical image of the database: the catalog
 // plus every table's encoded rows, consistent as of LSN. Restart restores
-// the snapshot and then replays only log records with LSN > Snapshot.LSN,
+// the snapshot and then replays only log records with LSN >= Snapshot.LSN,
 // which is how checkpointing bounds recovery work.
 type Snapshot struct {
-	// LSN is the highest log record covered by the snapshot; every effect at
-	// or below it is reflected in the table images.
+	// LSN is the durable watermark the snapshot covers — the exclusive end
+	// offset of the log prefix whose effects are reflected in the table
+	// images, and therefore exactly the frame boundary replay resumes at.
 	LSN wal.LSN
 	// NextXID seeds the engine's transaction-ID allocator so XIDs stay
 	// monotonic across restarts.
@@ -212,6 +220,9 @@ func ReadCheckpoint(dir string) (*Snapshot, bool, error) {
 		return nil, false, fmt.Errorf("%w: too short", ErrBadCheckpoint)
 	}
 	if string(data[:len(checkpointMagic)]) != string(checkpointMagic) {
+		if string(data[:len(checkpointMagicV1)]) == string(checkpointMagicV1) {
+			return nil, false, fmt.Errorf("%w: checkpoint is format version 1 (dense LSNs)", wal.ErrLogFormat)
+		}
 		return nil, false, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
 	}
 	rest := data[len(checkpointMagic):]

@@ -34,10 +34,6 @@ import (
 // production implementation.
 type Iterator func(fn func(wal.Record) error) error
 
-// undoAll is the UndoNext sentinel for a transaction with no durable CLR:
-// its entire update chain still needs to be undone.
-const undoAll = wal.LSN(^uint64(0))
-
 // Analysis is the result of the analysis pass.
 type Analysis struct {
 	// Winners holds the XIDs of transactions whose commit record is durable.
@@ -51,12 +47,19 @@ type Analysis struct {
 	// Redo repeats their entire history (updates and compensations) and the
 	// undo pass skips them.
 	RolledBack map[uint64]struct{}
-	// UndoNext maps each loser XID to its rollback resume point: the
-	// UndoNext of the transaction's last durable CLR, or the undoAll
-	// sentinel when no CLR reached the log. Only records with LSN at or
-	// below the resume point still need undoing; higher-LSN records were
-	// already compensated by durable CLRs that redo replays.
+	// UndoNext maps each loser XID with a durable CLR to the UndoNext of
+	// its last durable CLR. It is diagnostic (the Resumed statistic); the
+	// undo work list itself comes from Pending, which is exact.
 	UndoNext map[uint64]wal.LSN
+	// Pending maps each loser XID to the LSNs of its data records that no
+	// durable CLR compensates, in log order — exactly the records the undo
+	// pass must roll back. It is reconstructed by simulating the CLR chain:
+	// a data record pushes its LSN, a CLR pops the newest uncompensated one
+	// (CLRs are logged newest-first within a rollback). Watermark-based
+	// inference cannot represent a transaction that rolled back to a
+	// savepoint more than once — each RollbackTo leaves a separate interior
+	// compensated span — so the set is tracked explicitly.
+	Pending map[uint64][]wal.LSN
 	// MaxLSN is the highest LSN seen in the scan.
 	MaxLSN wal.LSN
 	// MaxXID is the highest transaction ID seen; the engine resumes its XID
@@ -77,14 +80,6 @@ func (an *Analysis) NeedsUndo(xid uint64) bool {
 	return !done
 }
 
-// undoNextOf returns the rollback resume point for a loser transaction.
-func (an *Analysis) undoNextOf(xid uint64) wal.LSN {
-	if next, ok := an.UndoNext[xid]; ok {
-		return next
-	}
-	return undoAll
-}
-
 // Analyze runs the analysis pass over the log tail.
 func Analyze(iter Iterator) (*Analysis, error) {
 	an := &Analysis{
@@ -92,6 +87,7 @@ func Analyze(iter Iterator) (*Analysis, error) {
 		Losers:     make(map[uint64]struct{}),
 		RolledBack: make(map[uint64]struct{}),
 		UndoNext:   make(map[uint64]wal.LSN),
+		Pending:    make(map[uint64][]wal.LSN),
 	}
 	err := iter(func(rec wal.Record) error {
 		an.Scanned++
@@ -105,18 +101,41 @@ func Analyze(iter Iterator) (*Analysis, error) {
 		case wal.RecCommit:
 			an.Winners[rec.XID] = struct{}{}
 			delete(an.Losers, rec.XID)
+			delete(an.Pending, rec.XID)
 		case wal.RecAbort:
 			// The rollback completed and its outcome record is durable; the
 			// CLR chain below it is durable too (single totally ordered log).
 			an.Losers[rec.XID] = struct{}{}
 			an.RolledBack[rec.XID] = struct{}{}
+			delete(an.Pending, rec.XID)
 		case wal.RecCLR:
 			an.Losers[rec.XID] = struct{}{}
 			an.UndoNext[rec.XID] = rec.UndoNext
-			if rec.UndoNext == 0 {
-				// Every action is compensated; only the abort record is
-				// missing. Nothing left for the undo pass.
+			// The CLR compensates the transaction's newest still-pending
+			// data record (rollback proceeds newest-first): pop it. When the
+			// pop empties the set, the rollback is — at this point in the
+			// log — completely compensated; a later data record (a savepoint
+			// rollback the transaction continued past) re-opens it below.
+			if s := an.Pending[rec.XID]; len(s) > 0 {
+				an.Pending[rec.XID] = s[:len(s)-1]
+				if len(s) == 1 {
+					an.RolledBack[rec.XID] = struct{}{}
+				}
+			} else if rec.UndoNext == 0 {
+				// No pending record in the scanned tail and the chain closes
+				// at 0: fully rolled back (e.g. the chain's data records sit
+				// below the checkpoint the scan started at).
 				an.RolledBack[rec.XID] = struct{}{}
+			}
+		case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
+			if rec.XID != 0 {
+				if _, won := an.Winners[rec.XID]; !won {
+					an.Losers[rec.XID] = struct{}{}
+				}
+				an.Pending[rec.XID] = append(an.Pending[rec.XID], rec.LSN)
+				// New work after a completed CLR chain (tx.RollbackTo, then
+				// the transaction kept going) re-opens the undo obligation.
+				delete(an.RolledBack, rec.XID)
 			}
 		case wal.RecCreateTable, wal.RecCreateIndex:
 			// DDL is non-transactional; it belongs to no XID.
@@ -259,25 +278,29 @@ type UndoStats struct {
 type CLRLogger func(wal.Record) error
 
 // Undo completes the rollback of every interrupted loser after redo has
-// repeated history: it collects the losers' data records still at or below
-// their rollback resume points and applies the inverse operations in
-// descending LSN order. Work above a transaction's resume point was already
-// compensated by durable CLRs (which redo replayed), so it is skipped —
-// an interrupted rollback is completed, never repeated. logRec, when
-// non-nil, receives the CLR chain and abort records that make this undo
-// durable-exactly-once (see CLRLogger).
+// repeated history: it collects the losers' data records that analysis
+// found uncompensated (Analysis.Pending — everything a durable CLR already
+// covers is excluded, so an interrupted rollback is completed, never
+// repeated) and applies the inverse operations in descending LSN order.
+// logRec, when non-nil, receives the CLR chain and abort records that make
+// this undo durable-exactly-once (see CLRLogger).
 func Undo(iter Iterator, an *Analysis, ap Applier, logRec CLRLogger) (UndoStats, error) {
 	var st UndoStats
+	// The exact uncompensated set per loser, from the analysis simulation.
+	need := make(map[uint64]map[wal.LSN]struct{})
+	for xid, lsns := range an.Pending {
+		if !an.NeedsUndo(xid) || len(lsns) == 0 {
+			continue
+		}
+		set := make(map[wal.LSN]struct{}, len(lsns))
+		for _, lsn := range lsns {
+			set[lsn] = struct{}{}
+		}
+		need[xid] = set
+	}
 	// The common restart has nothing to undo (every transaction committed
 	// or fully rolled back); skip the log scan entirely then.
-	anyPending := false
-	for xid := range an.Losers {
-		if an.NeedsUndo(xid) {
-			anyPending = true
-			break
-		}
-	}
-	if !anyPending {
+	if len(need) == 0 {
 		return st, nil
 	}
 	var pending []wal.Record
@@ -288,7 +311,11 @@ func Undo(iter Iterator, an *Analysis, ap Applier, logRec CLRLogger) (UndoStats,
 		default:
 			return nil
 		}
-		if !an.NeedsUndo(rec.XID) || rec.LSN > an.undoNextOf(rec.XID) {
+		set, ok := need[rec.XID]
+		if !ok {
+			return nil
+		}
+		if _, ok := set[rec.LSN]; !ok {
 			return nil
 		}
 		pending = append(pending, rec)

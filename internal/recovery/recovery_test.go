@@ -62,12 +62,13 @@ func TestAnalyzeClassifiesWinnersAndLosers(t *testing.T) {
 		t.Error("xid 2 must not need restart undo")
 	}
 	// xid 3 crashed in flight with no CLR: everything needs undoing.
-	if !an.NeedsUndo(3) || an.undoNextOf(3) != undoAll {
-		t.Errorf("xid 3: NeedsUndo=%v undoNext=%d, want true/undoAll", an.NeedsUndo(3), an.undoNextOf(3))
+	if !an.NeedsUndo(3) || !reflect.DeepEqual(an.Pending[3], []wal.LSN{7}) {
+		t.Errorf("xid 3: NeedsUndo=%v pending=%v, want true/[7]", an.NeedsUndo(3), an.Pending[3])
 	}
-	// xid 4 crashed mid-rollback: resume below the last durable CLR.
-	if !an.NeedsUndo(4) || an.undoNextOf(4) != 11 {
-		t.Errorf("xid 4: NeedsUndo=%v undoNext=%d, want true/11", an.NeedsUndo(4), an.undoNextOf(4))
+	// xid 4 crashed mid-rollback: only the record its durable CLR did not
+	// compensate is still pending.
+	if !an.NeedsUndo(4) || !reflect.DeepEqual(an.Pending[4], []wal.LSN{11}) {
+		t.Errorf("xid 4: NeedsUndo=%v pending=%v, want true/[11]", an.NeedsUndo(4), an.Pending[4])
 	}
 	if an.MaxLSN != 13 || an.MaxXID != 4 || an.Scanned != len(recs) {
 		t.Errorf("analysis = %+v", an)
@@ -207,6 +208,124 @@ func TestUndoResumesPartialRollback(t *testing.T) {
 	}
 	if !reflect.DeepEqual(logged, wantLog) {
 		t.Errorf("logged records:\ngot  %+v\nwant %+v", logged, wantLog)
+	}
+}
+
+// TestUndoAfterSavepointContinuation pins the analysis/undo fix that
+// savepoints (tx.RollbackTo) force: a data record logged AFTER a CLR chain
+// belongs to a transaction that partially rolled back and kept working. If
+// the crash then interrupts it, undo must roll back both the continuation
+// records (above the last CLR) and the uncompensated prefix (at or below
+// the resume point) — but never the compensated span in between — even when
+// the chain had closed at UndoNext 0, which used to classify the whole
+// transaction as fully rolled back.
+func TestUndoAfterSavepointContinuation(t *testing.T) {
+	recs := []wal.Record{
+		{LSN: 1, XID: 1, Type: wal.RecBegin},
+		{LSN: 2, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("pre")},
+		// Savepoint taken here; the next two records are its span.
+		{LSN: 3, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("sp1")},
+		{LSN: 4, XID: 1, Type: wal.RecUpdate, Table: 1, Before: []byte("p1"), After: []byte("p2")},
+		// RollbackTo: the span is compensated, newest first, chaining past
+		// it to the pre-savepoint insert at LSN 2.
+		{LSN: 5, XID: 1, Type: wal.RecCLR, Table: 1, Before: []byte("p2"), After: []byte("p1"), UndoNext: 3},
+		{LSN: 6, XID: 1, Type: wal.RecCLR, Table: 1, Before: []byte("sp1"), UndoNext: 2},
+		// The transaction continues and crashes before committing.
+		{LSN: 7, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("cont")},
+	}
+	an, err := Analyze(sliceIter(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.NeedsUndo(1) {
+		t.Fatal("continuation records must keep the transaction in the undo set")
+	}
+	ap := &fakeApplier{}
+	var logged []wal.Record
+	st, err := Undo(sliceIter(recs), an, ap, func(rec wal.Record) error {
+		logged = append(logged, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The continuation insert (LSN 7) and the pre-savepoint insert (LSN 2)
+	// are undone, newest first; the compensated span (LSNs 3-4) is not.
+	want := []string{"delete:cont", "delete:pre"}
+	if !reflect.DeepEqual(ap.ops, want) {
+		t.Errorf("undone ops = %v, want %v", ap.ops, want)
+	}
+	if st.Undone != 2 || st.TxUndone != 1 || st.Resumed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The restart-logged chain bridges the compensated span: the
+	// continuation's CLR points at the pre-savepoint insert.
+	wantLog := []wal.Record{
+		{Type: wal.RecCLR, XID: 1, Table: 1, Before: []byte("cont"), UndoNext: 2},
+		{Type: wal.RecCLR, XID: 1, Table: 1, Before: []byte("pre")},
+		{Type: wal.RecAbort, XID: 1},
+	}
+	if !reflect.DeepEqual(logged, wantLog) {
+		t.Errorf("logged records:\ngot  %+v\nwant %+v", logged, wantLog)
+	}
+
+	// Two RollbackTo calls before the crash leave two SEPARATE interior
+	// compensated spans — the case a single resume-point watermark cannot
+	// represent (it would re-undo the first span because its records sit
+	// below the second chain's UndoNext). The exact Pending simulation must
+	// leave only the two uncompensated inserts.
+	recsTwice := []wal.Record{
+		{LSN: 1, XID: 1, Type: wal.RecBegin},
+		{LSN: 2, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("a")},
+		{LSN: 3, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("b")}, // span 1
+		{LSN: 4, XID: 1, Type: wal.RecCLR, Table: 1, Before: []byte("b"), UndoNext: 2},
+		{LSN: 5, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("c")},
+		{LSN: 6, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("d")}, // span 2
+		{LSN: 7, XID: 1, Type: wal.RecCLR, Table: 1, Before: []byte("d"), UndoNext: 5},
+	}
+	anT, err := Analyze(sliceIter(recsTwice))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := anT.Pending[1]; !reflect.DeepEqual(got, []wal.LSN{2, 5}) {
+		t.Fatalf("Pending after two partial rollbacks = %v, want [2 5]", got)
+	}
+	apT := &fakeApplier{}
+	stT, err := Undo(sliceIter(recsTwice), anT, apT, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(apT.ops, []string{"delete:c", "delete:a"}) {
+		t.Fatalf("undone ops = %v, want [delete:c delete:a] (compensated spans must not be re-undone)", apT.ops)
+	}
+	if stT.Undone != 2 || stT.TxUndone != 1 {
+		t.Fatalf("stats = %+v", stT)
+	}
+
+	// The same shape with the chain closed at UndoNext 0 before the
+	// continuation: only the continuation record needs undoing, and a
+	// re-analysis of the log WITH the new abort record appended must
+	// classify the transaction as fully rolled back.
+	recs2 := []wal.Record{
+		{LSN: 1, XID: 1, Type: wal.RecBegin},
+		{LSN: 2, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("sp1")},
+		{LSN: 3, XID: 1, Type: wal.RecCLR, Table: 1, Before: []byte("sp1"), UndoNext: 0},
+		{LSN: 4, XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("cont")},
+	}
+	an2, err := Analyze(sliceIter(recs2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an2.NeedsUndo(1) {
+		t.Fatal("UndoNext 0 followed by a data record must re-open the undo obligation")
+	}
+	ap2 := &fakeApplier{}
+	st2, err := Undo(sliceIter(recs2), an2, ap2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ap2.ops, []string{"delete:cont"}) || st2.Undone != 1 {
+		t.Errorf("undone ops = %v (stats %+v), want just delete:cont", ap2.ops, st2)
 	}
 }
 

@@ -9,6 +9,9 @@ import (
 
 // FuzzRecordRoundTrip builds a record from fuzzed fields, encodes it, and
 // requires decoding to return the identical record with nothing left over.
+// The LSN field is deliberately NOT round-tripped: frames carry no LSN (the
+// address is the frame's position), so whatever LSN the record was built
+// with, the decoded record's LSN is zero.
 func FuzzRecordRoundTrip(f *testing.F) {
 	f.Add(uint64(1), uint64(42), byte(RecUpdate), uint32(3), uint64(9), uint32(4), uint64(0), []byte("before"), []byte("after"))
 	f.Add(uint64(0), uint64(0), byte(RecBegin), uint32(0), uint64(0), uint32(0), uint64(0), []byte(nil), []byte(nil))
@@ -21,8 +24,10 @@ func FuzzRecordRoundTrip(f *testing.F) {
 			UndoNext: LSN(undoNext),
 			Before:   before, After: after,
 		}
-		// Decode normalizes empty images to nil; mirror that for comparison.
+		// The LSN is positional, not data; Decode also normalizes empty
+		// images to nil. Mirror both for comparison.
 		want := in
+		want.LSN = 0
 		if len(want.Before) == 0 {
 			want.Before = nil
 		}
@@ -30,6 +35,9 @@ func FuzzRecordRoundTrip(f *testing.F) {
 			want.After = nil
 		}
 		enc := in.Encode()
+		if got := in.EncodedSize(); got != len(enc) {
+			t.Fatalf("EncodedSize %d != len(Encode) %d", got, len(enc))
+		}
 		got, n, err := Decode(enc)
 		if err != nil {
 			t.Fatalf("Decode(Encode(%+v)) failed: %v", in, err)
@@ -53,16 +61,18 @@ func FuzzRecordRoundTrip(f *testing.F) {
 
 // FuzzConcurrentReserveFillPublish drives the consolidated log buffer with
 // fuzzed concurrency parameters — appender count, records per appender,
-// payload sizes, buffer size — and requires every record to round-trip
-// byte-identically through decodeBody from the range-written stream, in
-// contiguous LSN order. This is the torture harness for the reserve/fill/
-// publish protocol: wraparound padding, buffer-full waits, publish gaps and
-// flusher consumption all happen here depending on the fuzzed shape.
+// payload sizes, buffer size, latched vs fetch-and-add reservation — and
+// requires every record to round-trip byte-identically from the
+// range-written stream at exactly the byte-offset LSN its Append returned.
+// This is the torture harness for the reserve/fill/publish protocol:
+// wraparound padding, buffer-full waits, publish-fence ordering and flusher
+// consumption all happen here depending on the fuzzed shape.
 func FuzzConcurrentReserveFillPublish(f *testing.F) {
-	f.Add(uint8(4), uint8(50), uint16(64), uint16(7), uint16(4096))
-	f.Add(uint8(1), uint8(1), uint16(0), uint16(0), uint16(0))
-	f.Add(uint8(8), uint8(30), uint16(900), uint16(333), uint16(5000))
-	f.Fuzz(func(t *testing.T, appenders, perAppender uint8, sizeA, sizeB, bufBytes uint16) {
+	f.Add(uint8(4), uint8(50), uint16(64), uint16(7), uint16(4096), false)
+	f.Add(uint8(1), uint8(1), uint16(0), uint16(0), uint16(0), false)
+	f.Add(uint8(8), uint8(30), uint16(900), uint16(333), uint16(5000), false)
+	f.Add(uint8(8), uint8(30), uint16(900), uint16(333), uint16(5000), true)
+	f.Fuzz(func(t *testing.T, appenders, perAppender uint8, sizeA, sizeB, bufBytes uint16, latched bool) {
 		nApp := int(appenders)%8 + 1
 		nRec := int(perAppender)%64 + 1
 		sink := &captureSink{}
@@ -70,6 +80,7 @@ func FuzzConcurrentReserveFillPublish(f *testing.F) {
 			Durable:        sink,
 			DropAfterFlush: true,
 			BufferBytes:    int64(bufBytes), // clamped to the minimum internally
+			LatchedLog:     latched,
 		})
 		var mu sync.Mutex
 		want := make(map[LSN]Record)
@@ -98,6 +109,9 @@ func FuzzConcurrentReserveFillPublish(f *testing.F) {
 						return
 					}
 					rec.LSN = lsn
+					if len(rec.After) == 0 {
+						rec.After = nil // decodeBody normalizes empty to nil
+					}
 					mu.Lock()
 					want[lsn] = rec
 					mu.Unlock()
@@ -108,21 +122,84 @@ func FuzzConcurrentReserveFillPublish(f *testing.F) {
 		if err := l.Close(); err != nil {
 			t.Fatal(err)
 		}
-		got := decodeAll(t, sink.bytes())
+		got := decodeAll(t, sink.bytes(), 1)
 		if len(got) != nApp*nRec {
 			t.Fatalf("decoded %d records, want %d", len(got), nApp*nRec)
 		}
-		for i, rec := range got {
-			if rec.LSN != LSN(i+1) {
-				t.Fatalf("record %d has LSN %d: not contiguous", i, rec.LSN)
-			}
-			w := want[rec.LSN]
-			// decodeBody normalizes empty images to nil; mirror that.
-			if len(w.After) == 0 {
-				w.After = nil
+		for _, rec := range got {
+			w, ok := want[rec.LSN]
+			if !ok {
+				t.Fatalf("no record appended at offset %d", rec.LSN)
 			}
 			if !reflect.DeepEqual(rec, w) {
 				t.Fatalf("LSN %d mismatch:\nwant %+v\ngot  %+v", rec.LSN, w, rec)
+			}
+		}
+	})
+}
+
+// FuzzReservationProtocolEquivalence is the byte-offset refactor's
+// differential fuzz target: a deterministic (single-goroutine) sequence of
+// fuzzed record sizes is appended under all three reservation protocols —
+// legacy mutex log, PR-3 latched buffer, and the fetch-and-add — and the
+// two buffered protocols must emit bit-identical streams (same frames, same
+// wraparound padding, same offsets), while the mutex log (which has no ring
+// and therefore no padding) must agree on every record and every LSN.
+func FuzzReservationProtocolEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint16(4096))
+	f.Add([]byte{255, 0, 17, 99, 200, 5}, uint16(5000))
+	f.Add(bytes.Repeat([]byte{251}, 40), uint16(0))
+	f.Fuzz(func(t *testing.T, sizes []byte, bufBytes uint16) {
+		if len(sizes) > 512 {
+			sizes = sizes[:512]
+		}
+		faaSink, latSink, mtxSink := &captureSink{}, &captureSink{}, &captureSink{}
+		faa := New(Config{Durable: faaSink, DropAfterFlush: true, BufferBytes: int64(bufBytes)})
+		lat := New(Config{Durable: latSink, DropAfterFlush: true, BufferBytes: int64(bufBytes), LatchedLog: true})
+		mtx := New(Config{Durable: mtxSink, DropAfterFlush: true, MutexLog: true})
+		var faaLSNs, latLSNs, mtxLSNs []LSN
+		for i, sz := range sizes {
+			rec := Record{XID: uint64(i), Type: RecInsert, Table: 1, Page: uint64(sz),
+				After: bytes.Repeat([]byte{sz}, int(sz)*3)}
+			for _, arm := range []struct {
+				l    *Log
+				lsns *[]LSN
+			}{{faa, &faaLSNs}, {lat, &latLSNs}, {mtx, &mtxLSNs}} {
+				lsn, err := arm.l.Append(rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				*arm.lsns = append(*arm.lsns, lsn)
+			}
+		}
+		for _, l := range []*Log{faa, lat, mtx} {
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(faaSink.bytes(), latSink.bytes()) {
+			t.Fatal("latched and fetch-and-add streams differ")
+		}
+		if !reflect.DeepEqual(faaLSNs, latLSNs) {
+			t.Fatal("latched and fetch-and-add LSNs differ")
+		}
+		// The mutex log elides ring padding, so compare decoded records and
+		// confirm its offsets agree wherever no padding intervened (they
+		// always agree on the first record; beyond that, padding may shift
+		// buffered offsets upward, never downward).
+		faaRecs := decodeAll(t, faaSink.bytes(), 1)
+		mtxRecs := decodeAll(t, mtxSink.bytes(), 1)
+		if len(faaRecs) != len(mtxRecs) {
+			t.Fatalf("record counts differ: %d vs %d", len(faaRecs), len(mtxRecs))
+		}
+		for i := range faaRecs {
+			if faaRecs[i].LSN < mtxRecs[i].LSN {
+				t.Fatalf("record %d: buffered offset %d below padless offset %d", i, faaRecs[i].LSN, mtxRecs[i].LSN)
+			}
+			a, b := faaRecs[i], mtxRecs[i]
+			a.LSN, b.LSN = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("record %d differs between buffered and mutex streams", i)
 			}
 		}
 	})
@@ -132,9 +209,10 @@ func FuzzConcurrentReserveFillPublish(f *testing.F) {
 // panic, and anything it accepts must re-encode to a decodable record.
 func FuzzRecordDecode(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(Record{LSN: 5, XID: 1, Type: RecCommit}.Encode())
-	f.Add(Record{LSN: 8, XID: 3, Type: RecCLR, Table: 1, UndoNext: 6, After: []byte("img")}.Encode())
+	f.Add(Record{XID: 1, Type: RecCommit}.Encode())
+	f.Add(Record{XID: 3, Type: RecCLR, Table: 1, UndoNext: 6, After: []byte("img")}.Encode())
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(append(bytes.Repeat([]byte{0}, 9), Record{XID: 1, Type: RecBegin}.Encode()...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rec, n, err := Decode(data)
 		if err != nil {

@@ -1,25 +1,36 @@
 package wal
 
-// The consolidated log buffer: an Aether-style reserve/fill/publish protocol
-// that decentralizes log insertion. Instead of serializing every appender on
-// one mutex for the whole encode-and-copy, an appender
+// The consolidated log buffer, byte-offset edition: an Aether-style
+// reserve/fill/publish protocol in which the LSN IS the byte offset, so
+// reserving a record means nothing more than advancing the virtual head by
+// the record's encoded size. An appender
 //
-//  1. reserves — a short critical section assigns the record's LSN and a
-//     contiguous byte range of the shared buffer (O(1) arithmetic, no
-//     copying);
-//  2. fills   — encodes the record directly into its reserved range with no
+//  1. reserves — a single compare-and-swap on the virtual head claims the
+//     record's byte range; the range's start offset is the record's LSN.
+//     No latch, no critical section: the fetch-and-add is the whole
+//     reservation (Config.LatchedLog keeps the PR-3 protocol — the same
+//     arithmetic under a short mutex — as the ablation baseline);
+//  2. fills   — encodes the record directly into its claimed range, with no
 //     lock held, concurrently with every other appender;
-//  3. publishes — marks the reservation complete.
+//  3. publishes — advances the published watermark past its range with an
+//     in-order compare-and-swap (the publish fence). The fence is what gives
+//     the flusher a contiguous published prefix to consume with two atomic
+//     loads and no per-record bookkeeping.
 //
-// A single flusher goroutine consumes the contiguous published prefix and
-// hands whole byte ranges to the durable sink, so the hot path shrinks from
-// "mutex across encode+copy per record" to "a few dozen instructions under a
-// latch per record". This is the log-side analogue of what SLI does to the
-// lock manager: the last centralized service on the commit path becomes a
-// short fixed-cost critical section.
+// The ring never splits a frame across its physical end: a reservation whose
+// frame would wrap claims the leftover tail bytes too and fills them with
+// zeros. Those padding bytes are real bytes of the virtual log — they flow
+// to disk with their neighbors and decoders skip them — which is what keeps
+// every LSN equal to its stable on-disk byte offset.
+//
+// This is the log-side analogue of what SLI does to the lock manager, taken
+// to its endpoint: the last centralized section on the append path (PR 3's
+// reservation latch) is gone entirely.
 
 import (
+	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,161 +44,224 @@ const DefaultLogBufferBytes = 4 << 20
 // must still hold a handful of records.
 const minLogBufferBytes = 4 << 10
 
-// rangeTargetBytes caps one flush range handed to the durable sink, so that
-// segment rotation (checked once per range) keeps segment files near their
-// configured size even when the flusher drains a very full buffer.
-const rangeTargetBytes = 512 << 10
-
 // AppendWaits reports where an Append spent time blocked, so callers can
 // attribute it to the profiler's reserve-wait and buffer-full-wait categories
 // separately from useful log work.
 type AppendWaits struct {
-	// Reserve is the time spent entering the reservation critical section:
-	// the consolidated buffer's short latch, or — in MutexLog mode — the
-	// whole centralized log mutex. This is the contention the consolidated
-	// buffer exists to shrink.
+	// Reserve is the serialization cost of the reservation protocol: CAS
+	// retries on the virtual head plus the in-order publish fence (or, under
+	// LatchedLog/MutexLog, the time spent entering the reservation mutex).
+	// This is the contention the fetch-and-add reservation exists to remove.
 	Reserve time.Duration
 	// BufferFull is the time spent waiting for the flusher to drain the
 	// buffer because the reservation did not fit. It indicates an undersized
-	// buffer or a saturated sink, not latch contention.
+	// buffer or a saturated sink, not reservation contention.
 	BufferFull time.Duration
 }
 
-// slot describes one reservation in the consolidated buffer, in LSN order.
-// Padding slots (pad == true) carry no record; they account for the unusable
-// bytes at the physical end of the ring when a frame would otherwise wrap.
-type slot struct {
-	rec   Record // LSN assigned at reserve time; zero for padding slots
-	off   int64  // virtual start offset of the reserved range
-	n     int64  // length of the reserved range in bytes
-	pad   bool
-	ready atomic.Bool // set by publish; pads are born ready
+// reservation is one claimed byte range of the virtual log: pad zero bytes
+// (at the physical end of the ring) followed by the record's frame. The
+// frame's start offset is the record's LSN.
+type reservation struct {
+	off int64 // virtual start offset of the frame == the record's LSN
+	pad int64 // zero bytes claimed before off (the claim began at off-pad)
+	n   int64 // frame length in bytes
 }
 
-// flushRange is one physically contiguous run of published frames, ready to
-// be handed to a RangeSink or an io.Writer as-is.
+// flushRange is one physically contiguous run of published bytes — whole
+// frames plus any wraparound padding, ready to be handed to a RangeSink or
+// an io.Writer as-is. first is the virtual offset of data[0].
 type flushRange struct {
-	data        []byte
-	first, last LSN
+	data  []byte
+	first LSN
 }
 
 // logBuffer is the consolidated buffer itself: a byte ring addressed by
-// monotonically increasing virtual offsets (phys = off % size), plus the
-// reservation queue. Reservers contend only on mu for the short reserve
-// arithmetic; fills happen fully outside it. The flusher is the single
-// consumer.
+// monotonically increasing virtual offsets (phys = off % size). head is the
+// next offset to reserve, published the fence below which every fill has
+// completed, tail the oldest offset whose space is still in use. Reservers
+// synchronize only through head (and published, for the in-order fence);
+// the mutex exists for buffer-full waits, close, and the LatchedLog
+// ablation arm. The flusher is the single consumer.
 type logBuffer struct {
-	size int64
-	buf  []byte
+	size    int64
+	buf     []byte
+	latched bool // ablation: reserve under mu instead of a head CAS
+
+	head      atomic.Int64 // next virtual offset to reserve
+	published atomic.Int64 // fence: every byte below it is filled
+	pubRecs   atomic.Int64 // records published (each fill increments once, after its fence)
+	tail      atomic.Int64 // oldest virtual offset still in use (advanced by release)
+	consumed  int64        // flusher-private: end of the last consume
+	consRecs  int64        // flusher-private: pubRecs already handed out by consume
+
+	fullWaiters atomic.Int32 // reservers blocked on a full buffer (flusher pressure signal)
+	wedged      atomic.Bool  // fast-path mirror of err != nil
 
 	mu      sync.Mutex
 	notFull *sync.Cond
-	head    int64   // next virtual offset to reserve
-	tail    int64   // oldest virtual offset still in use (advanced by release)
-	slots   []*slot // reservations not yet consumed, in LSN order
-	err     error   // set once by close: every later reserve fails with it
-
-	next        atomic.Uint64 // next LSN to assign; written under mu, read lock-free
-	fullWaiters atomic.Int32  // reservers blocked on a full buffer (flusher pressure signal)
+	err     error // set once by close: every later reserve fails with it
 }
 
-func newLogBuffer(size int64, start LSN) *logBuffer {
+func newLogBuffer(size int64, start LSN, latched bool) *logBuffer {
 	if size <= 0 {
 		size = DefaultLogBufferBytes
 	}
 	if size < minLogBufferBytes {
 		size = minLogBufferBytes
 	}
-	lb := &logBuffer{size: size, buf: make([]byte, size)}
+	lb := &logBuffer{size: size, buf: make([]byte, size), latched: latched}
 	lb.notFull = sync.NewCond(&lb.mu)
-	lb.next.Store(uint64(start))
+	lb.head.Store(int64(start))
+	lb.published.Store(int64(start))
+	lb.tail.Store(int64(start))
+	lb.consumed = int64(start)
 	return lb
 }
 
 func (lb *logBuffer) phys(off int64) int64 { return off % lb.size }
 
-// lastLSN returns the highest LSN reserved so far.
-func (lb *logBuffer) lastLSN() LSN { return LSN(lb.next.Load()) - 1 }
-
-// fitsLocked reports whether a frame of n bytes fits right now, and the
-// padding needed to keep it from wrapping across the physical end of the
-// ring. It is the single statement of the ring's no-wrap admission rule,
-// shared by reserve's admission test and its full-wait recheck.
-func (lb *logBuffer) fitsLocked(n int64) (pad int64, fits bool) {
-	if rem := lb.size - lb.phys(lb.head); rem < n {
-		pad = rem
+// padFor returns the zero bytes a frame of n bytes starting after offset
+// head must claim so that it does not wrap the physical end of the ring.
+func (lb *logBuffer) padFor(head, n int64) int64 {
+	if rem := lb.size - lb.phys(head); rem < n {
+		return rem
 	}
-	return pad, lb.head+pad+n-lb.tail <= lb.size
+	return 0
 }
 
-// reserve assigns rec's LSN and a byte range of the buffer. The critical
-// section is O(1): LSN assignment, exact-size computation and offset
-// arithmetic — no encoding, no copying. When the buffer is full the reserver
-// calls kick (with no locks held) so the flusher drains even before any
-// durability subscription exists, then waits for space. LSNs are assigned in
-// reservation-completion order, so the slot queue is always in LSN order.
-// timed gates the wait-clock reads so non-profiled appends pay no time.Now
-// on the hot path (and none inside the latch).
-func (lb *logBuffer) reserve(rec Record, kick func(), timed bool) (*slot, AppendWaits, error) {
-	var w AppendWaits
-	var lockStart time.Time
-	if timed {
-		lockStart = time.Now()
-	}
+// fits reports whether a frame of n bytes can be claimed at the given head
+// right now, and the padding the claim must include. It is the single
+// statement of the ring's admission rule, shared by the fetch-and-add arm,
+// the latched arm, and the full-buffer wait.
+func (lb *logBuffer) fits(head, n int64) (pad int64, ok bool) {
+	pad = lb.padFor(head, n)
+	return pad, head+pad+n-lb.tail.Load() <= lb.size
+}
+
+// loadErr returns the wedge error under the mutex.
+func (lb *logBuffer) loadErr() error {
 	lb.mu.Lock()
-	if timed {
-		w.Reserve = time.Since(lockStart)
+	defer lb.mu.Unlock()
+	return lb.err
+}
+
+// reserve claims rec's byte range; the returned reservation's off is the
+// record's LSN. The default path is lock-free: one compare-and-swap on the
+// virtual head both assigns the LSN and allocates the buffer space, because
+// they are the same number. When the claim does not fit, the reserver counts
+// itself as a full-waiter, kicks the flusher (so draining happens even
+// before any durability subscription exists) and waits for released space.
+// timed gates the wait-clock reads so non-profiled appends pay no time.Now
+// on the hot path.
+func (lb *logBuffer) reserve(rec Record, kick func(), timed bool) (reservation, AppendWaits, error) {
+	var w AppendWaits
+	n := int64(rec.EncodedSize())
+	if n > maxFrameBytes || n > lb.size/2 {
+		// A frame past maxFrameBytes is undecodable by every reader (the
+		// decoder treats it as corruption), and one past half the buffer
+		// could starve forever behind smaller reservations; reject at append
+		// time instead of corrupting the log.
+		return reservation{}, w, fmt.Errorf("wal: record frame of %d bytes exceeds log buffer capacity (max %d)", n, min(int64(maxFrameBytes), lb.size/2))
 	}
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	var res reservation
+	var err error
+	if lb.latched {
+		res, err = lb.reserveLatched(n, kick, timed, &w)
+	} else {
+		res, err = lb.reserveAtomic(n, kick, timed, &w)
+	}
+	if timed && err == nil {
+		w.Reserve = time.Since(start) - w.BufferFull
+	}
+	return res, w, err
+}
+
+// reserveAtomic is the fetch-and-add reservation: claim [head, head+pad+n)
+// with a single CAS. The CAS (rather than a blind Add) is what lets a
+// reserver that finds the buffer full wait WITHOUT holding a claim — so a
+// closing or crashed log can fail it cleanly instead of leaving a hole that
+// would stall the publish fence forever.
+func (lb *logBuffer) reserveAtomic(n int64, kick func(), timed bool, w *AppendWaits) (reservation, error) {
+	for {
+		if lb.wedged.Load() {
+			return reservation{}, lb.loadErr()
+		}
+		head := lb.head.Load()
+		pad, ok := lb.fits(head, n)
+		if !ok {
+			if err := lb.waitForSpace(n, kick, timed, w); err != nil {
+				return reservation{}, err
+			}
+			continue
+		}
+		if lb.head.CompareAndSwap(head, head+pad+n) {
+			s := reservation{off: head + pad, pad: pad, n: n}
+			if lb.wedged.Load() {
+				// close() may have wedged the buffer between the entry check
+				// and the CAS — and Log.Close reads the drain target from
+				// head, so a claim that lands after that read would be a
+				// record Close never drains despite both calls reporting
+				// success. The re-check closes the race (sequential
+				// consistency: a CAS that follows Close's head read also
+				// follows the wedge store, so it sees wedged here): turn the
+				// claim into pure padding — zero bytes every decoder skips —
+				// and fail the append. Whether or not a flusher ever drains
+				// the padding, no record exists at this address.
+				lb.padOut(s)
+				return reservation{}, lb.loadErr()
+			}
+			return s, nil
+		}
+	}
+}
+
+// padOut fills an already-claimed reservation entirely with padding bytes
+// and publishes it, erasing the record that would have lived there. Used
+// when the buffer wedged while the claim was in flight.
+func (lb *logBuffer) padOut(s reservation) {
+	if s.pad > 0 {
+		p := lb.phys(s.off - s.pad)
+		clear(lb.buf[p : p+s.pad])
+	}
+	p := lb.phys(s.off)
+	clear(lb.buf[p : p+s.n])
+	claim, end := s.off-s.pad, s.off+s.n
+	for !lb.published.CompareAndSwap(claim, end) {
+		runtime.Gosched()
+	}
+}
+
+// reserveLatched is the PR-3 reservation protocol kept as the log-lsn
+// ablation baseline: the same offset arithmetic, but serialized on a short
+// mutex. Everything downstream (fill, publish fence, consume) is shared, so
+// the ablation isolates exactly the reservation protocol.
+func (lb *logBuffer) reserveLatched(n int64, kick func(), timed bool, w *AppendWaits) (reservation, error) {
+	lb.mu.Lock()
 	for {
 		if lb.err != nil {
 			err := lb.err
 			lb.mu.Unlock()
-			return nil, w, err
+			return reservation{}, err
 		}
-		// The frame embeds the LSN as a varint, so the exact size is only
-		// known once the LSN is; both are computed inside the critical
-		// section, which stays O(1).
-		rec.LSN = LSN(lb.next.Load())
-		n := int64(rec.EncodedSize())
-		if n > maxFrameBytes || n > lb.size/2 {
-			// A frame past maxFrameBytes is undecodable by every reader
-			// (the decoder treats it as corruption), and one past half the
-			// buffer could starve forever behind smaller reservations;
-			// reject at append time instead of corrupting the log.
+		head := lb.head.Load()
+		if pad, ok := lb.fits(head, n); ok {
+			lb.head.Store(head + pad + n)
 			lb.mu.Unlock()
-			return nil, w, fmt.Errorf("wal: record frame of %d bytes exceeds log buffer capacity (max %d)", n, min(int64(maxFrameBytes), lb.size/2))
+			return reservation{off: head + pad, pad: pad, n: n}, nil
 		}
-		if pad, fits := lb.fitsLocked(n); fits {
-			if pad > 0 {
-				p := &slot{off: lb.head, n: pad, pad: true}
-				p.ready.Store(true)
-				lb.slots = append(lb.slots, p)
-				lb.head += pad
-			}
-			s := &slot{rec: rec, off: lb.head, n: n}
-			lb.slots = append(lb.slots, s)
-			lb.head += n
-			lb.next.Add(1)
-			lb.mu.Unlock()
-			return s, w, nil
-		}
-		// Full. Wake the flusher without holding the buffer latch, then wait
-		// for released space. The re-check under the lock avoids losing a
-		// broadcast that landed between kick and re-lock; the outer loop
-		// re-derives the size and padding because the LSN (and therefore the
-		// frame size) may have moved while we slept.
+		// Full. Wake the flusher without holding the latch, then wait for
+		// released space; the re-check under the lock avoids losing a
+		// broadcast that landed between kick and re-lock.
 		lb.fullWaiters.Add(1)
 		lb.mu.Unlock()
 		kick()
-		if timed {
-			lockStart = time.Now()
-		}
 		lb.mu.Lock()
-		if timed {
-			// Re-acquisition after the kick is latch contention too.
-			w.Reserve += time.Since(lockStart)
-		}
-		if _, fits := lb.fitsLocked(n); lb.err == nil && !fits {
+		if _, ok := lb.fits(lb.head.Load(), n); lb.err == nil && !ok {
 			var fullStart time.Time
 			if timed {
 				fullStart = time.Now()
@@ -201,98 +275,147 @@ func (lb *logBuffer) reserve(rec Record, kick func(), timed bool) (*slot, Append
 	}
 }
 
-// fill encodes the reserved record directly into the shared buffer — outside
-// any latch, concurrently with other fillers — and publishes it. Reservations
-// never wrap the physical end of the ring (reserve pads instead), so the
-// destination is a single contiguous slice.
-func (lb *logBuffer) fill(s *slot) {
-	start := lb.phys(s.off)
-	if n := int64(s.rec.EncodeTo(lb.buf[start : start+s.n])); n != s.n {
-		panic(fmt.Sprintf("wal: reserved %d bytes but encoded %d", s.n, n))
+// waitForSpace blocks until a frame of n bytes could fit (space may be
+// re-taken by a faster reserver before the caller's CAS — the caller just
+// retries) or the buffer wedges. The full-waiter count is raised before the
+// kick so the flusher never goes to sleep between our check and our wait.
+func (lb *logBuffer) waitForSpace(n int64, kick func(), timed bool, w *AppendWaits) error {
+	lb.fullWaiters.Add(1)
+	defer lb.fullWaiters.Add(-1)
+	kick()
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	for {
+		if lb.err != nil {
+			return lb.err
+		}
+		if _, ok := lb.fits(lb.head.Load(), n); ok {
+			return nil
+		}
+		var fullStart time.Time
+		if timed {
+			fullStart = time.Now()
+		}
+		lb.notFull.Wait()
+		if timed {
+			w.BufferFull += time.Since(fullStart)
+		}
 	}
-	s.ready.Store(true)
 }
 
-// consume removes the contiguous published prefix of the reservation queue
-// and returns it as physically contiguous byte ranges (split at ring
-// wraparound, padding, and rangeTargetBytes), the records it contains (only
-// when keepRecs is set), their count, the highest LSN taken, and the new
-// consumed watermark. The ranges alias the buffer: the caller must finish
-// reading them and then call release(end) to hand the space back to
-// reservers. end == 0 means nothing was consumable. Single consumer only.
-func (lb *logBuffer) consume(keepRecs bool) (ranges []flushRange, recs []Record, count int, last LSN, end int64) {
-	lb.mu.Lock()
-	k := 0
-	for _, s := range lb.slots {
-		if !s.ready.Load() {
-			break
-		}
-		k++
+// fill writes the reservation's bytes — zeroing any wraparound padding, then
+// encoding the record at its offset — entirely outside any latch, and then
+// publishes the claim through the in-order fence. The fence CAS succeeds
+// exactly when every earlier byte is published, so a filler whose
+// predecessor is still copying yields until it finishes; the returned
+// duration is that wait (zero when untimed or uncontended).
+func (lb *logBuffer) fill(rec Record, s reservation, timed bool) time.Duration {
+	if s.pad > 0 {
+		pstart := lb.phys(s.off - s.pad)
+		clear(lb.buf[pstart : pstart+s.pad])
 	}
-	taken := lb.slots[:k:k]
-	lb.slots = lb.slots[k:]
-	lb.mu.Unlock()
-	if k == 0 {
-		return nil, nil, 0, 0, 0
+	start := lb.phys(s.off)
+	if n := int64(rec.EncodeTo(lb.buf[start : start+s.n])); n != s.n {
+		panic(fmt.Sprintf("wal: reserved %d bytes but encoded %d", s.n, n))
 	}
+	claim, end := s.off-s.pad, s.off+s.n
+	// Counted before the fence: a consume cycle that sees this record's
+	// bytes published (the fence won between its `published` and `pubRecs`
+	// loads) must not miss its count — the last cycle before an idle period
+	// would otherwise leave the Synced total permanently short. The converse
+	// skew (counted now, bytes consumed next cycle) self-corrects through
+	// the flusher's running delta.
+	lb.pubRecs.Add(1)
+	if lb.published.CompareAndSwap(claim, end) {
+		return 0
+	}
+	var fenceStart time.Time
+	if timed {
+		fenceStart = time.Now()
+	}
+	for !lb.published.CompareAndSwap(claim, end) {
+		runtime.Gosched()
+	}
+	if timed {
+		return time.Since(fenceStart)
+	}
+	return 0
+}
 
-	curStart := int64(-1)
-	var curLen int64
-	var curFirst, curLast LSN
-	flushCur := func() {
-		if curStart >= 0 {
-			ranges = append(ranges, flushRange{
-				data:  lb.buf[curStart : curStart+curLen],
-				first: curFirst,
-				last:  curLast,
-			})
-			curStart = -1
-		}
+// consume takes the published-but-unconsumed window of the virtual log and
+// returns it as physically contiguous byte ranges (at most two: the window
+// never exceeds the ring size, so it splits at most once at the physical
+// end), the count of records it contains and — when keepRecs is set — the
+// decoded records with their byte-offset LSNs. The ranges alias the buffer:
+// the caller must finish reading them and then call release(end) to hand the
+// space back to reservers. end == 0 means nothing was consumable. Single
+// consumer only. Padding is always published together with the record that
+// claimed it, so a non-empty window always holds at least one record.
+func (lb *logBuffer) consume(keepRecs bool) (ranges []flushRange, recs []Record, count int, end int64) {
+	pub := lb.published.Load()
+	if pub == lb.consumed {
+		return nil, nil, 0, 0
 	}
-	for _, s := range taken {
-		end = s.off + s.n
-		if s.pad {
-			flushCur()
-			continue
+	// The record count comes from the published-records counter, not a
+	// scan: on the fast path (range sink, no retention) consume touches no
+	// frame bytes at all. Fills increment pubRecs just before their fence,
+	// so the delta can transiently include a record whose bytes land next
+	// cycle (never the reverse); the running totals stay exact.
+	pr := lb.pubRecs.Load()
+	count = int(pr - lb.consRecs)
+	lb.consRecs = pr
+	for off := lb.consumed; off < pub; {
+		p := lb.phys(off)
+		runEnd := min(pub, off+(lb.size-p))
+		data := lb.buf[p : p+(runEnd-off)]
+		ranges = append(ranges, flushRange{data: data, first: LSN(off)})
+		// Materialize records only when something needs them (in-memory
+		// retention, or a sink without the range fast path). Consume
+		// windows never overlap, so even then every byte is decoded
+		// exactly once over the log's lifetime.
+		for i := int64(0); keepRecs && i < int64(len(data)); {
+			if data[i] == 0 { // wraparound padding byte
+				i++
+				continue
+			}
+			length, vn := binary.Uvarint(data[i:])
+			if vn <= 0 || int64(vn)+int64(length) > int64(len(data))-i {
+				panic(fmt.Sprintf("wal: published log buffer frame at offset %d overruns its range", off+i))
+			}
+			rec, err := decodeBody(data[i+int64(vn) : i+int64(vn)+int64(length)])
+			if err != nil {
+				panic(fmt.Sprintf("wal: published log buffer bytes undecodable at offset %d: %v", off+i, err))
+			}
+			rec.LSN = LSN(off + i)
+			recs = append(recs, rec)
+			i += int64(vn) + int64(length)
 		}
-		start := lb.phys(s.off)
-		if curStart >= 0 && (start != curStart+curLen || curLen >= rangeTargetBytes) {
-			flushCur()
-		}
-		if curStart < 0 {
-			curStart, curLen, curFirst = start, 0, s.rec.LSN
-		}
-		curLen += s.n
-		curLast = s.rec.LSN
-		count++
-		last = s.rec.LSN
-		if keepRecs {
-			recs = append(recs, s.rec)
-		}
+		off = runEnd
 	}
-	flushCur()
-	return ranges, recs, count, last, end
+	lb.consumed = pub
+	return ranges, recs, count, pub
 }
 
 // release hands consumed buffer space back to reservers once the flusher has
 // finished reading it (the physical write; Sync never reads the buffer).
 func (lb *logBuffer) release(end int64) {
 	lb.mu.Lock()
-	if end > lb.tail {
-		lb.tail = end
+	if end > lb.tail.Load() {
+		lb.tail.Store(end)
 	}
 	lb.notFull.Broadcast()
 	lb.mu.Unlock()
 }
 
 // close wedges the buffer: every later reserve fails with err and blocked
-// reservers wake. Reservations already made may still fill and publish, so a
+// reservers wake. Reservations already claimed still fill and publish, so a
 // closing log can drain them.
 func (lb *logBuffer) close(err error) {
 	lb.mu.Lock()
 	if lb.err == nil {
 		lb.err = err
 	}
+	lb.wedged.Store(true)
 	lb.notFull.Broadcast()
 	lb.mu.Unlock()
 }

@@ -12,7 +12,8 @@ import (
 
 // captureSink is an in-memory DurableSink + RangeSink that records exactly
 // the bytes it was handed, so tests can assert that the consolidated
-// buffer's range writes are byte-identical to per-record encoding.
+// buffer's range writes are byte-identical to the records' encodings laid
+// out at their byte-offset LSNs.
 type captureSink struct {
 	mu     sync.Mutex
 	data   bytes.Buffer
@@ -27,7 +28,7 @@ func (c *captureSink) WriteRecord(rec Record, encoded []byte) error {
 	return nil
 }
 
-func (c *captureSink) WriteRange(encoded []byte, first, last LSN) error {
+func (c *captureSink) WriteRange(encoded []byte, first LSN) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.data.Write(encoded)
@@ -52,34 +53,39 @@ func (c *captureSink) bytes() []byte {
 // method at all), forcing the flusher's per-record compatibility path.
 type recordSink struct {
 	mu   sync.Mutex
-	data bytes.Buffer
+	recs []Record
 }
 
 func (r *recordSink) WriteRecord(rec Record, encoded []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.data.Write(encoded)
+	r.recs = append(r.recs, rec)
 	return nil
 }
 
 func (r *recordSink) Sync() error { return nil }
 
-func (r *recordSink) bytes() []byte {
+func (r *recordSink) records() []Record {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]byte(nil), r.data.Bytes()...)
+	return append([]Record(nil), r.recs...)
 }
 
-// decodeAll decodes every frame in data, failing the test on any error.
-func decodeAll(t *testing.T, data []byte) []Record {
+// decodeAll decodes every frame in data — a contiguous slice of the virtual
+// log starting at offset base — assigning each record its byte-offset LSN,
+// and failing the test on any error or trailing garbage.
+func decodeAll(t *testing.T, data []byte, base LSN) []Record {
 	t.Helper()
 	var out []Record
 	reader := bytes.NewReader(data)
+	at := base
 	for {
-		rec, err := DecodeFrom(reader)
+		rec, pad, frame, err := decodeCounted(reader)
 		if err != nil {
 			break
 		}
+		rec.LSN = at + LSN(pad)
+		at += LSN(pad + frame)
 		out = append(out, rec)
 	}
 	if reader.Len() != 0 {
@@ -91,8 +97,8 @@ func decodeAll(t *testing.T, data []byte) []Record {
 func TestEncodedSizeMatchesEncode(t *testing.T) {
 	cases := []Record{
 		{},
-		{LSN: 1, XID: 1, Type: RecBegin},
-		{LSN: 1 << 40, XID: 1 << 50, Type: RecUpdate, Table: 1 << 20, Page: 1 << 55, Slot: 1 << 30,
+		{XID: 1, Type: RecBegin},
+		{XID: 1 << 50, Type: RecUpdate, Table: 1 << 20, Page: 1 << 55, Slot: 1 << 30,
 			Before: bytes.Repeat([]byte{0xab}, 300), After: bytes.Repeat([]byte{0xcd}, 7)},
 		sampleRecord(),
 	}
@@ -108,68 +114,18 @@ func TestEncodedSizeMatchesEncode(t *testing.T) {
 	}
 }
 
-// TestConsolidatedConcurrentAppendsRoundTrip is the core reserve/fill/publish
-// correctness test: many appenders race into a small buffer (forcing ring
-// wraparound, padding, and buffer-full waits), and the stream handed to the
-// sink must decode to exactly the records appended, in contiguous LSN order,
-// byte-identical to their individual encodings.
-func TestConsolidatedConcurrentAppendsRoundTrip(t *testing.T) {
-	sink := &captureSink{}
-	l := New(Config{Durable: sink, DropAfterFlush: true, BufferBytes: 8 << 10})
-	const (
-		appenders  = 8
-		perAppend  = 200
-		totalRecs  = appenders * perAppend
-		maxPayload = 200
-	)
-	var mu sync.Mutex
-	want := make(map[LSN]Record, totalRecs)
-	var wg sync.WaitGroup
-	for g := 0; g < appenders; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < perAppend; i++ {
-				rec := Record{
-					XID:   uint64(g + 1),
-					Type:  RecUpdate,
-					Table: uint32(g),
-					Page:  uint64(i),
-					Slot:  uint32(i % 7),
-					After: bytes.Repeat([]byte{byte(g)}, 1+(g*31+i*17)%maxPayload),
-				}
-				lsn, err := l.Append(rec)
-				if err != nil {
-					t.Errorf("append: %v", err)
-					return
-				}
-				rec.LSN = lsn
-				mu.Lock()
-				want[lsn] = rec
-				mu.Unlock()
-				// Subscribe occasionally so flushing interleaves with appends.
-				if i%32 == 0 {
-					l.FlushAsync(lsn)
-				}
-			}
-		}(g)
+// verifyStream checks that the sink stream decodes to exactly the appended
+// records, each at the byte-offset LSN Append returned, with nothing extra.
+func verifyStream(t *testing.T, data []byte, want map[LSN]Record) {
+	t.Helper()
+	got := decodeAll(t, data, 1)
+	if len(got) != len(want) {
+		t.Fatalf("sink decoded %d records, want %d", len(got), len(want))
 	}
-	wg.Wait()
-	if err := l.Close(); err != nil {
-		t.Fatal(err)
-	}
-
-	got := decodeAll(t, sink.bytes())
-	if len(got) != totalRecs {
-		t.Fatalf("sink decoded %d records, want %d", len(got), totalRecs)
-	}
-	for i, rec := range got {
-		if rec.LSN != LSN(i+1) {
-			t.Fatalf("record %d has LSN %d: stream not in contiguous LSN order", i, rec.LSN)
-		}
+	for _, rec := range got {
 		w, ok := want[rec.LSN]
 		if !ok {
-			t.Fatalf("LSN %d was never appended", rec.LSN)
+			t.Fatalf("no record was appended at offset %d", rec.LSN)
 		}
 		if !reflect.DeepEqual(rec, w) {
 			t.Fatalf("LSN %d round-trip mismatch:\nwant %+v\ngot  %+v", rec.LSN, w, rec)
@@ -178,8 +134,65 @@ func TestConsolidatedConcurrentAppendsRoundTrip(t *testing.T) {
 			t.Fatalf("LSN %d not byte-identical through the shared buffer", rec.LSN)
 		}
 	}
-	if l.DurableLSN() != LSN(totalRecs) {
-		t.Fatalf("DurableLSN = %d, want %d", l.DurableLSN(), totalRecs)
+}
+
+// TestConsolidatedConcurrentAppendsRoundTrip is the core reserve/fill/publish
+// correctness test for the fetch-and-add protocol: many appenders race into a
+// small buffer (forcing ring wraparound padding and buffer-full waits), and
+// the stream handed to the sink must decode to exactly the records appended,
+// each at the byte offset its Append returned.
+func TestConsolidatedConcurrentAppendsRoundTrip(t *testing.T) {
+	for _, latched := range []bool{false, true} {
+		t.Run(fmt.Sprintf("latched=%v", latched), func(t *testing.T) {
+			sink := &captureSink{}
+			l := New(Config{Durable: sink, DropAfterFlush: true, BufferBytes: 8 << 10, LatchedLog: latched})
+			const (
+				appenders  = 8
+				perAppend  = 200
+				totalRecs  = appenders * perAppend
+				maxPayload = 200
+			)
+			var mu sync.Mutex
+			want := make(map[LSN]Record, totalRecs)
+			var wg sync.WaitGroup
+			for g := 0; g < appenders; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perAppend; i++ {
+						rec := Record{
+							XID:   uint64(g + 1),
+							Type:  RecUpdate,
+							Table: uint32(g),
+							Page:  uint64(i),
+							Slot:  uint32(i % 7),
+							After: bytes.Repeat([]byte{byte(g)}, 1+(g*31+i*17)%maxPayload),
+						}
+						lsn, err := l.Append(rec)
+						if err != nil {
+							t.Errorf("append: %v", err)
+							return
+						}
+						rec.LSN = lsn
+						mu.Lock()
+						want[lsn] = rec
+						mu.Unlock()
+						// Subscribe occasionally so flushing interleaves with appends.
+						if i%32 == 0 {
+							l.FlushAsync(lsn)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			verifyStream(t, sink.bytes(), want)
+			if got, wantEnd := l.DurableLSN(), l.LastLSN(); got != wantEnd {
+				t.Fatalf("DurableLSN = %d, want the drained end %d", got, wantEnd)
+			}
+		})
 	}
 }
 
@@ -213,14 +226,17 @@ func TestConsolidatedBackpressureDrainsWithoutSubscriptions(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got := decodeAll(t, sink.bytes()); len(got) != n {
+	if got := decodeAll(t, sink.bytes(), 1); len(got) != n {
 		t.Fatalf("sink decoded %d records, want %d", len(got), n)
 	}
 }
 
 // TestConsolidatedMatchesPerRecordSink runs the same appends through a
-// range-capable sink and a records-only sink: the byte streams must be
-// identical, proving the range fast path changes no on-disk bytes.
+// range-capable sink and a records-only sink. The range stream carries the
+// wraparound padding bytes (they are part of the virtual log); the record
+// stream elides them but delivers every record with its byte-offset LSN —
+// decoding both must yield the identical record sequence at identical
+// addresses.
 func TestConsolidatedMatchesPerRecordSink(t *testing.T) {
 	fast := &captureSink{}
 	slow := &recordSink{}
@@ -245,39 +261,76 @@ func TestConsolidatedMatchesPerRecordSink(t *testing.T) {
 	if fast.ranges == 0 {
 		t.Fatal("range fast path never used despite RangeSink implementation")
 	}
-	if !bytes.Equal(fast.bytes(), slow.bytes()) {
-		t.Fatal("range-written stream differs from per-record stream")
+	fromRanges := decodeAll(t, fast.bytes(), 1)
+	fromRecords := slow.records()
+	if !reflect.DeepEqual(fromRanges, fromRecords) {
+		t.Fatalf("range-written stream decodes differently from per-record stream:\nranges:  %d recs\nrecords: %d recs", len(fromRanges), len(fromRecords))
 	}
 }
 
-// TestMutexLogModeMatchesConsolidated pins the ablation baseline: the legacy
-// mutex-per-append path must produce the same on-disk byte stream as the
-// consolidated buffer.
+// TestMutexLogModeMatchesConsolidated pins the ablation baselines: the
+// legacy mutex-per-append path and the PR-3 latched reservation must both
+// produce the same on-disk byte stream as the fetch-and-add buffer. (The
+// buffer is large enough that no wraparound padding occurs; the mutex path,
+// having no ring, never pads.)
 func TestMutexLogModeMatchesConsolidated(t *testing.T) {
 	legacy := &captureSink{}
+	latched := &captureSink{}
 	cons := &captureSink{}
 	ll := New(Config{Durable: legacy, DropAfterFlush: true, MutexLog: true})
+	lt := New(Config{Durable: latched, DropAfterFlush: true, LatchedLog: true})
 	lc := New(Config{Durable: cons, DropAfterFlush: true})
 	for i := 0; i < 100; i++ {
 		rec := Record{XID: 9, Type: RecInsert, Table: 1, Page: uint64(i), After: []byte("payload")}
-		if _, err := ll.Append(rec); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := lc.Append(rec); err != nil {
-			t.Fatal(err)
+		for _, l := range []*Log{ll, lt, lc} {
+			if _, err := l.Append(rec); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
-	if err := ll.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if err := lc.Close(); err != nil {
-		t.Fatal(err)
+	for _, l := range []*Log{ll, lt, lc} {
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if legacy.ranges != 0 {
 		t.Fatal("MutexLog mode must not use the range fast path")
 	}
 	if !bytes.Equal(legacy.bytes(), cons.bytes()) {
-		t.Fatal("MutexLog byte stream differs from consolidated byte stream")
+		t.Fatal("MutexLog byte stream differs from fetch-and-add byte stream")
+	}
+	if !bytes.Equal(latched.bytes(), cons.bytes()) {
+		t.Fatal("latched-reservation byte stream differs from fetch-and-add byte stream")
+	}
+}
+
+// TestLatchedMatchesFetchAndAddAcrossWraparound extends the byte-identity
+// pin to a tiny ring: a deterministic single-threaded append sequence makes
+// identical reservation decisions — including wraparound padding placement —
+// under both protocols, so even the padding bytes must line up.
+func TestLatchedMatchesFetchAndAddAcrossWraparound(t *testing.T) {
+	faa := &captureSink{}
+	lat := &captureSink{}
+	lf := New(Config{Durable: faa, DropAfterFlush: true, BufferBytes: 4 << 10})
+	ll := New(Config{Durable: lat, DropAfterFlush: true, BufferBytes: 4 << 10, LatchedLog: true})
+	for i := 0; i < 400; i++ {
+		rec := Record{XID: uint64(i), Type: RecUpdate, Table: 3, Page: uint64(i),
+			After: bytes.Repeat([]byte{byte(i)}, (i*37)%257)}
+		if _, err := lf.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ll.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ll.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(faa.bytes(), lat.bytes()) {
+		t.Fatal("fetch-and-add and latched reservation produced different byte streams")
 	}
 }
 
@@ -297,7 +350,7 @@ func TestFlushAsyncReopenEdge(t *testing.T) {
 						t.Fatalf("FlushAsync(%d) on reopened empty log: %v", upTo, err)
 					}
 				case <-time.After(2 * time.Second):
-					t.Fatalf("FlushAsync(%d) on reopened empty log never acked (nextLSN == StartLSN edge)", upTo)
+					t.Fatalf("FlushAsync(%d) on reopened empty log never acked (head == StartLSN edge)", upTo)
 				}
 			}
 			// The log still works normally past the recovered prefix.
@@ -318,6 +371,67 @@ func TestFlushAsyncReopenEdge(t *testing.T) {
 	}
 }
 
+// TestCloseRacingAppendsNeverLosesAcceptedRecord pins Close's contract
+// against the lock-free reservation: an Append racing Close either fails
+// (and leaves no record — the claim, if any, is padded out) or succeeds and
+// its record is in the sink when Close returns. The race window is a few
+// instructions wide (between reserveAtomic's wedge check and its CAS), so
+// hammer it.
+func TestCloseRacingAppendsNeverLosesAcceptedRecord(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		sink := &captureSink{}
+		l := New(Config{Durable: sink, DropAfterFlush: true, BufferBytes: 8 << 10})
+		const appenders = 4
+		accepted := make([]map[LSN]Record, appenders)
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < appenders; g++ {
+			accepted[g] = make(map[LSN]Record)
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					rec := Record{XID: uint64(g + 1), Type: RecInsert, Page: uint64(i), After: []byte{byte(g), byte(i)}}
+					lsn, err := l.Append(rec)
+					if err != nil {
+						return
+					}
+					rec.LSN = lsn
+					accepted[g][lsn] = rec
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}(g)
+		}
+		// Let the appenders get going, then slam the door.
+		time.Sleep(200 * time.Microsecond)
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+		got := decodeAll(t, sink.bytes(), 1)
+		have := make(map[LSN]Record, len(got))
+		for _, r := range got {
+			have[r.LSN] = r
+		}
+		for g := range accepted {
+			for lsn, want := range accepted[g] {
+				r, ok := have[lsn]
+				if !ok {
+					t.Fatalf("round %d: Append returned (lsn=%d, nil) but Close did not drain the record", round, lsn)
+				}
+				if !reflect.DeepEqual(r, want) {
+					t.Fatalf("round %d: drained record at %d differs: %+v vs %+v", round, lsn, r, want)
+				}
+			}
+		}
+	}
+}
+
 // stuckSink parks the flusher inside its first write until released, keeping
 // the buffer full so tests can observe reservers blocked on space.
 type stuckSink struct {
@@ -332,7 +446,7 @@ func (s *stuckSink) WriteRecord(rec Record, encoded []byte) error {
 	return nil
 }
 
-func (s *stuckSink) WriteRange(encoded []byte, first, last LSN) error {
+func (s *stuckSink) WriteRange(encoded []byte, first LSN) error {
 	s.once.Do(func() { close(s.entered) })
 	<-s.release
 	return nil
@@ -342,37 +456,43 @@ func (s *stuckSink) Sync() error { return nil }
 
 // TestConsolidatedCrashFailsBlockedReservers: a reserver blocked on a full
 // buffer must wake with the crash error, not hang — even while the flusher
-// is wedged inside a sink write and can never drain.
+// is wedged inside a sink write and can never drain. The CAS-loop design
+// makes this clean: a waiting reserver holds no claim, so failing it leaves
+// no hole in the publish fence.
 func TestConsolidatedCrashFailsBlockedReservers(t *testing.T) {
-	sink := &stuckSink{release: make(chan struct{}), entered: make(chan struct{})}
-	defer close(sink.release)
-	l := New(Config{BufferBytes: 4 << 10, Durable: sink, DropAfterFlush: true})
-	payload := bytes.Repeat([]byte{1}, 1024)
-	errc := make(chan error, 1)
-	go func() {
-		for i := 0; i < 16; i++ {
-			if _, err := l.Append(Record{XID: 1, Type: RecInsert, After: payload}); err != nil {
-				errc <- err
-				return
+	for _, latched := range []bool{false, true} {
+		t.Run(fmt.Sprintf("latched=%v", latched), func(t *testing.T) {
+			sink := &stuckSink{release: make(chan struct{}), entered: make(chan struct{})}
+			defer close(sink.release)
+			l := New(Config{BufferBytes: 4 << 10, Durable: sink, DropAfterFlush: true, LatchedLog: latched})
+			payload := bytes.Repeat([]byte{1}, 1024)
+			errc := make(chan error, 1)
+			go func() {
+				for i := 0; i < 16; i++ {
+					if _, err := l.Append(Record{XID: 1, Type: RecInsert, After: payload}); err != nil {
+						errc <- err
+						return
+					}
+				}
+				errc <- nil
+			}()
+			// Wait for the flusher to wedge in the sink, then give the appender time
+			// to refill the buffer and block on space that will never be released.
+			select {
+			case <-sink.entered:
+			case <-time.After(5 * time.Second):
+				t.Fatal("flusher never reached the sink")
 			}
-		}
-		errc <- nil
-	}()
-	// Wait for the flusher to wedge in the sink, then give the appender time
-	// to refill the buffer and block on space that will never be released.
-	select {
-	case <-sink.entered:
-	case <-time.After(5 * time.Second):
-		t.Fatal("flusher never reached the sink")
-	}
-	time.Sleep(50 * time.Millisecond)
-	l.Crash()
-	select {
-	case err := <-errc:
-		if !errors.Is(err, ErrCrashed) {
-			t.Fatalf("blocked reserver got %v, want ErrCrashed", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("reserver stayed blocked across Crash")
+			time.Sleep(50 * time.Millisecond)
+			l.Crash()
+			select {
+			case err := <-errc:
+				if !errors.Is(err, ErrCrashed) {
+					t.Fatalf("blocked reserver got %v, want ErrCrashed", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("reserver stayed blocked across Crash")
+			}
+		})
 	}
 }

@@ -18,11 +18,34 @@ import (
 // DefaultSegmentBytes is the rotation threshold for on-disk log segments.
 const DefaultSegmentBytes = 4 << 20
 
-// segPrefix/segSuffix frame segment file names: wal-<first LSN, hex>.seg.
+// segPrefix/segSuffix frame segment file names: wal-<first offset, hex>.seg.
 const (
 	segPrefix = "wal-"
 	segSuffix = ".seg"
 )
+
+// Segment header layout (format version 2, the byte-offset LSN format):
+//
+//	bytes 0..6   magic "SLDBSEG"
+//	byte  7      format version (segVersion)
+//	bytes 8..15  first virtual offset covered by the file, little-endian
+//
+// Version 1 was the headerless dense-LSN format (every frame embedded its
+// LSN); its files start with a frame length prefix instead of the magic, so
+// opening a pre-upgrade directory fails loudly with ErrLogFormat rather than
+// silently truncating what would scan as a torn tail.
+const (
+	segMagic      = "SLDBSEG"
+	segVersion    = byte(2)
+	segHeaderSize = 16
+)
+
+// ErrLogFormat is returned when a data directory's log segments (or its
+// checkpoint) were written in a different, incompatible format version —
+// typically a directory created before the byte-offset LSN refactor. The
+// data is not corrupt; it is simply not readable by this version, and
+// failing loudly beats misreading record addresses.
+var ErrLogFormat = errors.New("wal: incompatible log format version (data directory written by a different slidb version)")
 
 func segmentName(first LSN) string {
 	return fmt.Sprintf("%s%016x%s", segPrefix, uint64(first), segSuffix)
@@ -43,36 +66,75 @@ func parseSegmentName(name string) (LSN, bool) {
 // segmentInfo describes one on-disk segment file.
 type segmentInfo struct {
 	path  string
-	first LSN // LSN of the first record written to the segment
+	first LSN // virtual offset of the segment's first payload byte
+}
+
+// encodeHeader returns the 16-byte segment header for a file whose payload
+// begins at virtual offset first.
+func encodeHeader(first LSN) []byte {
+	h := make([]byte, segHeaderSize)
+	copy(h, segMagic)
+	h[len(segMagic)] = segVersion
+	binary.LittleEndian.PutUint64(h[8:], uint64(first))
+	return h
+}
+
+// readHeader validates a segment file's header against its name. A short
+// header is reported as errShortHeader so the caller can distinguish a torn
+// creation (repairable on the last segment) from a wrong-format file.
+var errShortHeader = errors.New("wal: short segment header")
+
+func readHeader(f io.Reader, name string, want LSN) error {
+	h := make([]byte, segHeaderSize)
+	n, err := io.ReadFull(f, h)
+	if err != nil {
+		// Even a partial header must look like the start of our magic;
+		// anything else is another format (e.g. a v1 frame stream).
+		if n > 0 && !strings.HasPrefix(segMagic, string(h[:min(n, len(segMagic))])) {
+			return fmt.Errorf("%w: segment %s has no segment header", ErrLogFormat, name)
+		}
+		return errShortHeader
+	}
+	if string(h[:len(segMagic)]) != segMagic {
+		return fmt.Errorf("%w: segment %s has no segment header", ErrLogFormat, name)
+	}
+	if v := h[len(segMagic)]; v != segVersion {
+		return fmt.Errorf("%w: segment %s is format version %d, this build reads version %d", ErrLogFormat, name, v, segVersion)
+	}
+	if got := LSN(binary.LittleEndian.Uint64(h[8:])); got != want {
+		return fmt.Errorf("wal: segment %s header offset %d does not match its name (%d): %w", name, got, want, ErrCorrupt)
+	}
+	return nil
 }
 
 // Segments is a directory of append-only write-ahead log segment files. It
-// implements DurableSink: records are appended to the current segment, a new
-// segment is started once the current one exceeds the configured size, and
-// Sync (called once per group-commit batch by the Log) forces the current
-// segment to stable storage.
+// implements DurableSink (and RangeSink): bytes of the virtual log are
+// appended to the current segment, a new segment is started once the current
+// one exceeds the configured size, and Sync (called once per group-commit
+// batch by the Log) forces the current segment to stable storage.
 //
-// Records within and across segments are in strictly increasing, contiguous
-// LSN order, because the Log hands every appended record to its sink in
-// order. Segment files are named by the LSN of their first record, so the
-// set of segments covering a given LSN range can be determined from file
-// names alone.
+// Because LSNs are byte offsets, a segment file IS a slice of the virtual
+// log: the file named wal-<first> holds bytes [first, first+payload) and the
+// record at LSN L lives in that file at position segHeaderSize + (L - first)
+// — segments map an LSN to its location by arithmetic, never by scanning.
+// Rotation happens only at frame boundaries, so no frame spans two files.
 type Segments struct {
 	dir      string
 	segBytes int64
 
 	mu      sync.Mutex
 	cur     *os.File
-	curSize int64
-	maxLSN  LSN // highest LSN present in any segment
+	curSize int64 // current segment file size, header included
+	end     LSN   // virtual offset just past the last byte in any segment
 	closed  bool
 }
 
 // OpenSegments opens (creating if necessary) the segment directory. Existing
-// segments are scanned to find the highest durable LSN; a torn frame at the
-// tail of the last segment — the signature of a crash mid-write — is
-// truncated away so subsequent appends extend a valid log. segBytes <= 0
-// uses DefaultSegmentBytes.
+// segments are validated (a pre-upgrade or otherwise incompatible format
+// fails with ErrLogFormat) and scanned to find the end of the durable
+// prefix; a torn frame at the tail of the last segment — the signature of a
+// crash mid-write — is truncated away so subsequent appends extend a valid
+// log. segBytes <= 0 uses DefaultSegmentBytes.
 func OpenSegments(dir string, segBytes int64) (*Segments, error) {
 	if segBytes <= 0 {
 		segBytes = DefaultSegmentBytes
@@ -87,23 +149,41 @@ func OpenSegments(dir string, segBytes int64) (*Segments, error) {
 	}
 	for i, info := range infos {
 		last := i == len(infos)-1
-		valid, maxLSN, serr := scanSegment(info.path)
-		if serr != nil && !last {
-			return nil, fmt.Errorf("wal: segment %s: %w", filepath.Base(info.path), serr)
+		valid, serr := scanSegment(info.path, info.first)
+		if serr != nil {
+			if !last || errors.Is(serr, ErrLogFormat) {
+				return nil, fmt.Errorf("wal: segment %s: %w", filepath.Base(info.path), serr)
+			}
+			// Torn tail (possibly a torn header from a crash at rotation):
+			// drop the partial bytes; the header is rewritten below if it
+			// never fully landed.
+			if terr := os.Truncate(info.path, valid); terr != nil {
+				return nil, fmt.Errorf("wal: truncate torn segment tail: %w", terr)
+			}
 		}
-		if maxLSN > s.maxLSN {
-			s.maxLSN = maxLSN
+		if end := info.first + LSN(valid) - segHeaderSize; valid >= segHeaderSize && end > s.end {
+			s.end = end
 		}
 		if last {
-			if serr != nil {
-				// Torn tail: drop the partial frame.
-				if terr := os.Truncate(info.path, valid); terr != nil {
-					return nil, fmt.Errorf("wal: truncate torn segment tail: %w", terr)
-				}
-			}
 			f, oerr := os.OpenFile(info.path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if oerr != nil {
 				return nil, fmt.Errorf("wal: reopen segment: %w", oerr)
+			}
+			if valid < segHeaderSize {
+				// The crash hit between creating the file and its header
+				// reaching disk; rewrite the header so the file is valid.
+				if terr := os.Truncate(info.path, 0); terr != nil {
+					f.Close()
+					return nil, fmt.Errorf("wal: reset torn segment header: %w", terr)
+				}
+				if _, werr := f.Write(encodeHeader(info.first)); werr != nil {
+					f.Close()
+					return nil, fmt.Errorf("wal: rewrite segment header: %w", werr)
+				}
+				valid = segHeaderSize
+				if s.end < info.first {
+					s.end = info.first
+				}
 			}
 			s.cur = f
 			s.curSize = valid
@@ -112,7 +192,7 @@ func OpenSegments(dir string, segBytes int64) (*Segments, error) {
 	return s, nil
 }
 
-// listSegments returns the segment files in first-LSN order.
+// listSegments returns the segment files in first-offset order.
 func (s *Segments) listSegments() ([]segmentInfo, error) {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -133,103 +213,136 @@ func (s *Segments) listSegments() ([]segmentInfo, error) {
 	return infos, nil
 }
 
-// scanSegment decodes every frame in the file, returning the byte offset of
-// the end of the last whole frame and the highest LSN seen. A decode failure
-// (torn or corrupt frame) is reported alongside the prefix that was valid.
-func scanSegment(path string) (validBytes int64, maxLSN LSN, err error) {
+// scanSegment validates the header and decodes every frame in the file,
+// returning the file offset of the end of the last whole frame (counting any
+// trailing padding bytes). A decode failure (torn or corrupt frame) is
+// reported alongside the prefix that was valid; a wrong-format header is
+// ErrLogFormat.
+func scanSegment(path string, first LSN) (validBytes int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, err
+		return 0, err
 	}
 	defer f.Close()
+	if herr := readHeader(f, filepath.Base(path), first); herr != nil {
+		if errors.Is(herr, errShortHeader) {
+			return 0, fmt.Errorf("%w: short header", ErrCorrupt)
+		}
+		return 0, herr
+	}
 	r := bufio.NewReader(f)
-	var off int64
+	off := int64(segHeaderSize)
 	for {
-		rec, n, derr := decodeCounted(r)
+		_, pad, frame, derr := decodeCounted(r)
 		if derr == io.EOF {
-			return off, maxLSN, nil
+			return off + pad, nil
 		}
 		if derr != nil {
-			return off, maxLSN, fmt.Errorf("%w at offset %d", ErrCorrupt, off)
+			return off + pad, fmt.Errorf("%w at offset %d", ErrCorrupt, off+pad)
 		}
-		off += n
-		if rec.LSN > maxLSN {
-			maxLSN = rec.LSN
-		}
+		off += pad + frame
 	}
 }
 
-// WriteRecord appends the encoded record to the current segment, starting a
+// prepareLocked rotates to a fresh segment if needed and pad-fills any gap
+// between the stored end and at, the virtual offset about to be written.
+// Gaps arise on the per-record compatibility path, whose stream elides the
+// log buffer's wraparound padding; re-materializing the zeros keeps every
+// on-disk byte at exactly its virtual offset.
+func (s *Segments) prepareLocked(at LSN) error {
+	if s.cur != nil && at > s.end {
+		pad := make([]byte, at-s.end)
+		n, err := s.cur.Write(pad)
+		s.curSize += int64(n)
+		s.end += LSN(n)
+		if err != nil {
+			return fmt.Errorf("wal: segment pad write: %w", err)
+		}
+	}
+	if s.cur == nil || s.curSize >= s.segBytes {
+		if err := s.rotateLocked(at); err != nil {
+			return err
+		}
+	}
+	if s.end < at {
+		// First write into a fresh directory (or after rotation): the
+		// segment starts exactly at the written offset.
+		s.end = at
+	}
+	return nil
+}
+
+// WriteRecord appends the encoded record at its byte-offset LSN, starting a
 // new segment when the current one has reached the rotation size. It is part
-// of the DurableSink interface and is called by the Log with monotonically
-// increasing LSNs.
+// of the DurableSink interface and is called with monotonically increasing
+// LSNs; a gap below rec.LSN is zero-filled (see prepareLocked).
 func (s *Segments) WriteRecord(rec Record, encoded []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errors.New("wal: segments closed")
 	}
-	if s.cur == nil || s.curSize >= s.segBytes {
-		if err := s.rotateLocked(rec.LSN); err != nil {
-			return err
-		}
+	if rec.LSN < s.end {
+		return fmt.Errorf("wal: record at offset %d overlaps segment end %d: %w", rec.LSN, s.end, ErrCorrupt)
+	}
+	if err := s.prepareLocked(rec.LSN); err != nil {
+		return err
 	}
 	n, err := s.cur.Write(encoded)
 	s.curSize += int64(n)
+	s.end += LSN(n)
 	if err != nil {
 		return fmt.Errorf("wal: segment write: %w", err)
-	}
-	if rec.LSN > s.maxLSN {
-		s.maxLSN = rec.LSN
 	}
 	return nil
 }
 
-// WriteRange appends a contiguous run of already-encoded frames — the
-// consolidated log buffer's published prefix, in LSN order from first to
-// last — writing whole multi-frame chunks per write call instead of one
-// record at a time. It is the RangeSink fast path of the DurableSink
-// interface. Rotation decisions are identical to WriteRecord's: a frame goes
-// to the current segment iff the segment is still under the rotation size
-// when the frame starts, so a frame is never split across segment files and
-// every segment starts at a frame boundary whose LSN names the file.
-func (s *Segments) WriteRange(encoded []byte, first, last LSN) error {
+// WriteRange appends a contiguous run of already-encoded bytes of the
+// virtual log — whole frames plus any wraparound padding, starting at
+// virtual offset first — writing whole multi-frame chunks per write call
+// instead of one record at a time. It is the RangeSink fast path of the
+// DurableSink interface. Rotation decisions are identical to WriteRecord's:
+// a frame goes to the current segment iff the segment is still under the
+// rotation size when the frame starts, so a frame is never split across
+// segment files.
+func (s *Segments) WriteRange(encoded []byte, first LSN) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errors.New("wal: segments closed")
 	}
-	lsn := first
+	if first < s.end {
+		return fmt.Errorf("wal: range at offset %d overlaps segment end %d: %w", first, s.end, ErrCorrupt)
+	}
+	at := first
 	for len(encoded) > 0 {
-		if s.cur == nil || s.curSize >= s.segBytes {
-			if err := s.rotateLocked(lsn); err != nil {
-				return err
-			}
+		if err := s.prepareLocked(at); err != nil {
+			return err
 		}
-		chunk, frames := rangePrefix(encoded, s.segBytes-s.curSize)
+		chunk := rangePrefix(encoded, s.segBytes-s.curSize)
 		n, err := s.cur.Write(chunk)
 		s.curSize += int64(n)
+		s.end += LSN(n)
 		if err != nil {
 			return fmt.Errorf("wal: segment range write: %w", err)
 		}
-		// The log assigns consecutive LSNs, so the next chunk's first frame
-		// (which may name a fresh segment) is lsn + frames.
-		lsn += LSN(frames)
+		at += LSN(len(chunk))
 		encoded = encoded[len(chunk):]
-	}
-	if last > s.maxLSN {
-		s.maxLSN = last
 	}
 	return nil
 }
 
 // rangePrefix returns the longest prefix of encoded made of whole frames
-// that start within the current segment's remaining budget, and the number
-// of frames it holds. The first frame is always included (it may overshoot
-// the budget, exactly as WriteRecord's rotate-before-write check allows).
-func rangePrefix(encoded []byte, room int64) ([]byte, int) {
+// (and padding bytes) that start within the current segment's remaining
+// budget. The first frame is always included — it may overshoot the budget,
+// exactly as WriteRecord's rotate-before-write check allows.
+func rangePrefix(encoded []byte, room int64) []byte {
 	off, frames := 0, 0
 	for off < len(encoded) && (frames == 0 || int64(off) < room) {
+		if encoded[off] == 0 { // padding byte: a one-byte unit
+			off++
+			continue
+		}
 		length, n := binary.Uvarint(encoded[off:])
 		if n <= 0 || int(length) > len(encoded)-off-n {
 			// The flusher only hands over whole frames; a short parse here
@@ -242,11 +355,12 @@ func rangePrefix(encoded []byte, room int64) ([]byte, int) {
 		off += n + int(length)
 		frames++
 	}
-	return encoded[:off], frames
+	return encoded[:off]
 }
 
 // rotateLocked closes the current segment (forcing it to disk) and creates a
-// fresh one whose name records first, the LSN of its first record.
+// fresh one whose name and header record first, the virtual offset of its
+// first payload byte.
 func (s *Segments) rotateLocked(first LSN) error {
 	if s.cur != nil {
 		if err := s.cur.Sync(); err != nil {
@@ -263,12 +377,16 @@ func (s *Segments) rotateLocked(first LSN) error {
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
+	if _, err := f.Write(encodeHeader(first)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
 	if err := syncDir(s.dir); err != nil {
 		f.Close()
 		return err
 	}
 	s.cur = f
-	s.curSize = 0
+	s.curSize = segHeaderSize
 	return nil
 }
 
@@ -288,11 +406,12 @@ func (s *Segments) Sync() error {
 	return nil
 }
 
-// MaxLSN returns the highest LSN present in the segment files.
-func (s *Segments) MaxLSN() LSN {
+// End returns the virtual offset just past the last byte present in the
+// segment files — the offset a reopened log should resume appending at.
+func (s *Segments) End() LSN {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.maxLSN
+	return s.end
 }
 
 // SegmentCount returns the number of on-disk segment files.
@@ -306,37 +425,58 @@ func (s *Segments) SegmentCount() int {
 
 // Iterate replays every record with LSN >= from, in LSN order, stopping at
 // the first torn frame in the final segment (records past a torn frame were
-// never acknowledged as durable). A decode failure in any earlier segment is
-// real corruption and is returned as an error. Iteration stops early if fn
-// returns an error, which Iterate propagates.
+// never acknowledged as durable). Because LSNs are byte offsets, the start
+// position is computed, not scanned: iteration seeks directly to from inside
+// the segment that covers it. from must be a frame (or padding) boundary; 0
+// means the beginning of the retained log. A decode failure in any earlier
+// segment is real corruption and is returned as an error. Iteration stops
+// early if fn returns an error, which Iterate propagates.
 func (s *Segments) Iterate(from LSN, fn func(Record) error) error {
 	infos, err := s.listSegments()
 	if err != nil {
 		return err
 	}
 	for i, info := range infos {
-		// Skip segments that end before from: every record in segment i has
-		// an LSN below segment i+1's first.
+		// Segment i covers [first, next.first): skip it entirely when from
+		// is at or past the next segment's start.
 		if i+1 < len(infos) && infos[i+1].first <= from {
 			continue
 		}
 		last := i == len(infos)-1
-		if err := iterateSegment(info.path, last, from, fn); err != nil {
+		if err := iterateSegment(info, last, from, fn); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func iterateSegment(path string, last bool, from LSN, fn func(Record) error) error {
-	f, err := os.Open(path)
+func iterateSegment(info segmentInfo, last bool, from LSN, fn func(Record) error) error {
+	f, err := os.Open(info.path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if herr := readHeader(f, filepath.Base(info.path), info.first); herr != nil {
+		if errors.Is(herr, errShortHeader) {
+			if last {
+				return nil // torn creation; nothing durable here
+			}
+			return fmt.Errorf("wal: segment %s: %w: short header", filepath.Base(info.path), ErrCorrupt)
+		}
+		return herr
+	}
+	at := info.first
+	if from > at {
+		// Direct seek: the byte at virtual offset from lives at file offset
+		// segHeaderSize + (from - first).
+		if _, err := f.Seek(int64(from-info.first), io.SeekCurrent); err != nil {
+			return fmt.Errorf("wal: seek segment %s: %w", filepath.Base(info.path), err)
+		}
+		at = from
+	}
 	r := bufio.NewReader(f)
 	for {
-		rec, _, derr := decodeCounted(r)
+		rec, pad, frame, derr := decodeCounted(r)
 		if derr == io.EOF {
 			return nil
 		}
@@ -345,21 +485,22 @@ func iterateSegment(path string, last bool, from LSN, fn func(Record) error) err
 				// Torn tail from a crash mid-write: the valid prefix is the log.
 				return nil
 			}
-			return fmt.Errorf("wal: segment %s: %w", filepath.Base(path), derr)
+			return fmt.Errorf("wal: segment %s: %w", filepath.Base(info.path), derr)
 		}
-		if rec.LSN < from {
-			continue
-		}
+		rec.LSN = at + LSN(pad)
+		at += LSN(pad + frame)
 		if err := fn(rec); err != nil {
 			return err
 		}
 	}
 }
 
-// Checkpoint marks every record with LSN <= durable as no longer needed: the
-// current segment is sealed (so the next append starts a fresh one) and
-// every segment wholly at or below durable is deleted. Called after a
-// checkpoint whose snapshot covers LSNs up to durable has been persisted.
+// Checkpoint marks every byte below the durable watermark as no longer
+// needed: the current segment is sealed (so the next append starts a fresh
+// one) and every segment wholly below durable is deleted. durable is an
+// exclusive end offset (Log.DurableLSN), which makes coverage arithmetic:
+// segment i is covered exactly when its end — the next segment's first
+// offset — is at or below the watermark.
 func (s *Segments) Checkpoint(durable LSN) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -378,15 +519,11 @@ func (s *Segments) Checkpoint(durable LSN) error {
 		return err
 	}
 	for i, info := range infos {
-		// A segment is fully covered by the checkpoint when all its records
-		// are <= durable: either the next segment starts at or below
-		// durable+1, or it is the final segment and nothing above durable
-		// was ever written.
 		covered := false
 		if i+1 < len(infos) {
-			covered = infos[i+1].first <= durable+1
+			covered = infos[i+1].first <= durable
 		} else {
-			covered = s.maxLSN <= durable
+			covered = s.end <= durable
 		}
 		if covered {
 			if err := os.Remove(info.path); err != nil && !errors.Is(err, fs.ErrNotExist) {

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -16,17 +17,18 @@ func logTo(t *testing.T, dir string, segBytes int64) (*Log, *Segments) {
 	return New(Config{Durable: segs, DropAfterFlush: true}), segs
 }
 
-func appendN(t *testing.T, l *Log, xid uint64, n int) LSN {
+// appendN appends n records and returns their byte-offset LSNs.
+func appendN(t *testing.T, l *Log, xid uint64, n int) []LSN {
 	t.Helper()
-	var last LSN
+	lsns := make([]LSN, 0, n)
 	for i := 0; i < n; i++ {
 		lsn, err := l.Append(Record{XID: xid, Type: RecInsert, Table: 1, After: []byte("payload-payload")})
 		if err != nil {
 			t.Fatal(err)
 		}
-		last = lsn
+		lsns = append(lsns, lsn)
 	}
-	return last
+	return lsns
 }
 
 func collect(t *testing.T, segs *Segments, from LSN) []Record {
@@ -44,79 +46,88 @@ func collect(t *testing.T, segs *Segments, from LSN) []Record {
 func TestSegmentsRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	l, segs := logTo(t, dir, 0)
-	last := appendN(t, l, 7, 10)
-	if err := l.Flush(last); err != nil {
+	lsns := appendN(t, l, 7, 10)
+	if err := l.Flush(lsns[9]); err != nil {
 		t.Fatal(err)
 	}
-	recs := collect(t, segs, 1)
+	recs := collect(t, segs, 0)
 	if len(recs) != 10 {
 		t.Fatalf("iterated %d records, want 10", len(recs))
 	}
 	for i, r := range recs {
-		if r.LSN != LSN(i+1) || r.XID != 7 || r.Type != RecInsert {
-			t.Fatalf("record %d = %+v", i, r)
+		// Byte-offset LSNs: the iterated record's LSN must be exactly the
+		// offset Append returned, recovered from its position on disk.
+		if r.LSN != lsns[i] || r.XID != 7 || r.Type != RecInsert {
+			t.Fatalf("record %d = %+v, want LSN %d", i, r, lsns[i])
 		}
 	}
-	// Iterate from the middle.
-	if got := collect(t, segs, 6); len(got) != 5 || got[0].LSN != 6 {
-		t.Fatalf("partial iterate = %d records starting at %v", len(got), got[0].LSN)
+	// Iterate from the middle: addressing is arithmetic, not scanning, so
+	// starting at a record's exact byte offset yields that record first.
+	if got := collect(t, segs, lsns[5]); len(got) != 5 || got[0].LSN != lsns[5] {
+		t.Fatalf("partial iterate = %d records starting at %v, want 5 from %d", len(got), got[0].LSN, lsns[5])
 	}
-	if segs.MaxLSN() != 10 {
-		t.Fatalf("MaxLSN = %d, want 10", segs.MaxLSN())
+	// End is the offset just past the last frame.
+	wantEnd := lsns[9] + LSN(recs[9].EncodedSize())
+	if segs.End() != wantEnd {
+		t.Fatalf("End = %d, want %d", segs.End(), wantEnd)
 	}
 }
 
 func TestSegmentsRotationAndCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	l, segs := logTo(t, dir, 128) // tiny segments force rotation
-	last := appendN(t, l, 1, 50)
-	if err := l.Flush(last); err != nil {
+	lsns := appendN(t, l, 1, 50)
+	if err := l.Flush(lsns[49]); err != nil {
 		t.Fatal(err)
 	}
 	files, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
 	if len(files) < 3 {
 		t.Fatalf("expected rotation to produce several segments, got %d", len(files))
 	}
-	if got := collect(t, segs, 1); len(got) != 50 {
+	if got := collect(t, segs, 0); len(got) != 50 {
 		t.Fatalf("iterated %d records across segments, want 50", len(got))
 	}
-	// Checkpoint covering half the log must keep segments with newer records.
-	if err := segs.Checkpoint(25); err != nil {
+	// Checkpoint at record 25's start offset covers exactly records 0..24
+	// (the watermark is an exclusive end): segments holding newer records
+	// survive and iteration resumes at the boundary.
+	if err := segs.Checkpoint(lsns[25]); err != nil {
 		t.Fatal(err)
 	}
-	got := collect(t, segs, 26)
-	if len(got) != 25 || got[0].LSN != 26 {
-		t.Fatalf("after partial checkpoint: %d records from LSN %d", len(got), got[0].LSN)
+	got := collect(t, segs, lsns[25])
+	if len(got) != 25 || got[0].LSN != lsns[25] {
+		t.Fatalf("after partial checkpoint: %d records from LSN %d, want 25 from %d", len(got), got[0].LSN, lsns[25])
 	}
 	// Checkpoint covering everything deletes every segment.
-	if err := segs.Checkpoint(50); err != nil {
+	if err := segs.Checkpoint(segs.End()); err != nil {
 		t.Fatal(err)
 	}
 	files, _ = filepath.Glob(filepath.Join(dir, "wal-*.seg"))
 	if len(files) != 0 {
 		t.Fatalf("full checkpoint left %d segments", len(files))
 	}
-	// The log keeps appending into a fresh segment afterwards.
-	last = appendN(t, l, 2, 3)
-	if err := l.Flush(last); err != nil {
+	// The log keeps appending into a fresh segment afterwards, at offsets
+	// above everything checkpointed away.
+	more := appendN(t, l, 2, 3)
+	if err := l.Flush(more[2]); err != nil {
 		t.Fatal(err)
 	}
-	got = collect(t, segs, 1)
-	if len(got) != 3 || got[0].LSN != 51 {
-		t.Fatalf("post-checkpoint records = %v", got)
+	got = collect(t, segs, 0)
+	if len(got) != 3 || got[0].LSN != more[0] || more[0] <= lsns[49] {
+		t.Fatalf("post-checkpoint records = %v (first appended at %d)", got, more[0])
 	}
 }
 
 func TestSegmentsReopenResumesLSN(t *testing.T) {
 	dir := t.TempDir()
 	l, segs := logTo(t, dir, 0)
-	last := appendN(t, l, 1, 5)
-	if err := l.Flush(last); err != nil {
+	lsns := appendN(t, l, 1, 5)
+	if err := l.Flush(lsns[4]); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
+	end := segs.End()
 	if err := segs.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -125,18 +136,18 @@ func TestSegmentsReopenResumesLSN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if segs2.MaxLSN() != 5 {
-		t.Fatalf("reopened MaxLSN = %d, want 5", segs2.MaxLSN())
+	if segs2.End() != end {
+		t.Fatalf("reopened End = %d, want %d", segs2.End(), end)
 	}
-	l2 := New(Config{Durable: segs2, StartLSN: segs2.MaxLSN() + 1, DropAfterFlush: true})
-	last = appendN(t, l2, 2, 2)
-	if last != 7 {
-		t.Fatalf("resumed LSN = %d, want 7", last)
+	l2 := New(Config{Durable: segs2, StartLSN: segs2.End(), DropAfterFlush: true})
+	more := appendN(t, l2, 2, 2)
+	if more[0] != end {
+		t.Fatalf("resumed LSN = %d, want %d (appends continue at the recovered end)", more[0], end)
 	}
-	if err := l2.Flush(last); err != nil {
+	if err := l2.Flush(more[1]); err != nil {
 		t.Fatal(err)
 	}
-	recs := collect(t, segs2, 1)
+	recs := collect(t, segs2, 0)
 	if len(recs) != 7 {
 		t.Fatalf("after reopen+append: %d records, want 7", len(recs))
 	}
@@ -145,10 +156,11 @@ func TestSegmentsReopenResumesLSN(t *testing.T) {
 func TestSegmentsTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
 	l, segs := logTo(t, dir, 0)
-	last := appendN(t, l, 1, 5)
-	if err := l.Flush(last); err != nil {
+	lsns := appendN(t, l, 1, 5)
+	if err := l.Flush(lsns[4]); err != nil {
 		t.Fatal(err)
 	}
+	end := segs.End()
 	segs.Close()
 
 	// Simulate a crash mid-write: garbage half-frame at the segment tail.
@@ -172,40 +184,41 @@ func TestSegmentsTornTailTruncated(t *testing.T) {
 		t.Fatalf("reopen with torn tail: %v", err)
 	}
 	defer segs2.Close()
-	if segs2.MaxLSN() != 5 {
-		t.Fatalf("MaxLSN after torn tail = %d, want 5", segs2.MaxLSN())
+	if segs2.End() != end {
+		t.Fatalf("End after torn tail = %d, want %d", segs2.End(), end)
 	}
-	if got := collect(t, segs2, 1); len(got) != 5 {
+	if got := collect(t, segs2, 0); len(got) != 5 {
 		t.Fatalf("iterated %d records, want 5 (torn frame must be dropped)", len(got))
 	}
 	// Appends after truncation extend a valid log.
-	l2 := New(Config{Durable: segs2, StartLSN: 6, DropAfterFlush: true})
-	last = appendN(t, l2, 2, 1)
-	if err := l2.Flush(last); err != nil {
+	l2 := New(Config{Durable: segs2, StartLSN: segs2.End(), DropAfterFlush: true})
+	more := appendN(t, l2, 2, 1)
+	if err := l2.Flush(more[0]); err != nil {
 		t.Fatal(err)
 	}
-	if got := collect(t, segs2, 1); len(got) != 6 || got[5].LSN != 6 {
+	if got := collect(t, segs2, 0); len(got) != 6 || got[5].LSN != end {
 		t.Fatalf("append after torn-tail truncation: %v", got)
 	}
 }
 
 // TestTornTailAcrossRotationBoundary covers the crash signature where the
 // torn record straddles a segment rotation: the previous segment ends clean
-// at a frame boundary and the freshly rotated segment holds only the partial
-// first frame that was mid-write when the machine died. Repair must truncate
-// the new segment to empty (not reject it, and not disturb the full previous
-// segments), recover MaxLSN from the earlier segments, and let appends
-// resume into a valid log.
+// at a frame boundary and the freshly rotated segment holds only its header
+// plus the partial first frame that was mid-write when the machine died.
+// Repair must truncate the new segment back to its header (not reject it,
+// and not disturb the full previous segments), recover the log end from the
+// earlier segments, and let appends resume into a valid log.
 func TestTornTailAcrossRotationBoundary(t *testing.T) {
 	dir := t.TempDir()
 	l, segs := logTo(t, dir, 128) // tiny segments force rotation
-	last := appendN(t, l, 1, 20)
-	if err := l.Flush(last); err != nil {
+	lsns := appendN(t, l, 1, 20)
+	if err := l.Flush(lsns[19]); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
+	end := segs.End()
 	if err := segs.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -213,13 +226,14 @@ func TestTornTailAcrossRotationBoundary(t *testing.T) {
 		t.Fatalf("setup needs several segments, got %d", n)
 	}
 
-	// Simulate the crash: a new segment was created at rotation and the
-	// first record's frame only partially reached it. The partial frame is a
-	// valid length prefix with a truncated body — the straddle signature.
-	torn := Record{LSN: last + 1, XID: 2, Type: RecInsert, Table: 1, After: []byte("payload-payload")}.Encode()
+	// Simulate the crash: a new segment was created at rotation (header
+	// fully written) and the first record's frame only partially reached it.
+	// The partial frame is a valid length prefix with a truncated body — the
+	// straddle signature.
+	torn := Record{XID: 2, Type: RecInsert, Table: 1, After: []byte("payload-payload")}.Encode()
 	torn = torn[:len(torn)/2]
-	path := filepath.Join(dir, segmentName(last+1))
-	if err := os.WriteFile(path, torn, 0o644); err != nil {
+	path := filepath.Join(dir, segmentName(end))
+	if err := os.WriteFile(path, append(encodeHeader(end), torn...), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -228,32 +242,129 @@ func TestTornTailAcrossRotationBoundary(t *testing.T) {
 		t.Fatalf("reopen with torn rotated segment: %v", err)
 	}
 	defer segs2.Close()
-	if got := segs2.MaxLSN(); got != last {
-		t.Fatalf("MaxLSN = %d, want %d (torn first record of rotated segment must not count)", got, last)
+	if got := segs2.End(); got != end {
+		t.Fatalf("End = %d, want %d (torn first record of rotated segment must not count)", got, end)
 	}
-	if got := collect(t, segs2, 1); len(got) != int(last) {
-		t.Fatalf("iterated %d records, want %d", len(got), last)
+	if got := collect(t, segs2, 0); len(got) != 20 {
+		t.Fatalf("iterated %d records, want 20", len(got))
 	}
-	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
-		t.Fatalf("torn rotated segment not truncated to empty: size=%v err=%v", fi.Size(), err)
+	if fi, err := os.Stat(path); err != nil || fi.Size() != segHeaderSize {
+		t.Fatalf("torn rotated segment not truncated to its header: size=%v err=%v", fi.Size(), err)
 	}
 
 	// Appends resume seamlessly above the repaired tail.
-	l2 := New(Config{Durable: segs2, StartLSN: segs2.MaxLSN() + 1, DropAfterFlush: true})
-	lastResumed := appendN(t, l2, 3, 2)
-	if err := l2.Flush(lastResumed); err != nil {
+	l2 := New(Config{Durable: segs2, StartLSN: segs2.End(), DropAfterFlush: true})
+	more := appendN(t, l2, 3, 2)
+	if err := l2.Flush(more[1]); err != nil {
 		t.Fatal(err)
 	}
-	got := collect(t, segs2, 1)
-	if len(got) != int(last)+2 || got[len(got)-1].LSN != last+2 {
-		t.Fatalf("append after straddle repair: %d records, last LSN %d", len(got), got[len(got)-1].LSN)
+	got := collect(t, segs2, 0)
+	if len(got) != 22 || got[21].LSN != more[1] {
+		t.Fatalf("append after straddle repair: %d records, last LSN %d (want %d)", len(got), got[len(got)-1].LSN, more[1])
 	}
+}
+
+// TestTornHeaderAtRotationRepaired covers the narrower crash window where
+// the machine died between creating a rotated segment file and its header
+// reaching disk: the file exists but is empty (or holds a partial header).
+// Reopen must rewrite the header — not report ErrLogFormat, which is for
+// wrong-format files, not torn ones.
+func TestTornHeaderAtRotationRepaired(t *testing.T) {
+	dir := t.TempDir()
+	l, segs := logTo(t, dir, 0)
+	lsns := appendN(t, l, 1, 3)
+	if err := l.Flush(lsns[2]); err != nil {
+		t.Fatal(err)
+	}
+	end := segs.End()
+	segs.Checkpoint(0) // seal the current segment so the next one is fresh
+	segs.Close()
+
+	for _, partial := range [][]byte{nil, encodeHeader(end)[:3]} {
+		path := filepath.Join(dir, segmentName(end))
+		if err := os.WriteFile(path, partial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		segs2, err := OpenSegments(dir, 0)
+		if err != nil {
+			t.Fatalf("reopen with %d-byte torn header: %v", len(partial), err)
+		}
+		if segs2.End() != end {
+			t.Fatalf("End after torn-header repair = %d, want %d", segs2.End(), end)
+		}
+		l2 := New(Config{Durable: segs2, StartLSN: segs2.End(), DropAfterFlush: true})
+		more := appendN(t, l2, 2, 1)
+		if err := l2.Flush(more[0]); err != nil {
+			t.Fatal(err)
+		}
+		if got := collect(t, segs2, 0); len(got) != 4 || got[3].LSN != end {
+			t.Fatalf("append after torn-header repair: %v", got)
+		}
+		segs2.Close()
+		os.Remove(path)
+	}
+}
+
+// TestOldFormatSegmentsFailLoudly pins the format gate: a data directory
+// whose segment files predate the byte-offset LSN format (headerless v1
+// frames, or a future version byte) must fail OpenSegments with
+// ErrLogFormat — never scan as a torn tail and silently truncate.
+func TestOldFormatSegmentsFailLoudly(t *testing.T) {
+	t.Run("headerless-v1", func(t *testing.T) {
+		dir := t.TempDir()
+		// A v1 segment is a bare frame stream: no magic, the first byte is a
+		// frame length prefix.
+		v1 := append(Record{XID: 1, Type: RecInsert, After: []byte("old-format-row")}.Encode(),
+			Record{XID: 1, Type: RecCommit}.Encode()...)
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), v1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenSegments(dir, 0)
+		if !errors.Is(err, ErrLogFormat) {
+			t.Fatalf("OpenSegments on v1 segment: err = %v, want ErrLogFormat", err)
+		}
+	})
+	t.Run("future-version", func(t *testing.T) {
+		dir := t.TempDir()
+		h := encodeHeader(1)
+		h[len(segMagic)] = segVersion + 1
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), h, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenSegments(dir, 0)
+		if !errors.Is(err, ErrLogFormat) {
+			t.Fatalf("OpenSegments on future-version segment: err = %v, want ErrLogFormat", err)
+		}
+	})
+	t.Run("iterate-rejects-too", func(t *testing.T) {
+		dir := t.TempDir()
+		l, segs := logTo(t, dir, 0)
+		lsns := appendN(t, l, 1, 1)
+		if err := l.Flush(lsns[0]); err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt the magic in place after opening: Iterate re-reads files.
+		files, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+		data, err := os.ReadFile(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] = 'X'
+		if err := os.WriteFile(files[0], data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := segs.Iterate(0, func(Record) error { return nil }); !errors.Is(err, ErrLogFormat) {
+			t.Fatalf("Iterate on clobbered magic: err = %v, want ErrLogFormat", err)
+		}
+		segs.Close()
+	})
 }
 
 // TestRangeWriteRotationMatchesPerRecord pins WriteRange's rotation rule: a
 // frame goes to the current segment iff the segment is under the rotation
 // size when the frame starts — the same rule WriteRecord applies — so range
-// writes never split a frame across segment files.
+// writes never split a frame across segment files, and every record comes
+// back at exactly the byte offset it was placed at.
 func TestRangeWriteRotationMatchesPerRecord(t *testing.T) {
 	dir := t.TempDir()
 	segs, err := OpenSegments(dir, 256)
@@ -261,19 +372,19 @@ func TestRangeWriteRotationMatchesPerRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer segs.Close()
-	// One large range of many frames: rotation must slice it at frame
-	// boundaries into several segments.
+	// One large range of many frames starting at offset 1: rotation must
+	// slice it at frame boundaries into several segments.
 	var rng []byte
-	var first, last LSN
+	var want []LSN
+	at := LSN(1)
 	for i := 1; i <= 40; i++ {
-		rec := Record{LSN: LSN(i), XID: 7, Type: RecInsert, Table: 1, After: []byte("0123456789abcdef")}
-		if first == 0 {
-			first = rec.LSN
-		}
-		last = rec.LSN
-		rng = append(rng, rec.Encode()...)
+		rec := Record{XID: 7, Type: RecInsert, Table: 1, After: []byte("0123456789abcdef")}
+		want = append(want, at)
+		enc := rec.Encode()
+		rng = append(rng, enc...)
+		at += LSN(len(enc))
 	}
-	if err := segs.WriteRange(rng, first, last); err != nil {
+	if err := segs.WriteRange(rng, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := segs.Sync(); err != nil {
@@ -282,16 +393,52 @@ func TestRangeWriteRotationMatchesPerRecord(t *testing.T) {
 	if n := segs.SegmentCount(); n < 3 {
 		t.Fatalf("range write produced %d segments, want rotation to several", n)
 	}
-	// Every segment must scan clean (no frame split across files) and the
-	// full LSN sequence must be intact.
-	got := collect(t, segs, 1)
+	if got := segs.End(); got != at {
+		t.Fatalf("End = %d, want %d", got, at)
+	}
+	// Every segment must scan clean (no frame split across files) and every
+	// record must surface at its original offset.
+	got := collect(t, segs, 0)
 	if len(got) != 40 {
 		t.Fatalf("iterated %d records, want 40", len(got))
 	}
 	for i, r := range got {
-		if r.LSN != LSN(i+1) {
-			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		if r.LSN != want[i] {
+			t.Fatalf("record %d has LSN %d, want %d", i, r.LSN, want[i])
 		}
+	}
+}
+
+// TestWriteRecordGapFillsPadding pins the per-record compatibility path: a
+// record stream elides the log buffer's wraparound padding, so WriteRecord
+// must re-materialize the missing zero bytes to keep every on-disk byte at
+// its virtual offset — reading back must see each record at its LSN.
+func TestWriteRecordGapFillsPadding(t *testing.T) {
+	dir := t.TempDir()
+	segs, err := OpenSegments(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer segs.Close()
+	r1 := Record{LSN: 1, XID: 1, Type: RecInsert, After: []byte("a")}
+	gap := LSN(1 + r1.EncodedSize() + 13) // 13 bytes of elided padding
+	r2 := Record{LSN: gap, XID: 1, Type: RecCommit}
+	if err := segs.WriteRecord(r1, r1.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := segs.WriteRecord(r2, r2.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := segs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, segs, 0)
+	if len(got) != 2 || got[0].LSN != 1 || got[1].LSN != gap {
+		t.Fatalf("gap-filled stream read back as %+v", got)
+	}
+	// Writing below the end is corruption, not silently accepted.
+	if err := segs.WriteRecord(r1, r1.Encode()); err == nil {
+		t.Fatal("overlapping WriteRecord accepted")
 	}
 }
 
@@ -302,16 +449,19 @@ func TestCloseDrainsPendingRecords(t *testing.T) {
 	dir := t.TempDir()
 	l, segs := logTo(t, dir, 0)
 	appendN(t, l, 3, 8) // no Flush
-	if n := l.PendingRecords(); n != 8 {
-		t.Fatalf("pending = %d, want 8", n)
+	if n := l.PendingBytes(); n == 0 {
+		t.Fatal("pending bytes = 0 before Close, want > 0")
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got := l.DurableLSN(); got != 8 {
-		t.Fatalf("DurableLSN after Close = %d, want 8", got)
+	if n := l.PendingBytes(); n != 0 {
+		t.Fatalf("Close left %d pending bytes", n)
 	}
-	if got := collect(t, segs, 1); len(got) != 8 {
+	if got, want := l.DurableLSN(), l.LastLSN(); got != want {
+		t.Fatalf("DurableLSN after Close = %d, want %d", got, want)
+	}
+	if got := collect(t, segs, 0); len(got) != 8 {
 		t.Fatalf("sink received %d records, want all 8", len(got))
 	}
 	if _, err := l.Append(Record{Type: RecBegin}); err == nil {

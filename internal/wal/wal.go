@@ -20,7 +20,19 @@ import (
 	"time"
 )
 
-// LSN is a log sequence number. LSN 0 is "no LSN".
+// LSN is a log sequence number. Since the byte-offset refactor it is not a
+// record counter but the byte offset of the record's frame in the virtual
+// log — the single monotonically growing byte address space that the log
+// buffer, the on-disk segment files and the recovery passes all share. The
+// virtual log begins at offset 1, so LSN 0 remains the "no LSN" sentinel.
+//
+// Making the LSN the byte offset is what collapses log reservation to a
+// single fetch-and-add (Aether's design): assigning an LSN and assigning
+// buffer space become the same operation. The cost is that LSNs are ordered
+// but not dense — consumers may compare LSNs, never count them. Frames do
+// not embed their LSN; a record's address is implied by its position, and
+// every decoder that reads a positioned stream (the segment scanner, the
+// flusher) assigns LSNs from offsets.
 type LSN uint64
 
 // RecType identifies the kind of a log record.
@@ -90,7 +102,11 @@ func (t RecType) String() string {
 
 // Record is one write-ahead log record.
 type Record struct {
-	// LSN is assigned by the log at append time.
+	// LSN is the record's byte offset in the virtual log, assigned by the log
+	// at append time. It is not serialized into the frame — the address is
+	// implied by position — so decoders of positioned streams fill it in from
+	// offsets, and Decode/DecodeFrom (which see bytes without an address)
+	// leave it zero.
 	LSN LSN
 	// XID is the transaction that produced the record.
 	XID uint64
@@ -122,9 +138,10 @@ func uvarintLen(v uint64) int {
 }
 
 // bodySize returns the size of the record body — everything inside the
-// length-prefixed frame.
+// length-prefixed frame. The LSN is NOT part of the body: it is the frame's
+// byte offset, implied by position.
 func (r Record) bodySize() int {
-	return uvarintLen(uint64(r.LSN)) + uvarintLen(r.XID) + 1 +
+	return uvarintLen(r.XID) + 1 +
 		uvarintLen(uint64(r.Table)) + uvarintLen(r.Page) + uvarintLen(uint64(r.Slot)) +
 		uvarintLen(uint64(r.UndoNext)) +
 		uvarintLen(uint64(len(r.Before))) + len(r.Before) +
@@ -132,10 +149,10 @@ func (r Record) bodySize() int {
 }
 
 // EncodedSize returns the exact number of bytes Encode and EncodeTo produce
-// for the record, including the length-prefix frame. The size depends on the
-// LSN (it is varint-encoded), so it must be computed after the LSN is
-// assigned — which is why the consolidated log buffer computes it inside its
-// reservation critical section.
+// for the record, including the length-prefix frame. It does not depend on
+// the LSN (frames carry no LSN), which is what lets the log buffer size a
+// reservation before knowing its address — the precondition for reserving
+// with a single fetch-and-add.
 func (r Record) EncodedSize() int {
 	body := r.bodySize()
 	return uvarintLen(uint64(body)) + body
@@ -149,7 +166,6 @@ func (r Record) EncodeTo(buf []byte) int {
 	pos := 0
 	put := func(v uint64) { pos += binary.PutUvarint(buf[pos:], v) }
 	put(uint64(r.bodySize()))
-	put(uint64(r.LSN))
 	put(r.XID)
 	buf[pos] = byte(r.Type)
 	pos++
@@ -187,37 +203,52 @@ type ByteReader interface {
 	io.ByteReader
 }
 
-// DecodeFrom reads one framed record from r. It returns io.EOF only at a
-// clean frame boundary; a partial or oversized frame decodes as ErrCorrupt.
+// DecodeFrom reads one framed record from r, skipping any padding bytes that
+// precede it. It returns io.EOF only at a clean frame boundary; a partial or
+// oversized frame decodes as ErrCorrupt. The returned record's LSN is zero —
+// a raw byte stream carries no address; positioned readers (the segment
+// scanner) assign LSNs from offsets.
 func DecodeFrom(r ByteReader) (Record, error) {
-	rec, _, err := decodeCounted(r)
+	rec, _, _, err := decodeCounted(r)
 	return rec, err
 }
 
-// decodeCounted reads one framed record, also reporting the frame's size in
-// bytes. It is the single streaming decoder for the on-disk format, shared
-// by DecodeFrom and the segment scanner.
-func decodeCounted(r ByteReader) (Record, int64, error) {
-	lengthBytes := 0
-	length, err := readUvarintCounted(r, &lengthBytes)
-	if err != nil {
-		if err == io.EOF && lengthBytes == 0 {
-			return Record{}, 0, io.EOF
+// decodeCounted reads one framed record, also reporting how many padding
+// bytes preceded the frame and the frame's own size. It is the single
+// streaming decoder for the on-disk format, shared by DecodeFrom and the
+// segment scanner. Padding bytes are single 0x00 bytes — a zero-length frame
+// — written by the log buffer at ring wraparound so that every byte of the
+// virtual log, padding included, has a stable offset on disk; io.EOF after
+// only padding is a clean boundary.
+func decodeCounted(r ByteReader) (rec Record, pad, frame int64, err error) {
+	var length uint64
+	for {
+		lengthBytes := 0
+		length, err = readUvarintCounted(r, &lengthBytes)
+		if err != nil {
+			if err == io.EOF && lengthBytes == 0 {
+				return Record{}, pad, 0, io.EOF
+			}
+			return Record{}, pad, 0, ErrCorrupt
 		}
-		return Record{}, 0, ErrCorrupt
+		if length != 0 {
+			frame = int64(lengthBytes)
+			break
+		}
+		pad++
 	}
 	if length > maxFrameBytes {
-		return Record{}, 0, ErrCorrupt
+		return Record{}, pad, 0, ErrCorrupt
 	}
 	body := make([]byte, length)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Record{}, 0, ErrCorrupt
+		return Record{}, pad, 0, ErrCorrupt
 	}
-	rec, err := decodeBody(body)
+	rec, err = decodeBody(body)
 	if err != nil {
-		return Record{}, 0, err
+		return Record{}, pad, 0, err
 	}
-	return rec, int64(lengthBytes) + int64(length), nil
+	return rec, pad, frame + int64(length), nil
 }
 
 // readUvarintCounted is binary.ReadUvarint tracking consumed bytes.
@@ -242,17 +273,22 @@ func readUvarintCounted(r io.ByteReader, n *int) (uint64, error) {
 	return 0, ErrCorrupt
 }
 
-// Decode parses a record from a byte slice produced by Encode and returns
-// the record and the number of bytes consumed.
+// Decode parses a record from a byte slice produced by Encode, skipping any
+// leading padding bytes, and returns the record and the number of bytes
+// consumed (padding included). The record's LSN is zero; see DecodeFrom.
 func Decode(data []byte) (Record, int, error) {
-	length, n := binary.Uvarint(data)
+	skip := 0
+	for skip < len(data) && data[skip] == 0 {
+		skip++
+	}
+	length, n := binary.Uvarint(data[skip:])
 	// The frame cap also guards the uint64→int conversion below: a garbage
 	// length beyond 2^63 would convert negative and panic the slice bounds.
-	if n <= 0 || length > maxFrameBytes || int(length) > len(data)-n {
+	if n <= 0 || length > maxFrameBytes || int(length) > len(data)-skip-n {
 		return Record{}, 0, ErrCorrupt
 	}
-	rec, err := decodeBody(data[n : n+int(length)])
-	return rec, n + int(length), err
+	rec, err := decodeBody(data[skip+n : skip+n+int(length)])
+	return rec, skip + n + int(length), err
 }
 
 func decodeBody(body []byte) (Record, error) {
@@ -265,10 +301,6 @@ func decodeBody(body []byte) (Record, error) {
 		}
 		pos += n
 		return v, true
-	}
-	lsn, ok := get()
-	if !ok {
-		return rec, ErrCorrupt
 	}
 	xid, ok := get()
 	if !ok {
@@ -313,7 +345,7 @@ func decodeBody(body []byte) (Record, error) {
 		return rec, ErrCorrupt
 	}
 	rec = Record{
-		LSN: LSN(lsn), XID: xid, Type: typ,
+		XID: xid, Type: typ,
 		Table: uint32(table), Page: pageNo, Slot: uint32(slot),
 		UndoNext: LSN(undoNext),
 		Before:   before, After: after,
@@ -344,12 +376,13 @@ type DurableSink interface {
 
 // RangeSink is the optional fast path of a DurableSink: the flusher hands it
 // whole byte ranges of the consolidated log buffer — many already-encoded
-// frames in LSN order — instead of one record at a time, so the sink pays
-// one write call (and one rotation check) per range rather than per record.
-// first and last are the LSNs of the first and last frame in encoded, which
-// must not be retained after the call returns.
+// frames (and any wraparound padding bytes) in LSN order — instead of one
+// record at a time, so the sink pays one write call per range rather than
+// per record. first is the virtual byte offset of encoded[0]; because LSNs
+// are byte offsets, the sink can place and address every frame in the range
+// from first alone. encoded must not be retained after the call returns.
 type RangeSink interface {
-	WriteRange(encoded []byte, first, last LSN) error
+	WriteRange(encoded []byte, first LSN) error
 }
 
 // Config configures the log.
@@ -373,9 +406,10 @@ type Config struct {
 	// every subsequent Append and Flush fails, because the durable prefix
 	// can no longer grow.
 	Durable DurableSink
-	// StartLSN is the LSN the log starts issuing at, used when reopening a
-	// log whose prefix (LSN < StartLSN) is already durable on disk. Zero
-	// means start at LSN 1.
+	// StartLSN is the virtual byte offset the log starts issuing at, used
+	// when reopening a log whose prefix (every byte below StartLSN) is
+	// already durable on disk. Zero means start at offset 1 (offset 0 is the
+	// "no LSN" sentinel).
 	StartLSN LSN
 	// KeepInMemory controls whether flushed records are retained in memory
 	// (needed for Records() and recovery tests). Default true.
@@ -386,6 +420,12 @@ type Config struct {
 	// exists as the baseline arm of the log-buffer ablation
 	// (cmd/slibench -ablation log-buffer); leave it off otherwise.
 	MutexLog bool
+	// LatchedLog keeps the consolidated buffer but performs its reservation
+	// under a short mutex (the PR-3 protocol) instead of the lock-free
+	// fetch-and-add on the virtual head. It exists as the baseline arm of
+	// the log-lsn ablation (cmd/slibench -ablation log-lsn); leave it off
+	// otherwise. Ignored under MutexLog.
+	LatchedLog bool
 	// BufferBytes sizes the consolidated log buffer (default 4 MiB). A
 	// reservation that does not fit blocks until the flusher drains the
 	// buffer, reported as AppendWaits.BufferFull. A single record frame
@@ -409,10 +449,10 @@ var ErrClosed = errors.New("wal: log closed")
 var ErrCrashed = errors.New("wal: simulated crash")
 
 // flushWaiter is one registered durability subscription: ch receives exactly
-// one value once every LSN <= upTo is durable (nil) or the log can no longer
-// get there (the wedging error).
+// one value once the durable watermark reaches the target end offset upTo
+// (nil) or the log can no longer get there (the wedging error).
 type flushWaiter struct {
-	upTo LSN
+	upTo LSN // target durable watermark (an exclusive end offset)
 	ch   chan error
 }
 
@@ -434,8 +474,8 @@ type Log struct {
 	flushWork     *sync.Cond // signals the flusher goroutine that work arrived
 	records       []Record   // MutexLog-mode append buffer
 	flushed       []Record   // records already flushed (retained unless DropAfterFlush)
-	nextLSN       LSN        // MutexLog mode; the consolidated buffer owns its own
-	flushLSN      LSN        // highest LSN known durable
+	nextLSN       LSN        // MutexLog mode: next byte offset to assign; the consolidated buffer owns its own
+	flushLSN      LSN        // exclusive end of the durable prefix (first non-durable byte offset)
 	closed        bool
 	flusherActive bool          // the flusher goroutine has been started
 	waiters       []flushWaiter // pending durability subscriptions
@@ -452,10 +492,10 @@ func New(cfg Config) *Log {
 	if start == 0 {
 		start = 1
 	}
-	l := &Log{cfg: cfg, nextLSN: start, flushLSN: start - 1}
+	l := &Log{cfg: cfg, nextLSN: start, flushLSN: start}
 	l.flushWork = sync.NewCond(&l.mu)
 	if !cfg.MutexLog {
-		l.lb = newLogBuffer(cfg.BufferBytes, start)
+		l.lb = newLogBuffer(cfg.BufferBytes, start, cfg.LatchedLog)
 	}
 	if cfg.Durable != nil {
 		_, l.fastRange = cfg.Durable.(RangeSink)
@@ -487,14 +527,23 @@ func (l *Log) append(rec Record, timed bool) (LSN, AppendWaits, error) {
 	if err != nil {
 		return 0, w, err
 	}
-	l.lb.fill(s)
+	fence := l.lb.fill(rec, s, timed)
+	if timed {
+		// The in-order publish fence is serialization cost, like the
+		// reservation itself: attribute it to reserve-wait so the log-lsn
+		// ablation's latched-vs-fetch-and-add comparison captures the whole
+		// ordering overhead of each protocol.
+		w.Reserve += fence
+	}
 	l.stats.Appends.Add(1)
-	return s.rec.LSN, w, nil
+	return LSN(s.off), w, nil
 }
 
 // appendMutex is the legacy centralized append path (Config.MutexLog): one
 // mutex serializes LSN assignment and the copy into the record slice, and
-// encoding happens later, record by record, in the flusher.
+// encoding happens later, record by record, in the flusher. Offsets advance
+// by each record's encoded size so the byte stream it produces is addressed
+// identically to the consolidated buffer's.
 func (l *Log) appendMutex(rec Record, timed bool) (LSN, AppendWaits, error) {
 	var w AppendWaits
 	var lockStart time.Time
@@ -513,7 +562,7 @@ func (l *Log) appendMutex(rec Record, timed bool) (LSN, AppendWaits, error) {
 		return 0, w, l.failed
 	}
 	rec.LSN = l.nextLSN
-	l.nextLSN++
+	l.nextLSN += LSN(rec.EncodedSize())
 	l.records = append(l.records, rec)
 	l.stats.Appends.Add(1)
 	return rec.LSN, w, nil
@@ -531,43 +580,49 @@ func (l *Log) kickFlusher() {
 	l.mu.Unlock()
 }
 
-// lastLSNLocked returns the highest LSN assigned so far. Callers must hold
-// l.mu in MutexLog mode; the consolidated buffer's counter is read lock-free.
-func (l *Log) lastLSNLocked() LSN {
+// endLSNLocked returns the virtual end offset of the log — the LSN the next
+// appended record would receive; every existing record's LSN is strictly
+// below it. Callers must hold l.mu in MutexLog mode; the consolidated
+// buffer's head is read lock-free.
+func (l *Log) endLSNLocked() LSN {
 	if l.lb != nil {
-		return l.lb.lastLSN()
+		return LSN(l.lb.head.Load())
 	}
-	return l.nextLSN - 1
+	return l.nextLSN
 }
 
-// DurableLSN returns the highest LSN known to be durable: every record with
-// an LSN at or below it has been handed to the configured sinks and — when a
-// DurableSink is configured — covered by a successful Sync. Records above it
+// DurableLSN returns the exclusive end of the durable prefix: every byte of
+// the virtual log below it has been handed to the configured sinks and —
+// when a DurableSink is configured — covered by a successful Sync. A record
+// is durable iff its LSN is strictly below DurableLSN. Bytes at or above it
 // may exist only in the in-memory append buffer and are lost on a crash.
-// The durable LSN advances monotonically, one group-commit batch at a time.
+// The watermark advances monotonically, one group-commit batch at a time.
 func (l *Log) DurableLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.flushLSN
 }
 
-// LastLSN returns the highest LSN assigned so far (durable or not).
+// LastLSN returns the virtual end offset of the log (durable or not): the
+// LSN the next record would be appended at. Flush(LastLSN()) therefore means
+// "force everything appended so far".
 func (l *Log) LastLSN() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.lastLSNLocked()
+	return l.endLSNLocked()
 }
 
-// Flush makes every record with LSN <= upTo durable and returns once it is.
-// Concurrent callers are batched into a single physical flush (group commit)
-// performed by the dedicated flusher goroutine.
+// Flush makes the record at LSN upTo (and every record below it) durable and
+// returns once it is. Concurrent callers are batched into a single physical
+// flush (group commit) performed by the dedicated flusher goroutine.
 func (l *Log) Flush(upTo LSN) error {
 	return <-l.FlushAsync(upTo)
 }
 
-// FlushAsync subscribes to the durability of every record with LSN <= upTo
-// and returns immediately. The returned channel receives exactly one value:
-// nil once the flusher's durable watermark has passed upTo, or the error that
+// FlushAsync subscribes to the durability of the record at LSN upTo (and,
+// by the contiguity of the durable prefix, every record below it) and
+// returns immediately. The returned channel receives exactly one value: nil
+// once the flusher's durable watermark has passed upTo, or the error that
 // permanently prevents it (a wedged or closed log). Acknowledgements are
 // delivered in LSN order, so a commit whose ack arrives implies every
 // lower-LSN commit is durable too — the invariant Early Lock Release relies
@@ -579,27 +634,32 @@ func (l *Log) FlushAsync(upTo LSN) <-chan error {
 	switch {
 	case l.failed != nil:
 		ch <- l.failed
-	case l.flushLSN >= upTo:
+	case l.flushLSN > upTo:
+		// The durable watermark is exclusive-end and always sits at a frame
+		// boundary, so being past the frame's start offset means the whole
+		// frame is durable.
 		ch <- nil
 	case l.closed:
 		ch <- ErrClosed
 	default:
-		// An LSN beyond the last append can never be reached by flushing;
-		// clamp so the subscription means "everything appended so far".
-		if last := l.lastLSNLocked(); upTo > last {
-			upTo = last
+		// The waiter's target is an end offset: the smallest durable
+		// watermark that covers the frame starting at upTo. Any watermark
+		// above upTo covers it (watermarks only stop at frame boundaries), so
+		// upTo+1 is exact; an offset at or beyond the log's end can never be
+		// reached by flushing, so clamp the target to "everything appended so
+		// far". The clamp also resolves the reopen edge where nothing has
+		// been appended yet (head == flushLSN == StartLSN): the target clamps
+		// to the already-durable watermark and is acknowledged immediately
+		// instead of parking a waiter no flush cycle would satisfy.
+		target := upTo + 1
+		if end := l.endLSNLocked(); target > end {
+			target = end
 		}
-		if l.flushLSN >= upTo {
-			// Re-check after clamping. Besides the ordinary already-durable
-			// case, this covers the reopen edge where nothing has been
-			// appended yet (nextLSN == StartLSN, so lastLSN == StartLSN-1 ==
-			// flushLSN): a subscription at or below the recovered durable
-			// prefix must be acknowledged immediately — registering it would
-			// park a waiter that no flush cycle ever satisfies.
+		if l.flushLSN >= target {
 			ch <- nil
 			return ch
 		}
-		l.waiters = append(l.waiters, flushWaiter{upTo: upTo, ch: ch})
+		l.waiters = append(l.waiters, flushWaiter{upTo: target, ch: ch})
 		l.startFlusherLocked()
 		l.flushWork.Signal()
 	}
@@ -705,7 +765,7 @@ func (l *Log) flushMutexBatch() bool {
 	// including records that arrived during the window.
 	batch := l.records
 	l.records = nil
-	target := l.nextLSN - 1
+	target := l.nextLSN
 	l.mu.Unlock()
 
 	var durableErr, sinkErr error
@@ -738,16 +798,9 @@ func (l *Log) flushConsolidated() bool {
 	// in-memory retention for Records(), or a durable sink without the
 	// range-write fast path.
 	keepRecs := !l.cfg.DropAfterFlush || (l.cfg.Durable != nil && !l.fastRange)
-	ranges, recs, count, last, end := l.lb.consume(keepRecs)
+	ranges, recs, count, end := l.lb.consume(keepRecs)
 	if end == 0 {
 		return false
-	}
-	if count == 0 {
-		// Only wraparound padding was consumable (the record after it is
-		// still being filled): free the pad space but don't pay a sync or
-		// the flush delay for zero records.
-		l.lb.release(end)
-		return true
 	}
 
 	// The best-effort Sink mirror trails the durable sink: a chunk only
@@ -766,7 +819,7 @@ func (l *Log) flushConsolidated() bool {
 	case l.cfg.Durable != nil && l.fastRange:
 		rs := l.cfg.Durable.(RangeSink)
 		for _, r := range ranges {
-			if werr := rs.WriteRange(r.data, r.first, r.last); werr != nil {
+			if werr := rs.WriteRange(r.data, r.first); werr != nil {
 				durableErr = werr
 				break
 			}
@@ -774,7 +827,9 @@ func (l *Log) flushConsolidated() bool {
 		}
 	case l.cfg.Durable != nil:
 		// Compatibility path for DurableSinks that only take records:
-		// re-encode each one, exactly like the legacy flusher.
+		// re-encode each one, exactly like the legacy flusher. Each record
+		// carries its byte-offset LSN, so a positioning sink (Segments) can
+		// restore any wraparound padding the per-record stream elides.
 		for _, rec := range recs {
 			enc := rec.Encode()
 			if werr := l.cfg.Durable.WriteRecord(rec, enc); werr != nil {
@@ -793,7 +848,7 @@ func (l *Log) flushConsolidated() bool {
 	// back to reservers before the sync latency is paid.
 	l.lb.release(end)
 
-	l.finishCycle(recs, count, last, durableErr, sinkErr)
+	l.finishCycle(recs, count, LSN(end), durableErr, sinkErr)
 	return true
 }
 
@@ -875,18 +930,18 @@ func (l *Log) Records() []Record {
 	return out
 }
 
-// PendingRecords returns the number of appended-but-not-yet-durable records.
-func (l *Log) PendingRecords() int {
+// PendingBytes returns the number of appended-but-not-yet-durable bytes of
+// the virtual log. With byte-offset LSNs this is simply the distance between
+// the log's end and the durable watermark; it is zero whenever the flusher
+// has caught up.
+func (l *Log) PendingBytes() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.lb == nil {
-		return len(l.records)
-	}
-	last := l.lastLSNLocked()
-	if last <= l.flushLSN {
+	end := l.endLSNLocked()
+	if end <= l.flushLSN {
 		return 0
 	}
-	return int(last - l.flushLSN)
+	return int64(end - l.flushLSN)
 }
 
 // StatsSnapshot returns a copy of the log counters.
@@ -911,15 +966,15 @@ func (l *Log) Close() error {
 			l.mu.Unlock()
 			return nil
 		}
-		last := l.lastLSNLocked()
-		if l.flushLSN >= last && len(l.records) == 0 {
+		end := l.endLSNLocked()
+		if l.flushLSN >= end && len(l.records) == 0 {
 			l.closed = true
 			l.flushWork.Broadcast()
 			l.mu.Unlock()
 			return nil
 		}
 		l.mu.Unlock()
-		if err := l.Flush(last); err != nil {
+		if err := l.Flush(end); err != nil {
 			return err
 		}
 	}

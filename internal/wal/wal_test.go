@@ -24,7 +24,7 @@ func sampleRecord() Record {
 
 func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
 	rec := sampleRecord()
-	rec.LSN = 99
+	rec.LSN = 99 // not serialized: the LSN is the frame's position, not data
 	data := rec.Encode()
 	got, n, err := Decode(data)
 	if err != nil {
@@ -33,17 +33,36 @@ func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
 	if n != len(data) {
 		t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
 	}
-	if !reflect.DeepEqual(rec, got) {
-		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", rec, got)
+	want := rec
+	want.LSN = 0
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestEncodedSizeIndependentOfLSN pins the property the fetch-and-add
+// reservation depends on: a frame's size must not vary with its address,
+// or reservations could not be sized before the offset is claimed.
+func TestEncodedSizeIndependentOfLSN(t *testing.T) {
+	rec := sampleRecord()
+	base := rec.EncodedSize()
+	for _, lsn := range []LSN{0, 1, 1 << 20, 1 << 40, 1<<63 - 1} {
+		rec.LSN = lsn
+		if got := rec.EncodedSize(); got != base {
+			t.Fatalf("EncodedSize at LSN %d = %d, want %d (size must not depend on LSN)", lsn, got, base)
+		}
+		if got := len(rec.Encode()); got != base {
+			t.Fatalf("Encode at LSN %d produced %d bytes, want %d", lsn, got, base)
+		}
 	}
 }
 
 func TestRecordDecodeFromStream(t *testing.T) {
 	var buf bytes.Buffer
 	recs := []Record{
-		{LSN: 1, XID: 1, Type: RecBegin},
-		{LSN: 2, XID: 1, Type: RecInsert, Table: 3, Page: 4, Slot: 5, After: []byte("x")},
-		{LSN: 3, XID: 1, Type: RecCommit},
+		{XID: 1, Type: RecBegin},
+		{XID: 1, Type: RecInsert, Table: 3, Page: 4, Slot: 5, After: []byte("x")},
+		{XID: 1, Type: RecCommit},
 	}
 	for _, r := range recs {
 		buf.Write(r.Encode())
@@ -60,6 +79,34 @@ func TestRecordDecodeFromStream(t *testing.T) {
 	}
 	if _, err := DecodeFrom(reader); err == nil {
 		t.Fatal("expected EOF-ish error at end of stream")
+	}
+}
+
+// TestDecodeSkipsPadding pins the padding contract: zero bytes between
+// frames (the log buffer's ring-wraparound filler, real bytes of the
+// virtual log) are skipped by both decoders, and a stream of only padding
+// is a clean EOF, not corruption.
+func TestDecodeSkipsPadding(t *testing.T) {
+	rec := sampleRecord()
+	stream := append(bytes.Repeat([]byte{0}, 7), rec.Encode()...)
+	got, n, err := Decode(stream)
+	if err != nil || n != len(stream) {
+		t.Fatalf("Decode over padding: n=%d err=%v", n, err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("padded round trip mismatch: %+v vs %+v", got, rec)
+	}
+	r := bytes.NewReader(stream)
+	got2, pad, frame, err := decodeCounted(r)
+	if err != nil || pad != 7 || frame != int64(rec.EncodedSize()) {
+		t.Fatalf("decodeCounted over padding: pad=%d frame=%d err=%v", pad, frame, err)
+	}
+	if !reflect.DeepEqual(got2, rec) {
+		t.Fatalf("decodeCounted mismatch: %+v", got2)
+	}
+	// Trailing padding then EOF is a clean boundary.
+	if _, err := DecodeFrom(bytes.NewReader(bytes.Repeat([]byte{0}, 5))); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("padding-only stream: err = %v, want clean EOF", err)
 	}
 }
 
@@ -86,8 +133,8 @@ func TestDecodeRejectsHugeLengthPrefixes(t *testing.T) {
 		t.Fatalf("huge frame length: err = %v, want ErrCorrupt", err)
 	}
 	// Valid frame whose body claims a ≈2^63-byte before-image.
-	body := []byte{1, 1, byte(RecUpdate), 0, 0, 0, 0} // LSN, XID, type, table, page, slot, undoNext
-	body = append(body, hugeVarint...)                // before-image length
+	body := []byte{1, byte(RecUpdate), 0, 0, 0, 0} // XID, type, table, page, slot, undoNext
+	body = append(body, hugeVarint...)             // before-image length
 	frame := append([]byte{byte(len(body))}, body...)
 	if _, _, err := Decode(frame); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("huge image length: err = %v, want ErrCorrupt", err)
@@ -117,7 +164,7 @@ func TestRecordEncodeDecodeQuick(t *testing.T) {
 func TestCLRRoundTrip(t *testing.T) {
 	for _, undoNext := range []LSN{0, 7, 1 << 40} {
 		rec := Record{
-			LSN: 12, XID: 5, Type: RecCLR,
+			XID: 5, Type: RecCLR,
 			Table: 2, Page: 9, Slot: 1,
 			UndoNext: undoNext,
 			Before:   []byte("compensated new"),
@@ -149,21 +196,28 @@ func TestRecTypeStrings(t *testing.T) {
 	}
 }
 
-func TestAppendAssignsMonotonicLSNs(t *testing.T) {
+// TestAppendAssignsByteOffsetLSNs pins the new addressing: each record's LSN
+// is the byte offset of its frame, so consecutive appends differ by exactly
+// the previous record's encoded size (no wraparound in a fresh big buffer).
+func TestAppendAssignsByteOffsetLSNs(t *testing.T) {
 	l := New(Config{})
-	var last LSN
+	rec := Record{XID: 1, Type: RecInsert}
+	want := LSN(1) // the virtual log begins at offset 1
 	for i := 0; i < 10; i++ {
-		lsn, err := l.Append(Record{XID: 1, Type: RecInsert})
+		lsn, err := l.Append(rec)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if lsn <= last {
-			t.Fatalf("LSN %d not greater than previous %d", lsn, last)
+		if lsn != want {
+			t.Fatalf("append %d: LSN %d, want byte offset %d", i, lsn, want)
 		}
-		last = lsn
+		want += LSN(rec.EncodedSize())
 	}
-	if l.PendingRecords() != 10 {
-		t.Fatalf("pending = %d, want 10", l.PendingRecords())
+	if got := l.PendingBytes(); got != int64(want-1) {
+		t.Fatalf("pending = %d bytes, want %d", got, int64(want-1))
+	}
+	if got := l.LastLSN(); got != want {
+		t.Fatalf("LastLSN = %d, want end offset %d", got, want)
 	}
 }
 
@@ -172,14 +226,14 @@ func TestFlushMakesRecordsDurable(t *testing.T) {
 	l := New(Config{Sink: &sink})
 	lsn, _ := l.Append(Record{XID: 1, Type: RecBegin})
 	lsn2, _ := l.Append(Record{XID: 1, Type: RecCommit})
-	if l.DurableLSN() != 0 {
+	if l.DurableLSN() > lsn {
 		t.Fatal("nothing should be durable before flush")
 	}
 	if err := l.Flush(lsn2); err != nil {
 		t.Fatal(err)
 	}
-	if l.DurableLSN() < lsn2 || l.DurableLSN() < lsn {
-		t.Fatalf("durable LSN = %d, want >= %d", l.DurableLSN(), lsn2)
+	if l.DurableLSN() <= lsn2 || l.DurableLSN() <= lsn {
+		t.Fatalf("durable watermark = %d, want > %d", l.DurableLSN(), lsn2)
 	}
 	if got := len(l.Records()); got != 2 {
 		t.Fatalf("flushed records = %d, want 2", got)
@@ -261,14 +315,14 @@ func TestCloseFlushesAndRejectsFurtherAppends(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if l.PendingRecords() != 0 {
+	if l.PendingBytes() != 0 {
 		t.Fatal("Close did not flush pending records")
 	}
 	if _, err := l.Append(Record{XID: 2, Type: RecBegin}); err == nil {
 		t.Fatal("append after close accepted")
 	}
-	if err := l.Flush(100); err == nil {
-		t.Fatal("flush beyond durable LSN after close should fail")
+	if err := l.Flush(1 << 30); err == nil {
+		t.Fatal("flush beyond durable watermark after close should fail")
 	}
 }
 
@@ -302,8 +356,8 @@ func TestFlushAsyncAcknowledgesDurability(t *testing.T) {
 	default:
 		t.Fatal("ack for lower LSN not delivered before higher LSN's ack")
 	}
-	if l.DurableLSN() < lsn2 {
-		t.Fatalf("durable LSN = %d, want >= %d", l.DurableLSN(), lsn2)
+	if l.DurableLSN() <= lsn2 {
+		t.Fatalf("durable watermark = %d, want > %d", l.DurableLSN(), lsn2)
 	}
 	// Subscribing to an already-durable LSN resolves immediately.
 	select {
@@ -330,7 +384,7 @@ func TestCrashFailsWaitersAndDiscardsBuffer(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("crash did not fail the pending flush subscription")
 	}
-	if l.DurableLSN() >= lsn {
+	if l.DurableLSN() > lsn {
 		t.Fatal("crashed log reported the unsynced record durable")
 	}
 	if _, err := l.Append(Record{XID: 2, Type: RecBegin}); err == nil {

@@ -52,12 +52,12 @@
 // # Scalable commit pipeline
 //
 // By default a committing transaction holds its locks across the group-
-// commit fsync — the paper-faithful baseline. Two Config knobs decouple
+// commit fsync — the paper-faithful baseline. Config knobs decouple
 // lock release and agent scheduling from log durability:
-// Config.EarlyLockRelease releases a transaction's locks (applying SLI) as
-// soon as its commit record is appended — and, symmetrically, an aborting
-// transaction's locks as soon as its compensation-logged rollback has
-// appended its abort record — shrinking lock hold times by the
+// Config.EarlyLockRelease releases a committing transaction's locks
+// (applying SLI) as soon as its commit record is appended, and the separate
+// Config.EarlyLockReleaseAborts applies the same policy to rollbacks (locks
+// released at abort-record append), each shrinking lock hold times by the
 // entire flush latency; Config.AsyncCommit lets each agent run ahead of the
 // log force with a bounded window of in-flight pre-committed transactions.
 // Exec still blocks until the commit is durable; Engine.ExecAsync returns a
@@ -86,6 +86,7 @@ import (
 	"slidb/internal/core"
 	"slidb/internal/lockmgr"
 	"slidb/internal/record"
+	"slidb/internal/wal"
 )
 
 // Engine is the storage manager. Create one with Open.
@@ -97,6 +98,12 @@ type Config = core.Config
 
 // Tx is a transaction handle passed to the function given to Engine.Exec.
 type Tx = core.Tx
+
+// Savepoint marks a position inside a transaction; Tx.RollbackTo(sp) rolls
+// back every modification made after the mark (compensation-logged, exactly
+// like an abort of that span) while the transaction keeps its locks and can
+// continue to commit.
+type Savepoint = core.Savepoint
 
 // Row is one tuple of column values.
 type Row = record.Row
@@ -155,6 +162,15 @@ var (
 	// ErrClosed is returned by Exec and ExecAsync on a closed engine,
 	// including transactions still queued when Close was called.
 	ErrClosed = core.ErrClosed
+	// ErrLogFormat is returned by OpenAt when the data directory's log
+	// segments or checkpoint were written in an incompatible format version
+	// (e.g. by a pre-byte-offset-LSN build). The data is not corrupt — it is
+	// simply unreadable by this version, and failing loudly beats silently
+	// truncating it as a torn tail.
+	ErrLogFormat = wal.ErrLogFormat
+	// ErrBadSavepoint is returned by Tx.RollbackTo for a savepoint that is
+	// not part of the transaction's current undo chain.
+	ErrBadSavepoint = core.ErrBadSavepoint
 )
 
 // Open creates a new volatile, in-memory engine. For a durable engine with

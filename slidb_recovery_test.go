@@ -3,6 +3,7 @@ package slidb_test
 import (
 	"errors"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -434,9 +435,10 @@ func TestELRCrashInPreCommitWindow(t *testing.T) {
 func TestCrashDuringAbortTorture(t *testing.T) {
 	srcDir := t.TempDir()
 	db, err := slidb.OpenAt(srcDir, slidb.Config{
-		Agents:           2,
-		EarlyLockRelease: true,
-		AsyncCommit:      true,
+		Agents:                 2,
+		EarlyLockRelease:       true,
+		EarlyLockReleaseAborts: true,
+		AsyncCommit:            true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -825,5 +827,244 @@ func TestReopenFlushBelowStartLSNAcksImmediately(t *testing.T) {
 	}
 	if rows != 10 {
 		t.Fatalf("accounts after checkpointed reopen = %d, want 10", rows)
+	}
+}
+
+// TestOldFormatDirectoryFailsLoudly is the upgrade-path acceptance test for
+// the byte-offset LSN format: a data directory written by a pre-upgrade
+// build — old headerless segment files, or an old checkpoint — must make
+// slidb.OpenAt fail with ErrLogFormat instead of silently truncating the
+// unreadable log as a torn tail and coming up empty.
+func TestOldFormatDirectoryFailsLoudly(t *testing.T) {
+	t.Run("v1-segments", func(t *testing.T) {
+		dir := t.TempDir()
+		// A v1 segment is a bare frame stream with no header; its first byte
+		// is a frame length prefix, not the segment magic.
+		v1 := append(wal.Record{XID: 1, Type: wal.RecInsert, Table: 1, After: []byte("old-row")}.Encode(),
+			wal.Record{XID: 1, Type: wal.RecCommit}.Encode()...)
+		if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000001.seg"), v1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := slidb.OpenAt(dir, slidb.Config{})
+		if !errors.Is(err, slidb.ErrLogFormat) {
+			t.Fatalf("OpenAt on v1 segments: err = %v, want ErrLogFormat", err)
+		}
+	})
+	t.Run("v1-checkpoint", func(t *testing.T) {
+		dir := t.TempDir()
+		// An old checkpoint: correct v1 magic, arbitrary payload. The format
+		// gate must fire on the magic, before any payload validation.
+		old := append([]byte("SLDBCKP1"), make([]byte, 12)...)
+		if err := os.WriteFile(filepath.Join(dir, "checkpoint.db"), old, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := slidb.OpenAt(dir, slidb.Config{})
+		if !errors.Is(err, slidb.ErrLogFormat) {
+			t.Fatalf("OpenAt on v1 checkpoint: err = %v, want ErrLogFormat", err)
+		}
+	})
+	t.Run("current-format-reopens", func(t *testing.T) {
+		// Control arm: a directory this build wrote reopens cleanly.
+		dir := t.TempDir()
+		db, err := slidb.OpenAt(dir, slidb.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		setupBank(t, db, 1, 2)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		db2, err := slidb.OpenAt(dir, slidb.Config{})
+		if err != nil {
+			t.Fatalf("reopen of current-format directory: %v", err)
+		}
+		db2.Close()
+	})
+}
+
+// TestCheckpointBoundaryReplayExact is the regression test for the dense-LSN
+// "+1" assumptions that used to sit at the checkpoint boundary (replay from
+// snap.LSN+1, restart allocation at MaxLSN+1): with byte-offset LSNs the
+// checkpoint stores the durable watermark and replay resumes at exactly that
+// frame boundary. Commits made after the checkpoint — and only those — must
+// be redone on reopen, with none skipped and none applied twice.
+func TestCheckpointBoundaryReplayExact(t *testing.T) {
+	dir := t.TempDir()
+	db, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupBank(t, db, 1, 4)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint work: deposit 7 into each account, twice.
+	for round := 0; round < 2; round++ {
+		for aid := 0; aid < 4; aid++ {
+			if err := db.Exec(func(tx *slidb.Tx) error {
+				return tx.Update("accounts", []slidb.Value{slidb.Int(int64(aid))}, func(r slidb.Row) (slidb.Row, error) {
+					r[2] = slidb.Int(r[2].AsInt() + 7)
+					return r, nil
+				})
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	db.SimulateCrash()
+
+	db2, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	st := db2.RecoveryStats()
+	if st.CheckpointLSN == 0 {
+		t.Fatal("restart did not use the checkpoint")
+	}
+	// Exactly the 8 post-checkpoint updates replay: a boundary error would
+	// either skip the first (7 redone) or double-apply records the snapshot
+	// already holds.
+	if st.RecordsRedone != 8 {
+		t.Fatalf("RecordsRedone = %d, want exactly the 8 post-checkpoint updates (stats %+v)", st.RecordsRedone, st)
+	}
+	for aid := 0; aid < 4; aid++ {
+		var bal int64
+		if err := db2.Exec(func(tx *slidb.Tx) error {
+			row, ok, err := tx.Get("accounts", slidb.Int(int64(aid)))
+			if err != nil || !ok {
+				t.Fatalf("account %d missing after recovery (err=%v)", aid, err)
+			}
+			bal = row[2].AsInt()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if bal != 14 {
+			t.Fatalf("account %d balance = %d, want 14 (0 seed + 2x7)", aid, bal)
+		}
+	}
+}
+
+// TestSavepointCrashRecovery drives the savepoint machinery through a real
+// crash: a transaction updates, partially rolls back to a savepoint,
+// continues, and commits; a second transaction does the same but crashes
+// before its commit record is forced. Recovery must keep the first
+// transaction's exact post-savepoint state and erase the second entirely —
+// including its continuation records, which sit ABOVE its CLR chain in the
+// log.
+func TestSavepointCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := slidb.OpenAt(dir, slidb.Config{
+		Agents:                 2,
+		EarlyLockRelease:       true,
+		EarlyLockReleaseAborts: true,
+		AsyncCommit:            true,
+		// A long window keeps the second transaction's commit record off
+		// disk until the crash lands.
+		GroupCommitWindow: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupBank(t, db, 1, 3)
+
+	// Transaction 1: savepoint dance, committed and durable.
+	if err := db.Exec(func(tx *slidb.Tx) error {
+		if err := tx.Update("accounts", []slidb.Value{slidb.Int(0)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(r[2].AsInt() + 100)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		sp := tx.Savepoint()
+		if err := tx.Update("accounts", []slidb.Value{slidb.Int(1)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(-1)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		if err := tx.RollbackTo(sp); err != nil {
+			return err
+		}
+		return tx.Update("accounts", []slidb.Value{slidb.Int(2)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(r[2].AsInt() + 5)
+			return r, nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transaction 2: same shape, but pre-committed only — its commit record
+	// sits in the group-commit window when the machine dies.
+	pending := db.ExecAsync(func(tx *slidb.Tx) error {
+		if err := tx.Update("accounts", []slidb.Value{slidb.Int(0)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(r[2].AsInt() + 1000)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		sp := tx.Savepoint()
+		if err := tx.Update("accounts", []slidb.Value{slidb.Int(1)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(-2)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		if err := tx.RollbackTo(sp); err != nil {
+			return err
+		}
+		if err := tx.Update("accounts", []slidb.Value{slidb.Int(2)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(r[2].AsInt() + 2000)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		// A SECOND savepoint rollback: the crash now leaves two separate
+		// compensated spans in this loser's log, the shape that a
+		// watermark-based analysis would double-undo (restart would then
+		// subtract 2000 from account 2 twice — or fail outright).
+		sp2 := tx.Savepoint()
+		if err := tx.Update("accounts", []slidb.Value{slidb.Int(1)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(-3)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		if err := tx.RollbackTo(sp2); err != nil {
+			return err
+		}
+		return tx.Update("accounts", []slidb.Value{slidb.Int(0)}, func(r slidb.Row) (slidb.Row, error) {
+			r[2] = slidb.Int(r[2].AsInt() + 4000)
+			return r, nil
+		})
+	})
+	// Give the pre-commit a moment to append (the window holds the force).
+	time.Sleep(50 * time.Millisecond)
+	db.SimulateCrash()
+	<-pending // resolves with the crash error; ignore it
+
+	db2, err := slidb.OpenAt(dir, slidb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	want := map[int64]int64{0: 100, 1: 0, 2: 5}
+	for aid, wantBal := range want {
+		if err := db2.Exec(func(tx *slidb.Tx) error {
+			row, ok, err := tx.Get("accounts", slidb.Int(aid))
+			if err != nil || !ok {
+				t.Fatalf("account %d missing (err=%v)", aid, err)
+			}
+			if got := row[2].AsInt(); got != wantBal {
+				t.Errorf("account %d = %d, want %d", aid, got, wantBal)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db2.UndoFailures(); got != 0 {
+		t.Fatalf("UndoFailures = %d, want 0", got)
 	}
 }
