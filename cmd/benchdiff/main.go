@@ -33,6 +33,8 @@ type entry struct {
 	TPS           float64 `json:"tps"`
 	AvgLatencyUs  float64 `json:"avg_latency_us"`
 	ReserveWaitMs float64 `json:"log_reserve_wait_ms_total"`
+	ELRAborts     uint64  `json:"elr_aborts"`
+	UndoFailures  uint64  `json:"undo_failures"`
 }
 
 type key struct {
@@ -82,23 +84,30 @@ func main() {
 
 	regressions := 0
 	// The reserve-wait columns track the fetch-and-add reservation win (the
-	// log-lsn refactor) across runs; they are informational, never a gate.
-	fmt.Printf("%-12s %-10s %7s %12s %12s %9s %12s %12s\n",
-		"workload", "config", "agents", "tps-prev", "tps-now", "delta-%", "rsv-ms-prev", "rsv-ms-now")
+	// log-lsn refactor) across runs, and the abort-path columns track ELR-for-
+	// aborts coverage; all are informational, never a gate — except that a
+	// non-zero undo-failure count is a correctness alarm and gets a warning
+	// annotation of its own.
+	fmt.Printf("%-12s %-10s %7s %12s %12s %9s %12s %12s %11s %10s\n",
+		"workload", "config", "agents", "tps-prev", "tps-now", "delta-%", "rsv-ms-prev", "rsv-ms-now", "elr-aborts", "undo-fail")
 	for _, e := range newEntries {
 		old, ok := prev[key{e.Workload, e.Config, e.Agents}]
 		if !ok || old.TPS <= 0 {
-			fmt.Printf("%-12s %-10s %7d %12s %12.1f %9s %12s %12.2f\n",
-				e.Workload, e.Config, e.Agents, "-", e.TPS, "new", "-", e.ReserveWaitMs)
-			continue
+			fmt.Printf("%-12s %-10s %7d %12s %12.1f %9s %12s %12.2f %11d %10d\n",
+				e.Workload, e.Config, e.Agents, "-", e.TPS, "new", "-", e.ReserveWaitMs, e.ELRAborts, e.UndoFailures)
+		} else {
+			delta := 100 * (e.TPS - old.TPS) / old.TPS
+			fmt.Printf("%-12s %-10s %7d %12.1f %12.1f %+8.1f%% %12.2f %12.2f %11d %10d\n",
+				e.Workload, e.Config, e.Agents, old.TPS, e.TPS, delta, old.ReserveWaitMs, e.ReserveWaitMs, e.ELRAborts, e.UndoFailures)
+			if delta < -*threshold {
+				regressions++
+				fmt.Printf("::warning::benchdiff: %s/%s (agents=%d) tps regressed %.1f%% (%.1f -> %.1f)\n",
+					e.Workload, e.Config, e.Agents, -delta, old.TPS, e.TPS)
+			}
 		}
-		delta := 100 * (e.TPS - old.TPS) / old.TPS
-		fmt.Printf("%-12s %-10s %7d %12.1f %12.1f %+8.1f%% %12.2f %12.2f\n",
-			e.Workload, e.Config, e.Agents, old.TPS, e.TPS, delta, old.ReserveWaitMs, e.ReserveWaitMs)
-		if delta < -*threshold {
-			regressions++
-			fmt.Printf("::warning::benchdiff: %s/%s (agents=%d) tps regressed %.1f%% (%.1f -> %.1f)\n",
-				e.Workload, e.Config, e.Agents, -delta, old.TPS, e.TPS)
+		if e.UndoFailures > 0 {
+			fmt.Printf("::warning::benchdiff: %s/%s (agents=%d) reported %d undo failures — rollback bug, investigate\n",
+				e.Workload, e.Config, e.Agents, e.UndoFailures)
 		}
 	}
 	if regressions == 0 {

@@ -22,8 +22,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"slidb/internal/core"
@@ -34,29 +36,30 @@ import (
 
 func main() {
 	var (
-		figureN    = flag.Int("figure", 0, "paper figure to regenerate (1, 6, 7, 8, 9, 10, 11); 0 = none")
-		ablation   = flag.String("ablation", "", "ablation study to run (hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer, abort-elr)")
-		wl         = flag.String("workload", "", "single workload to run, e.g. ndbb/mix, tpcb/tpcb, tpcc/Payment")
-		scale      = flag.String("scale", "quick", "dataset/measurement scale: quick, default, or paper")
-		agents     = flag.Int("agents", 0, "agent (worker) count for -workload runs; 0 = scale default")
-		clients    = flag.Int("clients", 0, "closed-loop client goroutines; 0 = one per agent (use > agents to exercise -async pipelining)")
-		sli        = flag.Bool("sli", false, "enable Speculative Lock Inheritance for -workload runs")
-		elr        = flag.Bool("elr", false, "enable Early Lock Release on both the commit and abort paths (locks released at outcome-record append, not after the fsync)")
-		elrAborts  = flag.Bool("elraborts", false, "enable Early Lock Release on the abort path only (see -elr; the two knobs are independent in core.Config)")
-		async      = flag.Bool("async", false, "enable flush pipelining (agents run ahead of the log force, bounded by the pipeline depth)")
-		mutexLog   = flag.Bool("mutexlog", false, "use the legacy mutex-per-append WAL path instead of the consolidated log buffer (ablation baseline)")
-		latchedLog = flag.Bool("latchedlog", false, "reserve log space under the PR-3 latch instead of the fetch-and-add on the virtual head (log-lsn ablation baseline)")
-		abortRate  = flag.Float64("abortrate", 0, "fraction of transactions forced to abort after doing their work (exercises the CLR rollback path; used by -workload and as the -ablation abort-elr rate)")
-		gcWindow   = flag.Duration("gcwindow", 0, "group-commit window for -workload/-benchout engines")
-		flushDelay = flag.Duration("flushdelay", 0, "simulated log-force latency for -workload/-benchout engines")
-		duration   = flag.Duration("duration", 0, "override measurement duration")
-		warmup     = flag.Duration("warmup", 0, "override warmup duration")
-		list       = flag.Bool("list", false, "list available workloads, figures and ablations")
-		all        = flag.Bool("all-figures", false, "regenerate every figure")
-		subset     = flag.String("workloads", "", "comma-separated workload keys to restrict per-workload figures to")
-		datadir    = flag.String("datadir", "", "root directory for durable engines: runs open disk-backed engines (real WAL fsyncs) in per-run subdirectories")
-		recoverDir = flag.String("recover", "", "open the given data directory, report crash-recovery statistics and recovered row counts, checkpoint, and exit")
-		benchout   = flag.String("benchout", "", "run TPC-B and TM-1 under baseline / SLI / SLI+ELR and write the results to the given JSON file")
+		figureN     = flag.Int("figure", 0, "paper figure to regenerate (1, 6, 7, 8, 9, 10, 11); 0 = none")
+		ablation    = flag.String("ablation", "", "ablation study to run (hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer, abort-elr)")
+		wl          = flag.String("workload", "", "single workload to run, e.g. ndbb/mix, tpcb/tpcb, tpcc/Payment")
+		scale       = flag.String("scale", "quick", "dataset/measurement scale: quick, default, or paper")
+		agents      = flag.Int("agents", 0, "agent (worker) count for -workload runs; 0 = scale default")
+		clients     = flag.Int("clients", 0, "closed-loop client goroutines; 0 = one per agent (use > agents to exercise -async pipelining)")
+		sli         = flag.Bool("sli", false, "enable Speculative Lock Inheritance for -workload runs")
+		elr         = flag.Bool("elr", false, "enable Early Lock Release on both the commit and abort paths (locks released at outcome-record append, not after the fsync)")
+		elrAborts   = flag.Bool("elraborts", false, "enable Early Lock Release on the abort path only (see -elr; the two knobs are independent in core.Config)")
+		async       = flag.Bool("async", false, "enable flush pipelining (agents run ahead of the log force, bounded by the pipeline depth)")
+		mutexLog    = flag.Bool("mutexlog", false, "use the legacy mutex-per-append WAL path instead of the consolidated log buffer (ablation baseline)")
+		latchedLog  = flag.Bool("latchedlog", false, "reserve log space under the PR-3 latch instead of the fetch-and-add on the virtual head (log-lsn ablation baseline)")
+		abortRate   = flag.Float64("abortrate", 0, "fraction of transactions forced to abort after doing their work (exercises the CLR rollback path; used by -workload and as the -ablation abort-elr rate)")
+		gcWindow    = flag.Duration("gcwindow", 0, "group-commit window for -workload/-benchout engines")
+		flushDelay  = flag.Duration("flushdelay", 0, "simulated log-force latency for -workload/-benchout engines")
+		duration    = flag.Duration("duration", 0, "override measurement duration")
+		warmup      = flag.Duration("warmup", 0, "override warmup duration")
+		list        = flag.Bool("list", false, "list available workloads, figures and ablations")
+		all         = flag.Bool("all-figures", false, "regenerate every figure")
+		subset      = flag.String("workloads", "", "comma-separated workload keys to restrict per-workload figures to")
+		datadir     = flag.String("datadir", "", "root directory for durable engines: runs open disk-backed engines (real WAL fsyncs) in per-run subdirectories")
+		recoverDir  = flag.String("recover", "", "open the given data directory, report crash-recovery statistics and recovered row counts, checkpoint, and exit")
+		benchout    = flag.String("benchout", "", "run TPC-B and TM-1 under baseline / SLI / SLI+ELR and write the results to the given JSON file")
+		metricsAddr = flag.String("metricsaddr", "", "serve /metrics (Prometheus) and /debug/slowtx for the engine currently under measurement on this address, e.g. :9100")
 	)
 	flag.Parse()
 
@@ -102,6 +105,9 @@ func main() {
 	opt.LogFlushDelay = *flushDelay
 	opt.Clients = *clients
 	opt.AbortRate = *abortRate
+	if *metricsAddr != "" {
+		opt.OnEngine = startMetricsServer(*metricsAddr)
+	}
 
 	switch {
 	case *benchout != "":
@@ -121,6 +127,36 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// startMetricsServer serves the observability surface of whichever engine
+// the harness is currently measuring. Figure sweeps build and discard many
+// engines, so the returned figures.OnEngine hook retargets the handler
+// atomically each time a new engine comes up; scrapes that land between
+// engines get a 503 rather than stale data.
+func startMetricsServer(addr string) func(*core.Engine) {
+	var cur atomic.Pointer[http.Handler]
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		h := cur.Load()
+		if h == nil {
+			http.Error(w, "no engine under measurement yet", http.StatusServiceUnavailable)
+			return
+		}
+		(*h).ServeHTTP(w, r)
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "slibench: metrics server:", err)
+		}
+	}()
+	return func(e *core.Engine) {
+		h := e.ObsHandler()
+		cur.Store(&h)
 	}
 }
 
@@ -194,7 +230,12 @@ type benchEntry struct {
 	ELRReleases   uint64  `json:"elr_releases"`
 	// DurableLag is in bytes of unforced log (byte-offset LSNs).
 	DurableLag uint64 `json:"durable_lag"`
-	Errors     uint64 `json:"errors"`
+	// ELRAborts counts rollbacks that released their locks at abort-record
+	// append (the EarlyLockReleaseAborts path); UndoFailures counts undo
+	// actions that failed during rollback and should always be zero.
+	ELRAborts    uint64 `json:"elr_aborts"`
+	UndoFailures uint64 `json:"undo_failures"`
+	Errors       uint64 `json:"errors"`
 }
 
 // runBench sweeps TPC-B and the TM-1 (NDBB) mix across the baseline, SLI,
@@ -245,6 +286,8 @@ func runBench(opt figures.Options, agents int, outPath string) {
 				SLIPassed:     res.LockStats.SLIPassed,
 				ELRReleases:   res.LockStats.ELRReleases,
 				DurableLag:    es.DurableLag,
+				ELRAborts:     es.ELRAborts,
+				UndoFailures:  es.UndoFailures,
 				Errors:        res.Errors,
 			}
 			entries = append(entries, e)

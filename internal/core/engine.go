@@ -20,6 +20,7 @@ import (
 	"slidb/internal/catalog"
 	"slidb/internal/heap"
 	"slidb/internal/lockmgr"
+	"slidb/internal/obs"
 	"slidb/internal/profiler"
 	"slidb/internal/record"
 	"slidb/internal/wal"
@@ -159,6 +160,14 @@ type Engine struct {
 	workersMu sync.Mutex
 	workers   []*worker
 	closed    atomic.Bool
+
+	// obs is the engine's observability surface, created lazily by Observe
+	// (see obs.go). txHook is the per-transaction completion hook it
+	// installs; nil until then, so the only cost a non-observed engine pays
+	// is one atomic pointer load per transaction attempt.
+	obsOnce sync.Once
+	obs     *obs.Observer
+	txHook  atomic.Pointer[func(TxCompletion)]
 
 	committed atomic.Uint64
 	aborted   atomic.Uint64
@@ -580,16 +589,31 @@ func (e *Engine) runOnce(w *worker, fn func(*Tx) error) (<-chan error, error) {
 	// other" category. The durable-ack wait (if any) happens after this
 	// window, so under ELR neither lock hold time nor TxWork includes the
 	// flush latency.
+	wall := time.Since(start)
+	var delta profiler.Breakdown
 	if prof != nil {
-		wall := time.Since(start)
-		delta := prof.Snapshot().Sub(before)
+		delta = prof.Snapshot().Sub(before)
 		accounted := time.Duration(0)
 		for c := profiler.Category(0); c < profiler.Category(len(delta)); c++ {
 			accounted += delta.Get(c)
 		}
 		if wall > accounted {
 			prof.Add(profiler.TxWork, wall-accounted)
+			delta[profiler.TxWork] += wall - accounted
 		}
+	}
+	// The observability completion hook (duration histogram, slow-tx
+	// tracer). One atomic pointer load when no observer is installed; the
+	// hook itself is wait-free unless the attempt enters the slow set — no
+	// lock is added to the commit path either way.
+	if hook := e.txHook.Load(); hook != nil {
+		(*hook)(TxCompletion{
+			XID:       tx.xid,
+			Start:     start,
+			Duration:  wall,
+			Committed: err == nil,
+			Breakdown: delta,
+		})
 	}
 	return ack, err
 }

@@ -87,6 +87,12 @@ type Options struct {
 	// compensation-logged rollback path (see workload.WithAbortRate). Zero
 	// keeps every transaction committing.
 	AbortRate float64
+	// OnEngine, when non-nil, is called with every engine the sweep builds,
+	// after its dataset is loaded and before the workload starts. Figure
+	// sweeps open and close many engines; the hook lets a harness attach
+	// per-engine state — cmd/slibench uses it to point its -metricsaddr
+	// exporter at whichever engine is currently measuring.
+	OnEngine func(*core.Engine)
 }
 
 // DefaultOptions returns a laptop-scale configuration: small datasets and
@@ -328,6 +334,9 @@ func (o Options) buildEngine(key string, sli bool, agents int) (*core.Engine, wo
 	}
 	if o.AbortRate > 0 {
 		gen = workload.WithAbortRate(gen, o.AbortRate)
+	}
+	if o.OnEngine != nil {
+		o.OnEngine(e)
 	}
 	return e, gen, nil
 }

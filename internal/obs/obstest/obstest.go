@@ -1,0 +1,320 @@
+// Package obstest validates Prometheus text exposition output (format
+// version 0.0.4) in tests. It is a strict structural checker, not a full
+// client: metric and label names must use the legal charset, every sample
+// must belong to a family announced by HELP and TYPE lines, and histogram
+// families must render monotone cumulative buckets whose +Inf bucket equals
+// their _count. Both the obs package's own tests and the end-to-end scrape
+// tests use it, so a formatting regression fails everywhere at once.
+package obstest
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metric kinds the validator accepts in TYPE lines.
+var validKinds = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// histBucket is one rendered _bucket sample of a histogram family.
+type histBucket struct {
+	le  float64 // +Inf as math.Inf(1)
+	inf bool
+	cum float64
+}
+
+// famState tracks one family across its HELP/TYPE header and sample lines.
+type famState struct {
+	kind      string
+	hasType   bool
+	samples   int
+	buckets   []histBucket
+	count     *float64
+	hasSum    bool
+	infBucket *float64
+}
+
+// Validate checks that data is well-formed exposition output and returns an
+// error describing the first violation found.
+func Validate(data []byte) error {
+	families := make(map[string]*famState)
+	var current string // family of the most recent HELP line
+
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q in HELP", lineNo, name)
+			}
+			if _, dup := families[name]; dup {
+				return fmt.Errorf("line %d: duplicate HELP for family %q", lineNo, name)
+			}
+			families[name] = &famState{}
+			current = name
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || !validKinds[kind] {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			fam, known := families[name]
+			if !known {
+				return fmt.Errorf("line %d: TYPE for %q without preceding HELP", lineNo, name)
+			}
+			if name != current {
+				return fmt.Errorf("line %d: TYPE for %q interleaved with family %q", lineNo, name, current)
+			}
+			if fam.hasType {
+				return fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, name)
+			}
+			fam.kind = kind
+			fam.hasType = true
+		case strings.HasPrefix(line, "#"):
+			// Free-form comment: legal, ignored.
+		default:
+			if err := validateSample(line, lineNo, current, families); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := families[name]
+		if !fam.hasType {
+			return fmt.Errorf("family %q has HELP but no TYPE", name)
+		}
+		if fam.samples == 0 {
+			return fmt.Errorf("family %q has no samples", name)
+		}
+		if fam.kind == "histogram" {
+			if err := validateHistogram(name, fam); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateSample parses one sample line and folds it into its family state.
+func validateSample(line string, lineNo int, current string, families map[string]*famState) error {
+	name, labels, value, err := parseSample(line)
+	if err != nil {
+		return fmt.Errorf("line %d: %w", lineNo, err)
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+	}
+	fam := families[current]
+	if fam == nil {
+		return fmt.Errorf("line %d: sample %q before any HELP", lineNo, name)
+	}
+	base := name
+	var suffix string
+	if fam.kind == "histogram" || fam.kind == "summary" {
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if name == current+s {
+				base, suffix = current, s
+				break
+			}
+		}
+	}
+	if base != current {
+		return fmt.Errorf("line %d: sample %q outside its family (current family %q)", lineNo, name, current)
+	}
+	fam.samples++
+	if fam.kind != "histogram" {
+		return nil
+	}
+	switch suffix {
+	case "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("line %d: histogram bucket of %q without le label", lineNo, current)
+		}
+		b := histBucket{cum: value}
+		if le == "+Inf" {
+			b.inf = true
+			fam.infBucket = &value
+		} else if b.le, err = strconv.ParseFloat(le, 64); err != nil {
+			return fmt.Errorf("line %d: unparseable le %q: %v", lineNo, le, err)
+		}
+		fam.buckets = append(fam.buckets, b)
+	case "_sum":
+		fam.hasSum = true
+	case "_count":
+		fam.count = &value
+	default:
+		return fmt.Errorf("line %d: bare sample %q for histogram family", lineNo, name)
+	}
+	return nil
+}
+
+// validateHistogram checks the accumulated bucket structure of one family.
+func validateHistogram(name string, fam *famState) error {
+	if len(fam.buckets) == 0 || fam.infBucket == nil {
+		return fmt.Errorf("histogram %q missing buckets or +Inf bucket", name)
+	}
+	if !fam.hasSum || fam.count == nil {
+		return fmt.Errorf("histogram %q missing _sum or _count", name)
+	}
+	for i := 1; i < len(fam.buckets); i++ {
+		prev, cur := fam.buckets[i-1], fam.buckets[i]
+		if !cur.inf && (prev.inf || cur.le <= prev.le) {
+			return fmt.Errorf("histogram %q bucket bounds not ascending", name)
+		}
+		if cur.cum < prev.cum {
+			return fmt.Errorf("histogram %q cumulative counts decrease at le=%v (%v -> %v)",
+				name, cur.le, prev.cum, cur.cum)
+		}
+	}
+	if !fam.buckets[len(fam.buckets)-1].inf {
+		return fmt.Errorf("histogram %q does not end with the +Inf bucket", name)
+	}
+	if *fam.infBucket != *fam.count {
+		return fmt.Errorf("histogram %q +Inf bucket %v != _count %v", name, *fam.infBucket, *fam.count)
+	}
+	return nil
+}
+
+// parseSample splits a sample line into name, labels and value, unescaping
+// label values.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for i := 1; i < len(rest); i++ {
+			switch {
+			case inQuote && rest[i] == '\\':
+				i++ // skip escaped char
+			case rest[i] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[i] == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := parseLabels(rest[1:end], labels); err != nil {
+			return "", nil, 0, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "+Inf" || rest == "-Inf" || rest == "NaN" {
+		return name, labels, 0, nil
+	}
+	v, perr := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+	if perr != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q", rest)
+	}
+	return name, labels, v, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` into dst, validating names and escapes.
+func parseLabels(s string, dst map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair %q", s)
+		}
+		key := s[:eq]
+		if !validLabelName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return fmt.Errorf("unquoted label value for %q", key)
+		}
+		var val strings.Builder
+		i := 1
+		closed := false
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return fmt.Errorf("dangling escape in label %q", key)
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape \\%c in label %q", s[i], key)
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		dst[key] = val.String()
+		s = s[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return nil
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	return validMetricName(s) && !strings.ContainsRune(s, ':')
+}

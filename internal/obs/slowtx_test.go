@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"slidb/internal/profiler"
+)
+
+func TestSlowTxKeepsSlowest(t *testing.T) {
+	tr := NewSlowTxTracer(3, time.Hour)
+	now := time.Now()
+	for i, d := range []time.Duration{10, 50, 20, 40, 30, 5} {
+		tr.Observe(uint64(i), now, d*time.Millisecond, true, profiler.Breakdown{})
+	}
+	got := tr.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot len %d, want 3", len(got))
+	}
+	wantXIDs := []uint64{1, 3, 4} // 50ms, 40ms, 30ms — slowest first
+	for i, tx := range got {
+		if tx.XID != wantXIDs[i] {
+			t.Errorf("snapshot[%d].XID = %d, want %d", i, tx.XID, wantXIDs[i])
+		}
+	}
+}
+
+func TestSlowTxFloorFastPath(t *testing.T) {
+	tr := NewSlowTxTracer(2, time.Hour)
+	now := time.Now()
+	tr.Observe(1, now, 100*time.Millisecond, true, profiler.Breakdown{})
+	tr.Observe(2, now, 200*time.Millisecond, true, profiler.Breakdown{})
+	if got := time.Duration(tr.floor.Load()); got != 100*time.Millisecond {
+		t.Fatalf("floor %v after filling, want 100ms", got)
+	}
+	// At or below the floor: rejected by the atomic check, set unchanged.
+	tr.Observe(3, now, 100*time.Millisecond, true, profiler.Breakdown{})
+	tr.Observe(4, now, 50*time.Millisecond, true, profiler.Breakdown{})
+	got := tr.Snapshot()
+	if len(got) != 2 || got[0].XID != 2 || got[1].XID != 1 {
+		t.Fatalf("slow set changed by fast transactions: %+v", got)
+	}
+	// Slower than the floor: evicts the cheapest member, floor rises.
+	tr.Observe(5, now, 150*time.Millisecond, true, profiler.Breakdown{})
+	got = tr.Snapshot()
+	if len(got) != 2 || got[0].XID != 2 || got[1].XID != 5 {
+		t.Fatalf("eviction wrong: %+v", got)
+	}
+	if f := time.Duration(tr.floor.Load()); f != 150*time.Millisecond {
+		t.Errorf("floor %v after eviction, want 150ms", f)
+	}
+}
+
+func TestSlowTxWindowExpiry(t *testing.T) {
+	tr := NewSlowTxTracer(4, 50*time.Millisecond)
+	old := time.Now().Add(-time.Hour)
+	tr.Observe(1, old, 500*time.Millisecond, true, profiler.Breakdown{})
+	tr.Observe(2, time.Now(), 100*time.Millisecond, false, profiler.Breakdown{})
+	got := tr.Snapshot()
+	if len(got) != 1 || got[0].XID != 2 {
+		t.Fatalf("expired entry not pruned: %+v", got)
+	}
+}
+
+func TestSlowTxJSONShape(t *testing.T) {
+	tr := NewSlowTxTracer(8, time.Hour)
+	var b profiler.Breakdown
+	b[profiler.LockMgrWork] = 2 * time.Millisecond
+	b[profiler.LogFlush] = 5 * time.Millisecond
+	tr.Observe(7, time.Now(), 9*time.Millisecond, true, b)
+	tr.Observe(8, time.Now(), 3*time.Millisecond, false, profiler.Breakdown{})
+
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowtx", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var rep struct {
+		Capacity      int      `json:"capacity"`
+		WindowSeconds float64  `json:"window_seconds"`
+		Slowest       []SlowTx `json:"slowest"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.Bytes())
+	}
+	if rep.Capacity != 8 || rep.WindowSeconds != 3600 {
+		t.Errorf("capacity/window = %d/%v", rep.Capacity, rep.WindowSeconds)
+	}
+	if len(rep.Slowest) != 2 {
+		t.Fatalf("slowest len %d, want 2", len(rep.Slowest))
+	}
+	slow := rep.Slowest[0]
+	if slow.XID != 7 || !slow.Committed || slow.DurationSeconds != 0.009 {
+		t.Errorf("slowest[0] = %+v", slow)
+	}
+	if got := slow.BreakdownSeconds["lockmgr-work"]; got != 0.002 {
+		t.Errorf("breakdown lockmgr-work = %v, want 0.002", got)
+	}
+	if rep.Slowest[1].BreakdownSeconds != nil {
+		t.Errorf("zero breakdown should be omitted, got %v", rep.Slowest[1].BreakdownSeconds)
+	}
+}
+
+func TestSlowTxEmptyReport(t *testing.T) {
+	tr := NewSlowTxTracer(0, 0) // defaults
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slowtx", nil))
+	var rep map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rep["capacity"].(float64) != 32 {
+		t.Errorf("default capacity = %v", rep["capacity"])
+	}
+	if s, ok := rep["slowest"].([]any); !ok || len(s) != 0 {
+		t.Errorf("empty tracer should serve an empty array, got %v", rep["slowest"])
+	}
+}

@@ -257,6 +257,12 @@ type Profiler struct {
 	mu      sync.Mutex
 	handles []*Handle
 	enabled bool
+	// base accumulates the time folded out of the handles by Reset, so that
+	// Lifetime stays monotonic across measurement-interval resets — the
+	// snapshot-diff that lets the metrics exporter publish the categories as
+	// Prometheus counters while benchmark harnesses keep resetting the
+	// per-interval view.
+	base Breakdown
 }
 
 // New creates a Profiler. When enabled is false, NewHandle returns nil
@@ -296,7 +302,10 @@ func (p *Profiler) Aggregate() Breakdown {
 	return b
 }
 
-// Reset zeroes every registered handle.
+// Reset zeroes every registered handle, folding the accumulated time into
+// the lifetime baseline first so Lifetime never goes backwards. Increments
+// that land between a handle's snapshot and its zeroing are lost from both
+// views — an accepted sliver of undercount, never a double count.
 func (p *Profiler) Reset() {
 	if p == nil {
 		return
@@ -304,6 +313,26 @@ func (p *Profiler) Reset() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, h := range p.handles {
+		p.base = p.base.Add(h.Snapshot())
 		h.Reset()
 	}
+}
+
+// Lifetime returns the total per-category time accumulated since the
+// profiler was created, unaffected by Reset: the sum of everything Reset has
+// folded into the baseline plus the live handles. It is the monotonic view
+// the metrics exporter publishes; Aggregate remains the interval-scoped view
+// the benchmark harness resets around each measurement.
+func (p *Profiler) Lifetime() Breakdown {
+	var b Breakdown
+	if p == nil {
+		return b
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b = p.base
+	for _, h := range p.handles {
+		b = b.Add(h.Snapshot())
+	}
+	return b
 }

@@ -919,6 +919,19 @@ func (l *Log) failWaitersLocked(err error) {
 	l.waiters = nil
 }
 
+// Err returns the error that wedged the log — the first durable-sink write
+// or sync failure (or the injected crash) after which the durable prefix can
+// no longer grow and every Append/Flush fails — or nil while the log is
+// healthy. A cleanly closed log is not wedged: Err stays nil after Close.
+// It lets callers distinguish "the log is slow" (DurableLag growing, Err nil)
+// from "the log is dead" (Err non-nil) without inferring it from Exec
+// failures; readiness probes flip unready on it.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
 // Records returns a copy of every record that has been flushed, in LSN
 // order, for recovery and tests. Records still in the append buffer are not
 // included.

@@ -78,6 +78,21 @@
 // See examples/persistence for a complete open → write → crash → recover
 // program.
 //
+// # Observability
+//
+// Engine.ObsHandler returns an http.Handler serving the engine's metrics in
+// the Prometheus text exposition format at /metrics and a JSON trace of the
+// slowest recent transactions (with per-category time breakdowns when
+// Config.Profile is on) at /debug/slowtx. Engine.Observe exposes the
+// underlying registry so embedders can add their own metric families, and
+// Engine.LogErr reports whether a write-ahead-log sink error has wedged the
+// log (as opposed to commits merely being slow — compare
+// Engine.DurableLag). Metrics collection is scrape-time snapshotting of
+// counters the engine already maintains: enabling it adds no lock
+// acquisition to the transaction commit path. cmd/slidbd wraps all of this
+// in a daemon with health/readiness probes and graceful drain; see the
+// README's Observability section for the full metric list.
+//
 // See the examples directory for complete programs and cmd/slibench for the
 // benchmark harness that regenerates the paper's figures.
 package slidb

@@ -1,0 +1,220 @@
+package slidb_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"slidb/internal/core"
+	"slidb/internal/figures"
+	"slidb/internal/obs/obstest"
+	"slidb/internal/profiler"
+)
+
+// scrape fetches path from the engine's observability handler.
+func scrape(e *core.Engine, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	e.ObsHandler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// metricValue extracts the value of an unlabeled sample line from exposition
+// output, or -1 if the metric is absent.
+func metricValue(exposition, name string) float64 {
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return -1
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// TestMetricsScrapeUnderLoad drives the TPC-B workload while concurrently
+// scraping /metrics, asserting that every scrape parses as well-formed
+// Prometheus exposition output and that the committed counter never goes
+// backwards — i.e. concurrent transaction completion never tears a scrape.
+// Run under -race this also exercises the wait-free hot-path claims.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	opt := figures.DefaultOptions()
+	opt.Duration = 300 * time.Millisecond
+	opt.Warmup = 20 * time.Millisecond
+	opt.TPCBBranches = 4
+	opt.TPCBAccountsPerBranch = 100
+	opt.EarlyLockRelease = true
+	opt.AsyncCommit = true
+
+	var (
+		engCh = make(chan *core.Engine, 1)
+		stop  = make(chan struct{})
+		wg    sync.WaitGroup
+	)
+	opt.OnEngine = func(e *core.Engine) { engCh <- e }
+
+	var scrapes atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e := <-engCh
+		var lastCommitted float64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := scrape(e, "/metrics")
+			body := rec.Body.String()
+			if err := obstest.Validate(rec.Body.Bytes()); err != nil {
+				t.Errorf("scrape does not validate: %v", err)
+				return
+			}
+			c := metricValue(body, "slidb_txns_committed_total")
+			if c < 0 {
+				t.Error("scrape missing slidb_txns_committed_total")
+				return
+			}
+			if c < lastCommitted {
+				t.Errorf("committed counter went backwards: %v -> %v", lastCommitted, c)
+				return
+			}
+			lastCommitted = c
+			scrapes.Add(1)
+		}
+	}()
+
+	res, es, err := figures.RunWorkload(figures.WLTPCB, opt, true, 4)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("workload committed nothing")
+	}
+	if es.UndoFailures != 0 {
+		t.Fatalf("undo failures: %d", es.UndoFailures)
+	}
+	if scrapes.Load() == 0 {
+		t.Fatal("no scrape completed during the run")
+	}
+	t.Logf("%d scrapes validated against %d committed transactions", scrapes.Load(), res.Committed)
+}
+
+// TestMetricsSurface asserts the stable metric names and full label sets the
+// README documents: every profiler category is present even at zero, the
+// histogram renders, and /debug/slowtx serves the documented JSON schema
+// with per-category breakdowns (profiling is on in figures engines).
+func TestMetricsSurface(t *testing.T) {
+	opt := figures.DefaultOptions()
+	opt.Duration = 150 * time.Millisecond
+	opt.Warmup = 10 * time.Millisecond
+	opt.TPCBBranches = 2
+	opt.TPCBAccountsPerBranch = 50
+
+	var eng *core.Engine
+	opt.OnEngine = func(e *core.Engine) { eng = e; e.Observe() }
+	res, _, err := figures.RunWorkload(figures.WLTPCB, opt, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("workload committed nothing")
+	}
+	// The engine is closed once RunWorkload returns; scrapes still work —
+	// the counters are snapshots of final state.
+	body := scrape(eng, "/metrics").Body.String()
+
+	for _, name := range []string{
+		"slidb_txns_committed_total",
+		"slidb_txns_aborted_total",
+		"slidb_elr_aborts_total",
+		"slidb_undo_failures_total",
+		"slidb_durable_lag_bytes",
+		"slidb_log_wedged",
+		"slidb_agents",
+		"slidb_lock_acquires_total",
+		"slidb_lock_acquires_mode_total",
+		"slidb_lock_class_total",
+		"slidb_lock_cache_hits_total",
+		"slidb_lock_conversions_total",
+		"slidb_lock_latch_contended_total",
+		"slidb_lock_waits_total",
+		"slidb_lock_deadlocks_total",
+		"slidb_lock_timeouts_total",
+		"slidb_lock_transactions_total",
+		"slidb_elr_releases_total",
+		"slidb_sli_events_total",
+		"slidb_profile_seconds_total",
+		"slidb_txn_duration_seconds_bucket",
+		"slidb_txn_duration_seconds_count",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	// Every profiler category label must be present, even the zero ones.
+	for c := profiler.Category(0); c.String() != "category("+strconv.Itoa(int(c))+")"; c++ {
+		want := `slidb_profile_seconds_total{category="` + c.String() + `"}`
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing profiler series %s", want)
+		}
+	}
+	if v := metricValue(body, "slidb_txns_committed_total"); v < float64(res.Committed) {
+		t.Errorf("committed metric %v below workload count %d", v, res.Committed)
+	}
+
+	rec := scrape(eng, "/debug/slowtx")
+	var rep struct {
+		Capacity      int     `json:"capacity"`
+		WindowSeconds float64 `json:"window_seconds"`
+		Slowest       []struct {
+			XID              uint64             `json:"xid"`
+			Start            time.Time          `json:"start"`
+			DurationSeconds  float64            `json:"duration_seconds"`
+			Committed        bool               `json:"committed"`
+			BreakdownSeconds map[string]float64 `json:"breakdown_seconds"`
+		} `json:"slowest"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("slowtx JSON: %v\n%s", err, rec.Body.Bytes())
+	}
+	if rep.Capacity <= 0 || rep.WindowSeconds <= 0 {
+		t.Errorf("slowtx header: %+v", rep)
+	}
+	if len(rep.Slowest) == 0 {
+		t.Fatal("no slow transactions traced during the workload")
+	}
+	for i := 1; i < len(rep.Slowest); i++ {
+		if rep.Slowest[i].DurationSeconds > rep.Slowest[i-1].DurationSeconds {
+			t.Errorf("slowtx not sorted slowest-first at %d", i)
+		}
+	}
+	slow := rep.Slowest[0]
+	if slow.DurationSeconds <= 0 || slow.Start.IsZero() {
+		t.Errorf("traced tx malformed: %+v", slow)
+	}
+	if len(slow.BreakdownSeconds) == 0 {
+		t.Error("profiling engine produced a trace with no breakdown")
+	}
+	for cat := range slow.BreakdownSeconds {
+		known := false
+		for c := profiler.Category(0); c.String() != "category("+strconv.Itoa(int(c))+")"; c++ {
+			if c.String() == cat {
+				known = true
+				break
+			}
+		}
+		if !known {
+			t.Errorf("trace breakdown has unknown category %q", cat)
+		}
+	}
+}
