@@ -35,6 +35,13 @@ type entry struct {
 	ReserveWaitMs float64 `json:"log_reserve_wait_ms_total"`
 	ELRAborts     uint64  `json:"elr_aborts"`
 	UndoFailures  uint64  `json:"undo_failures"`
+	// Log-tail efficiency (PR 7): physical sink writes per flusher cycle
+	// (~1 on the vectored durable path, 0 for in-memory runs), the mean
+	// group-commit window, and cumulative publish-fence wait.
+	FlushCycles    uint64  `json:"flush_cycles"`
+	WritesPerCycle float64 `json:"writes_per_cycle"`
+	AvgWindowUs    float64 `json:"avg_window_us"`
+	FenceWaitUs    float64 `json:"fence_wait_us"`
 }
 
 type key struct {
@@ -84,25 +91,38 @@ func main() {
 
 	regressions := 0
 	// The reserve-wait columns track the fetch-and-add reservation win (the
-	// log-lsn refactor) across runs, and the abort-path columns track ELR-for-
-	// aborts coverage; all are informational, never a gate — except that a
-	// non-zero undo-failure count is a correctness alarm and gets a warning
-	// annotation of its own.
-	fmt.Printf("%-12s %-10s %7s %12s %12s %9s %12s %12s %11s %10s\n",
-		"workload", "config", "agents", "tps-prev", "tps-now", "delta-%", "rsv-ms-prev", "rsv-ms-now", "elr-aborts", "undo-fail")
+	// log-lsn refactor) across runs, the abort-path columns track ELR-for-
+	// aborts coverage, and the writes-per-cycle / window columns track the
+	// log tail's flush efficiency (the vectored-write and adaptive group-
+	// commit work); all are informational, never a gate — except that a
+	// non-zero undo-failure count is a correctness alarm, and a substantial
+	// writes-per-cycle increase means the vectored flush path stopped
+	// batching; both get warning annotations of their own.
+	fmt.Printf("%-12s %-10s %7s %12s %12s %9s %12s %12s %9s %9s %10s %10s\n",
+		"workload", "config", "agents", "tps-prev", "tps-now", "delta-%", "rsv-ms-prev", "rsv-ms-now",
+		"w/c-prev", "w/c-now", "window-us", "undo-fail")
 	for _, e := range newEntries {
 		old, ok := prev[key{e.Workload, e.Config, e.Agents}]
 		if !ok || old.TPS <= 0 {
-			fmt.Printf("%-12s %-10s %7d %12s %12.1f %9s %12s %12.2f %11d %10d\n",
-				e.Workload, e.Config, e.Agents, "-", e.TPS, "new", "-", e.ReserveWaitMs, e.ELRAborts, e.UndoFailures)
+			fmt.Printf("%-12s %-10s %7d %12s %12.1f %9s %12s %12.2f %9s %9.2f %10.1f %10d\n",
+				e.Workload, e.Config, e.Agents, "-", e.TPS, "new", "-", e.ReserveWaitMs,
+				"-", e.WritesPerCycle, e.AvgWindowUs, e.UndoFailures)
 		} else {
 			delta := 100 * (e.TPS - old.TPS) / old.TPS
-			fmt.Printf("%-12s %-10s %7d %12.1f %12.1f %+8.1f%% %12.2f %12.2f %11d %10d\n",
-				e.Workload, e.Config, e.Agents, old.TPS, e.TPS, delta, old.ReserveWaitMs, e.ReserveWaitMs, e.ELRAborts, e.UndoFailures)
+			fmt.Printf("%-12s %-10s %7d %12.1f %12.1f %+8.1f%% %12.2f %12.2f %9.2f %9.2f %10.1f %10d\n",
+				e.Workload, e.Config, e.Agents, old.TPS, e.TPS, delta, old.ReserveWaitMs, e.ReserveWaitMs,
+				old.WritesPerCycle, e.WritesPerCycle, e.AvgWindowUs, e.UndoFailures)
 			if delta < -*threshold {
 				regressions++
 				fmt.Printf("::warning::benchdiff: %s/%s (agents=%d) tps regressed %.1f%% (%.1f -> %.1f)\n",
 					e.Workload, e.Config, e.Agents, -delta, old.TPS, e.TPS)
+			}
+			// Writes per flush cycle is an efficiency invariant, not noise:
+			// the vectored path lands a whole cycle in one submission, so a
+			// >10% climb means flushes fragmented into extra syscalls.
+			if old.WritesPerCycle > 0 && e.WritesPerCycle > 1.1*old.WritesPerCycle {
+				fmt.Printf("::warning::benchdiff: %s/%s (agents=%d) writes/cycle regressed %.2f -> %.2f — vectored flush path is fragmenting\n",
+					e.Workload, e.Config, e.Agents, old.WritesPerCycle, e.WritesPerCycle)
 			}
 		}
 		if e.UndoFailures > 0 {

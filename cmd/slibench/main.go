@@ -13,6 +13,8 @@
 //	slibench -workload ndbb/mix -agents 16 -sli -duration 5s
 //	slibench -workload tpcb/tpcb -sli -elr -async     # scalable commit pipeline
 //	slibench -workload tpcb/tpcb -datadir /tmp/slidb  # durable run (real fsyncs)
+//	slibench -ablation log-tail -datadir /tmp/slidb   # adaptive group commit x publish fence grid
+//	slibench -workload tpcb/tpcb -datadir /tmp/slidb -adaptivegc -prealloc  # self-tuning log tail
 //	slibench -recover /tmp/slidb/tpcb_tpcb-1234       # replay a data directory
 //	slibench -benchout BENCH_quick.json    # baseline vs SLI vs SLI+ELR, JSON artifact
 //	slibench -list                         # show available workloads
@@ -37,7 +39,7 @@ import (
 func main() {
 	var (
 		figureN     = flag.Int("figure", 0, "paper figure to regenerate (1, 6, 7, 8, 9, 10, 11); 0 = none")
-		ablation    = flag.String("ablation", "", "ablation study to run (hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer, abort-elr)")
+		ablation    = flag.String("ablation", "", "ablation study to run (hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer, log-lsn, log-tail, abort-elr)")
 		wl          = flag.String("workload", "", "single workload to run, e.g. ndbb/mix, tpcb/tpcb, tpcc/Payment")
 		scale       = flag.String("scale", "quick", "dataset/measurement scale: quick, default, or paper")
 		agents      = flag.Int("agents", 0, "agent (worker) count for -workload runs; 0 = scale default")
@@ -49,6 +51,11 @@ func main() {
 		mutexLog    = flag.Bool("mutexlog", false, "use the legacy mutex-per-append WAL path instead of the consolidated log buffer (ablation baseline)")
 		latchedLog  = flag.Bool("latchedlog", false, "reserve log space under the PR-3 latch instead of the fetch-and-add on the virtual head (log-lsn ablation baseline)")
 		abortRate   = flag.Float64("abortrate", 0, "fraction of transactions forced to abort after doing their work (exercises the CLR rollback path; used by -workload and as the -ablation abort-elr rate)")
+		adaptiveGC  = flag.Bool("adaptivegc", false, "replace the fixed group-commit window with the self-tuning controller (bounds set by -gcmin/-gcmax)")
+		gcMin       = flag.Duration("gcmin", 0, "lower bound for the adaptive group-commit window; 0 = engine default")
+		gcMax       = flag.Duration("gcmax", 0, "upper bound for the adaptive group-commit window; 0 = engine default")
+		prealloc    = flag.Bool("prealloc", false, "preallocate durable WAL segments at creation (fallocate, falling back to truncate); only meaningful with -datadir")
+		strictFence = flag.Bool("strictfence", false, "use the strict in-order spin publish fence instead of the relaxed completion-tracking fence (log-tail ablation baseline)")
 		gcWindow    = flag.Duration("gcwindow", 0, "group-commit window for -workload/-benchout engines")
 		flushDelay  = flag.Duration("flushdelay", 0, "simulated log-force latency for -workload/-benchout engines")
 		duration    = flag.Duration("duration", 0, "override measurement duration")
@@ -102,6 +109,11 @@ func main() {
 	opt.MutexLog = *mutexLog
 	opt.LatchedLog = *latchedLog
 	opt.GroupCommitWindow = *gcWindow
+	opt.AdaptiveGroupCommit = *adaptiveGC
+	opt.GroupCommitMin = *gcMin
+	opt.GroupCommitMax = *gcMax
+	opt.PreallocateSegments = *prealloc
+	opt.StrictFence = *strictFence
 	opt.LogFlushDelay = *flushDelay
 	opt.Clients = *clients
 	opt.AbortRate = *abortRate
@@ -188,8 +200,9 @@ func runSingle(wl string, opt figures.Options, agents int, sli bool) {
 	exitOn(err)
 	s := res.Breakdown.GroupedShares()
 	ls := res.LockStats
-	fmt.Printf("%s  (sli=%v elr=%v elraborts=%v async=%v mutexlog=%v latchedlog=%v abortrate=%.2f)\n",
-		wl, sli, opt.EarlyLockRelease, opt.EarlyLockReleaseAborts, opt.AsyncCommit, opt.MutexLog, opt.LatchedLog, opt.AbortRate)
+	fmt.Printf("%s  (sli=%v elr=%v elraborts=%v async=%v mutexlog=%v latchedlog=%v adaptivegc=%v strictfence=%v prealloc=%v abortrate=%.2f)\n",
+		wl, sli, opt.EarlyLockRelease, opt.EarlyLockReleaseAborts, opt.AsyncCommit, opt.MutexLog, opt.LatchedLog,
+		opt.AdaptiveGroupCommit, opt.StrictFence, opt.PreallocateSegments, opt.AbortRate)
 	fmt.Printf("  throughput        %.1f tps (%d committed, %d failed, %d errors)\n",
 		res.Throughput, res.Committed, res.Failed, res.Errors)
 	fmt.Printf("  avg latency       %v\n", res.AvgLatency.Round(time.Microsecond))
@@ -205,6 +218,9 @@ func runSingle(wl string, opt figures.Options, agents int, sli bool) {
 		res.Breakdown.Get(profiler.AbortLogWork).Round(time.Microsecond),
 		es.UndoFailures)
 	fmt.Printf("  durable lag       %d bytes (at measurement end)\n", es.DurableLag)
+	fmt.Printf("  log tail          %d flush cycles, %.2f writes/cycle, avg window %v, fence wait %v\n",
+		es.FlushCycles, es.WritesPerCycle(), es.AvgWindow.Round(time.Microsecond), es.FenceWait.Round(time.Microsecond))
+	fmt.Printf("  gc window         %v final (adaptive=%v)\n", es.FinalWindow.Round(time.Microsecond), opt.AdaptiveGroupCommit)
 }
 
 // benchConfig is one configuration of the -benchout comparison sweep.
@@ -236,6 +252,13 @@ type benchEntry struct {
 	ELRAborts    uint64 `json:"elr_aborts"`
 	UndoFailures uint64 `json:"undo_failures"`
 	Errors       uint64 `json:"errors"`
+	// Log-tail efficiency: flusher cycles over the run, physical sink writes
+	// per cycle (~1 on the vectored durable path, 0 in-memory), the mean
+	// group-commit window actually waited, and cumulative publish-fence wait.
+	FlushCycles    uint64  `json:"flush_cycles"`
+	WritesPerCycle float64 `json:"writes_per_cycle"`
+	AvgWindowUs    float64 `json:"avg_window_us"`
+	FenceWaitUs    float64 `json:"fence_wait_us"`
 }
 
 // runBench sweeps TPC-B and the TM-1 (NDBB) mix across the baseline, SLI,
@@ -289,6 +312,11 @@ func runBench(opt figures.Options, agents int, outPath string) {
 				ELRAborts:     es.ELRAborts,
 				UndoFailures:  es.UndoFailures,
 				Errors:        res.Errors,
+
+				FlushCycles:    es.FlushCycles,
+				WritesPerCycle: es.WritesPerCycle(),
+				AvgWindowUs:    float64(es.AvgWindow.Nanoseconds()) / 1e3,
+				FenceWaitUs:    float64(es.FenceWait.Nanoseconds()) / 1e3,
 			}
 			entries = append(entries, e)
 			fmt.Printf("%-12s %-10s %12.1f %14.0f %12.1f %12d\n",

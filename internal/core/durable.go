@@ -74,7 +74,7 @@ func OpenAt(dir string, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	segs, err := wal.OpenSegments(dir, cfg.SegmentBytes)
+	segs, err := wal.OpenSegments(dir, cfg.SegmentBytes, cfg.PreallocateSegments)
 	if err != nil {
 		return nil, err
 	}

@@ -50,8 +50,24 @@ type Config struct {
 	IODelay time.Duration
 	// LogFlushDelay simulates the latency of forcing the log at commit.
 	LogFlushDelay time.Duration
-	// GroupCommitWindow batches concurrent commits (see wal.Config).
+	// GroupCommitWindow batches concurrent commits (see wal.Config). Under
+	// AdaptiveGroupCommit it is only the controller's starting point.
 	GroupCommitWindow time.Duration
+	// AdaptiveGroupCommit turns the fixed group-commit window into a
+	// self-tuning one: the WAL flusher grows and shrinks the window between
+	// GroupCommitMin and GroupCommitMax from observed commit arrival and
+	// durable lag, and wakes early once the pending subscription set is
+	// satisfiable (see wal.Config.AdaptiveGroupCommit).
+	AdaptiveGroupCommit bool
+	// GroupCommitMin and GroupCommitMax bound the adaptive window; zero
+	// values default to 10µs and 2ms. Ignored unless AdaptiveGroupCommit.
+	GroupCommitMin time.Duration
+	GroupCommitMax time.Duration
+	// StrictFence selects the in-order publish fence in the WAL buffer (each
+	// appender spins until every earlier byte is published) instead of the
+	// default completion-tracking publish. It exists as the baseline arm of
+	// the log-tail ablation; leave it off otherwise.
+	StrictFence bool
 	// EarlyLockRelease makes a committing transaction release its locks (and
 	// perform SLI inheritance) as soon as its commit record is appended to
 	// the log, instead of holding them across the group-commit fsync. Lock
@@ -112,6 +128,11 @@ type Config struct {
 	// SegmentBytes is the on-disk WAL segment rotation size for durable
 	// engines; zero uses wal.DefaultSegmentBytes.
 	SegmentBytes int64
+	// PreallocateSegments extends each new WAL segment file to SegmentBytes
+	// at creation (fallocate, degrading to truncate where unsupported), so
+	// group commits write into already-allocated blocks instead of growing
+	// the file. Durable engines only.
+	PreallocateSegments bool
 }
 
 func (c Config) withDefaults() Config {
@@ -251,14 +272,18 @@ func newEngine(cfg Config, durable *wal.Segments, startLSN wal.LSN) *Engine {
 		dropAfterFlush = true
 	}
 	e.log = wal.New(wal.Config{
-		FlushDelay:        cfg.LogFlushDelay,
-		GroupCommitWindow: cfg.GroupCommitWindow,
-		DropAfterFlush:    dropAfterFlush,
-		Durable:           sink,
-		StartLSN:          startLSN,
-		MutexLog:          cfg.MutexLog,
-		LatchedLog:        cfg.LatchedLog,
-		BufferBytes:       cfg.LogBufferBytes,
+		FlushDelay:          cfg.LogFlushDelay,
+		GroupCommitWindow:   cfg.GroupCommitWindow,
+		AdaptiveGroupCommit: cfg.AdaptiveGroupCommit,
+		GroupCommitMin:      cfg.GroupCommitMin,
+		GroupCommitMax:      cfg.GroupCommitMax,
+		StrictFence:         cfg.StrictFence,
+		DropAfterFlush:      dropAfterFlush,
+		Durable:             sink,
+		StartLSN:            startLSN,
+		MutexLog:            cfg.MutexLog,
+		LatchedLog:          cfg.LatchedLog,
+		BufferBytes:         cfg.LogBufferBytes,
 	})
 	e.pool = buffer.NewPool(buffer.NewMemStore(), buffer.Config{
 		Frames:  cfg.BufferFrames,

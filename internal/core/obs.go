@@ -16,6 +16,30 @@ import (
 // slidbd's /readyz flips unready on it.
 func (e *Engine) LogErr() error { return e.log.Err() }
 
+// LogTail returns the log tail's self-tuning snapshot: the group-commit
+// window controller's state from the WAL plus the segment sink's
+// physical-write counters (zero for in-memory engines). It feeds the
+// slidb_group_commit_window_seconds / slidb_log_* metric families and the
+// benchmark harness's writes-per-cycle efficiency stat.
+func (e *Engine) LogTail() obs.LogTailStats {
+	ts := e.log.TailStats()
+	lt := obs.LogTailStats{
+		FlushCycles:       ts.FlushCycles,
+		WindowedCycles:    ts.WindowedCycles,
+		WindowWaitSeconds: ts.WindowTotal.Seconds(),
+		CurWindowSeconds:  ts.CurWindow.Seconds(),
+		FenceWaitSeconds:  ts.FenceWait.Seconds(),
+	}
+	if e.segs != nil {
+		ss := e.segs.Stats()
+		lt.SinkWrites = ss.Writes
+		lt.Rotations = ss.Rotations
+		lt.Preallocs = ss.Preallocs
+		lt.PreallocFallbacks = ss.PreallocFallbacks
+	}
+	return lt
+}
+
 // ProfileLifetime returns the engine-lifetime per-category profiler
 // breakdown: monotonic across Profiler.Reset calls (the benchmark harness
 // resets the interval view around each measurement), which is what lets the

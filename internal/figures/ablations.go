@@ -553,6 +553,101 @@ func AblationLogLSN(o Options) (Table, error) {
 	return t, nil
 }
 
+// AblationLogTail measures the self-tuning log tail on TPC-B with the full
+// SLI+ELR pipeline: fixed vs adaptive group-commit window crossed with the
+// strict (in-order spin) vs relaxed (completion-tracking) publish fence, at
+// one agent and at the peak agent count. The adaptive controller should match
+// the fixed window at a single agent (it shrinks toward GroupCommitMin, so a
+// lone committer is not held for a full fixed window) and at peak load (it
+// widens only while subscriptions keep arriving); the fence-us/xct column
+// shows the serialization the relaxed fence removes when out-of-order fillers
+// would otherwise spin. Honors Options.DataDir, where the writes/cycle column
+// becomes meaningful: the vectored flush path lands a whole cycle in one
+// segment write, so the value should sit near 1.
+func AblationLogTail(o Options) (Table, error) {
+	o = o.withDefaults()
+	if o.LogFlushDelay == 0 {
+		o.LogFlushDelay = 500 * time.Microsecond
+	}
+	if o.GroupCommitWindow == 0 {
+		o.GroupCommitWindow = 100 * time.Microsecond
+	}
+	userClients := o.Clients != 0
+	if !userClients {
+		// Overcommit clients so the pipeline stays full (see AblationSLIELR).
+		o.Clients = 4 * o.PeakAgents
+	}
+	t := Table{
+		Title:   "Ablation: log tail — fixed vs adaptive group commit, x strict vs relaxed publish fence (TPC-B, SLI+ELR)",
+		Columns: []string{"agents", "tps", "avg-window-us", "final-window-us", "writes/cycle", "fence-us/xct"},
+	}
+	grid := []struct {
+		name     string
+		adaptive bool
+		strict   bool
+	}{
+		{"fixed+strict", false, true},
+		{"fixed+relaxed", false, false},
+		{"adaptive+strict", true, true},
+		{"adaptive+relaxed", true, false},
+	}
+	for _, agents := range []int{1, o.PeakAgents} {
+		for _, g := range grid {
+			oo := o
+			if agents == 1 && !userClients {
+				oo.Clients = 4
+			}
+			e, gen, err := buildTPCBWithEngineConfig(oo, core.Config{
+				SLI:                    true,
+				EarlyLockRelease:       true,
+				EarlyLockReleaseAborts: true,
+				AsyncCommit:            true,
+				Agents:                 agents,
+				Profile:                true,
+				BufferFrames:           oo.BufferFrames,
+				GroupCommitWindow:      oo.GroupCommitWindow,
+				AdaptiveGroupCommit:    g.adaptive,
+				GroupCommitMin:         oo.GroupCommitMin,
+				GroupCommitMax:         oo.GroupCommitMax,
+				StrictFence:            g.strict,
+				PreallocateSegments:    oo.PreallocateSegments,
+				LogFlushDelay:          oo.LogFlushDelay,
+				IODelay:                oo.IODelay,
+			})
+			if err != nil {
+				return t, err
+			}
+			res := oo.run(e, gen, agents)
+			lt := e.LogTail()
+			e.Close()
+			avgWindowUs := 0.0
+			if lt.WindowedCycles > 0 {
+				avgWindowUs = lt.WindowWaitSeconds / float64(lt.WindowedCycles) * 1e6
+			}
+			writesPerCycle := 0.0
+			if lt.FlushCycles > 0 {
+				writesPerCycle = float64(lt.SinkWrites) / float64(lt.FlushCycles)
+			}
+			fencePerXct := 0.0
+			if n := res.Completed(); n > 0 {
+				fencePerXct = lt.FenceWaitSeconds * 1e6 / float64(n)
+			}
+			t.Rows = append(t.Rows, Row{
+				Label: fmt.Sprintf("%s a=%d", g.name, agents),
+				Values: []float64{
+					float64(agents),
+					res.Throughput,
+					avgWindowUs,
+					lt.CurWindowSeconds * 1e6,
+					writesPerCycle,
+					fencePerXct,
+				},
+			})
+		}
+	}
+	return t, nil
+}
+
 // buildTPCBWithEngineConfig loads the TPC-B dataset into an engine with a
 // custom configuration (used by the commit-pipeline ablations). When
 // Options.DataDir is set the engine is disk-backed (real WAL segments and
@@ -618,16 +713,18 @@ func Ablation(name string, o Options) (Table, error) {
 		return AblationLogBuffer(o)
 	case "log-lsn":
 		return AblationLogLSN(o)
+	case "log-tail":
+		return AblationLogTail(o)
 	case "abort-elr":
 		return AblationAbortELR(o)
 	default:
-		return Table{}, fmt.Errorf("figures: unknown ablation %q (use hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer, log-lsn, abort-elr)", name)
+		return Table{}, fmt.Errorf("figures: unknown ablation %q (use hot-threshold, levels, bimodal, roving-hotspot, sli-elr, log-buffer, log-lsn, log-tail, abort-elr)", name)
 	}
 }
 
 // Ablations lists the available ablation study names.
 func Ablations() []string {
-	return []string{"hot-threshold", "levels", "bimodal", "roving-hotspot", "sli-elr", "log-buffer", "log-lsn", "abort-elr"}
+	return []string{"hot-threshold", "levels", "bimodal", "roving-hotspot", "sli-elr", "log-buffer", "log-lsn", "log-tail", "abort-elr"}
 }
 
 // quickOptions shrinks an Options for smoke tests; exported for reuse from

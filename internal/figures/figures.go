@@ -76,6 +76,17 @@ type Options struct {
 	// baseline arm of the log-lsn ablation).
 	MutexLog   bool
 	LatchedLog bool
+	// AdaptiveGroupCommit replaces the fixed group-commit window with the
+	// self-tuning controller, bounded by GroupCommitMin/GroupCommitMax
+	// (engine defaults apply when zero). StrictFence keeps the in-order
+	// spin publish fence instead of the relaxed completion-tracking fence
+	// (the baseline arm of the log-tail ablation). PreallocateSegments
+	// preallocates durable segment files at creation (see core.Config).
+	AdaptiveGroupCommit bool
+	GroupCommitMin      time.Duration
+	GroupCommitMax      time.Duration
+	StrictFence         bool
+	PreallocateSegments bool
 	// Clients is the number of closed-loop client goroutines driving the
 	// engine; zero means one per agent. Overcommitting clients (> agents)
 	// is required to exercise AsyncCommit's flush pipelining: with exactly
@@ -286,6 +297,11 @@ func (o Options) buildEngine(key string, sli bool, agents int) (*core.Engine, wo
 		LogFlushDelay:          o.LogFlushDelay,
 		MutexLog:               o.MutexLog,
 		LatchedLog:             o.LatchedLog,
+		AdaptiveGroupCommit:    o.AdaptiveGroupCommit,
+		GroupCommitMin:         o.GroupCommitMin,
+		GroupCommitMax:         o.GroupCommitMax,
+		StrictFence:            o.StrictFence,
+		PreallocateSegments:    o.PreallocateSegments,
 	}
 	// NDBB is the in-memory dataset; TPC-B and TPC-C are "disk-resident" and
 	// pay the artificial I/O penalty (paper §5.2).
@@ -376,6 +392,29 @@ type EngineStats struct {
 	// UndoFailures counts rollback undo actions that failed; non-zero means
 	// the run corrupted in-memory state.
 	UndoFailures uint64
+	// FlushCycles counts group-commit flusher cycles over the engine's
+	// lifetime; SinkWrites counts physical writes the durable segment sink
+	// issued (zero for in-memory engines). SinkWrites/FlushCycles is the
+	// writes-per-cycle efficiency stat: ~1 on the vectored flush path.
+	FlushCycles uint64
+	SinkWrites  uint64
+	// AvgWindow is the mean group-commit window over the run's windowed
+	// cycles; FinalWindow is the controller's window when the run ended
+	// (equal to the configured window when the controller is off).
+	// FenceWait is cumulative time publishers spent blocked in the publish
+	// fence.
+	AvgWindow   time.Duration
+	FinalWindow time.Duration
+	FenceWait   time.Duration
+}
+
+// WritesPerCycle returns physical sink writes per flusher cycle, or 0 for
+// in-memory runs.
+func (es EngineStats) WritesPerCycle() float64 {
+	if es.FlushCycles == 0 {
+		return 0
+	}
+	return float64(es.SinkWrites) / float64(es.FlushCycles)
 }
 
 // RunWorkload builds, runs and tears down one workload configuration,
@@ -398,6 +437,14 @@ func RunWorkload(key string, o Options, sli bool, agents int) (workload.Result, 
 		DurableLag:   e.DurableLag(),
 		ELRAborts:    e.ELRAborts(),
 		UndoFailures: e.UndoFailures(),
+	}
+	lt := e.LogTail()
+	es.FlushCycles = lt.FlushCycles
+	es.SinkWrites = lt.SinkWrites
+	es.FinalWindow = time.Duration(lt.CurWindowSeconds * float64(time.Second))
+	es.FenceWait = time.Duration(lt.FenceWaitSeconds * float64(time.Second))
+	if lt.WindowedCycles > 0 {
+		es.AvgWindow = time.Duration(lt.WindowWaitSeconds / float64(lt.WindowedCycles) * float64(time.Second))
 	}
 	return res, es, nil
 }

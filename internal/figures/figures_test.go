@@ -29,7 +29,7 @@ func TestOptionsDefaults(t *testing.T) {
 	if len(AllWorkloads()) < 10 {
 		t.Fatal("workload list unexpectedly short")
 	}
-	if len(ShortWorkloads()) == 0 || len(Ablations()) != 8 {
+	if len(ShortWorkloads()) == 0 || len(Ablations()) != 9 {
 		t.Fatal("helper listings wrong")
 	}
 	p := PaperOptions()
@@ -127,6 +127,42 @@ func TestAblationsSmoke(t *testing.T) {
 	}
 	if _, err := Ablation("nope", o); err == nil {
 		t.Fatal("unknown ablation accepted")
+	}
+}
+
+// TestAblationLogTailSmoke runs the log-tail grid durably (real segment
+// files) at tiny scale: all eight cells must produce rows, and the durable
+// vectored flush path must stay near one physical write per flush cycle.
+func TestAblationLogTailSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	o := tinyOptions()
+	o.PeakAgents = 2
+	o.DataDir = t.TempDir()
+	tbl, err := AblationLogTail(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("log-tail grid produced %d rows, want 8", len(tbl.Rows))
+	}
+	wpcCol := -1
+	for i, c := range tbl.Columns {
+		if c == "writes/cycle" {
+			wpcCol = i
+		}
+	}
+	if wpcCol < 0 {
+		t.Fatalf("no writes/cycle column in %v", tbl.Columns)
+	}
+	for _, r := range tbl.Rows {
+		wpc := r.Values[wpcCol]
+		// Exactly one vectored submission per data-carrying cycle, plus a
+		// handful of segment creations over a short run.
+		if wpc <= 0 || wpc > 1.5 {
+			t.Fatalf("%s: writes/cycle = %.2f, want ~1 on the vectored durable path", r.Label, wpc)
+		}
 	}
 }
 

@@ -32,6 +32,38 @@ type EngineSource interface {
 	ProfileLifetime() profiler.Breakdown
 	// Concurrency is the current agent worker count.
 	Concurrency() int
+	// LogTail is the log tail's self-tuning snapshot (group-commit window,
+	// flush cycles, physical sink writes, publish-fence waits).
+	LogTail() LogTailStats
+}
+
+// LogTailStats is the log-tail snapshot the collector exports: the adaptive
+// group-commit controller's state plus the segment sink's physical-write
+// counters. Defined here (not in wal) so core can satisfy EngineSource with
+// one struct regardless of which WAL pieces an engine configuration uses;
+// in-memory engines report zero sink counters.
+type LogTailStats struct {
+	// FlushCycles is the number of completed group-commit cycles;
+	// WindowedCycles the subset that opened a group-commit window, and
+	// WindowWaitSeconds the window time those cycles actually waited (early
+	// wakes make this less than cycles × window).
+	FlushCycles       uint64
+	WindowedCycles    uint64
+	WindowWaitSeconds float64
+	// CurWindowSeconds is the live group-commit window — the adaptive
+	// controller's current value, or the configured fixed one.
+	CurWindowSeconds float64
+	// FenceWaitSeconds is the cumulative time appenders spent blocked
+	// publishing their log-buffer claims.
+	FenceWaitSeconds float64
+	// SinkWrites counts physical write submissions to the segment files (a
+	// vectored group-commit cycle counts once); Rotations, Preallocs and
+	// PreallocFallbacks count segment creations, fallocate preallocations
+	// and truncate fallbacks respectively.
+	SinkWrites        uint64
+	Rotations         uint64
+	Preallocs         uint64
+	PreallocFallbacks uint64
 }
 
 // lockLevelNames maps lockmgr levels to stable label values, indexed like
@@ -69,6 +101,38 @@ func RegisterEngine(r *Registry, e EngineSource) {
 	r.GaugeFunc("slidb_agents",
 		"Current agent worker count.",
 		func() float64 { return float64(e.Concurrency()) })
+
+	// Log-tail self-tuning surface: the live group-commit window (the
+	// adaptive controller's output), how much window time flush cycles
+	// actually waited, the vectored sink's writes-per-cycle inputs, and the
+	// publish-fence wait total.
+	r.GaugeFunc("slidb_group_commit_window_seconds",
+		"Group-commit window currently in effect (adaptive controller output, or the fixed configured window).",
+		func() float64 { return e.LogTail().CurWindowSeconds })
+	r.CounterFunc("slidb_group_commit_window_wait_seconds_total",
+		"Group-commit window time the flusher actually waited (early wakes make this less than cycles x window).",
+		func() float64 { return e.LogTail().WindowWaitSeconds })
+	r.CounterFunc("slidb_log_flush_cycles_total",
+		"Completed group-commit flush cycles.",
+		func() float64 { return float64(e.LogTail().FlushCycles) })
+	r.CounterFunc("slidb_log_sink_writes_total",
+		"Physical write submissions to the WAL segment files (one per vectored group-commit cycle on the fast path).",
+		func() float64 { return float64(e.LogTail().SinkWrites) })
+	r.CounterFunc("slidb_log_fence_wait_seconds_total",
+		"Cumulative time appenders spent blocked publishing their log-buffer claims.",
+		func() float64 { return e.LogTail().FenceWaitSeconds })
+	r.CounterFunc("slidb_log_segment_rotations_total",
+		"WAL segment file rotations.",
+		func() float64 { return float64(e.LogTail().Rotations) })
+	r.LabeledCounterFunc("slidb_log_segment_preallocs_total",
+		"WAL segment preallocations by method (fallocate, or the truncate fallback where unsupported).", "method",
+		func() []Sample {
+			lt := e.LogTail()
+			return []Sample{
+				{Label: "fallocate", Value: float64(lt.Preallocs)},
+				{Label: "truncate", Value: float64(lt.PreallocFallbacks)},
+			}
+		})
 
 	// Lock manager counters (the paper's Figure 8/9 surface). Each family
 	// snapshots the stats once per scrape.

@@ -66,13 +66,19 @@ func FuzzRecordRoundTrip(f *testing.F) {
 // range-written stream at exactly the byte-offset LSN its Append returned.
 // This is the torture harness for the reserve/fill/publish protocol:
 // wraparound padding, buffer-full waits, publish-fence ordering and flusher
-// consumption all happen here depending on the fuzzed shape.
+// consumption all happen here depending on the fuzzed shape. The strict
+// dimension crosses it with both publish-fence implementations — the
+// in-order spin fence and the relaxed completion-tracking fence must both
+// deliver every record, and neither may ever expose unfilled bytes to the
+// flusher (which would surface here as a decode failure or mismatch).
 func FuzzConcurrentReserveFillPublish(f *testing.F) {
-	f.Add(uint8(4), uint8(50), uint16(64), uint16(7), uint16(4096), false)
-	f.Add(uint8(1), uint8(1), uint16(0), uint16(0), uint16(0), false)
-	f.Add(uint8(8), uint8(30), uint16(900), uint16(333), uint16(5000), false)
-	f.Add(uint8(8), uint8(30), uint16(900), uint16(333), uint16(5000), true)
-	f.Fuzz(func(t *testing.T, appenders, perAppender uint8, sizeA, sizeB, bufBytes uint16, latched bool) {
+	f.Add(uint8(4), uint8(50), uint16(64), uint16(7), uint16(4096), false, false)
+	f.Add(uint8(1), uint8(1), uint16(0), uint16(0), uint16(0), false, false)
+	f.Add(uint8(8), uint8(30), uint16(900), uint16(333), uint16(5000), false, false)
+	f.Add(uint8(8), uint8(30), uint16(900), uint16(333), uint16(5000), true, false)
+	f.Add(uint8(8), uint8(30), uint16(900), uint16(333), uint16(5000), false, true)
+	f.Add(uint8(6), uint8(40), uint16(200), uint16(90), uint16(4096), false, true)
+	f.Fuzz(func(t *testing.T, appenders, perAppender uint8, sizeA, sizeB, bufBytes uint16, latched, strict bool) {
 		nApp := int(appenders)%8 + 1
 		nRec := int(perAppender)%64 + 1
 		sink := &captureSink{}
@@ -81,6 +87,7 @@ func FuzzConcurrentReserveFillPublish(f *testing.F) {
 			DropAfterFlush: true,
 			BufferBytes:    int64(bufBytes), // clamped to the minimum internally
 			LatchedLog:     latched,
+			StrictFence:    strict,
 		})
 		var mu sync.Mutex
 		want := make(map[LSN]Record)
@@ -153,18 +160,19 @@ func FuzzReservationProtocolEquivalence(f *testing.F) {
 		if len(sizes) > 512 {
 			sizes = sizes[:512]
 		}
-		faaSink, latSink, mtxSink := &captureSink{}, &captureSink{}, &captureSink{}
+		faaSink, latSink, mtxSink, strSink := &captureSink{}, &captureSink{}, &captureSink{}, &captureSink{}
 		faa := New(Config{Durable: faaSink, DropAfterFlush: true, BufferBytes: int64(bufBytes)})
 		lat := New(Config{Durable: latSink, DropAfterFlush: true, BufferBytes: int64(bufBytes), LatchedLog: true})
 		mtx := New(Config{Durable: mtxSink, DropAfterFlush: true, MutexLog: true})
-		var faaLSNs, latLSNs, mtxLSNs []LSN
+		str := New(Config{Durable: strSink, DropAfterFlush: true, BufferBytes: int64(bufBytes), StrictFence: true})
+		var faaLSNs, latLSNs, mtxLSNs, strLSNs []LSN
 		for i, sz := range sizes {
 			rec := Record{XID: uint64(i), Type: RecInsert, Table: 1, Page: uint64(sz),
 				After: bytes.Repeat([]byte{sz}, int(sz)*3)}
 			for _, arm := range []struct {
 				l    *Log
 				lsns *[]LSN
-			}{{faa, &faaLSNs}, {lat, &latLSNs}, {mtx, &mtxLSNs}} {
+			}{{faa, &faaLSNs}, {lat, &latLSNs}, {mtx, &mtxLSNs}, {str, &strLSNs}} {
 				lsn, err := arm.l.Append(rec)
 				if err != nil {
 					t.Fatal(err)
@@ -172,7 +180,7 @@ func FuzzReservationProtocolEquivalence(f *testing.F) {
 				*arm.lsns = append(*arm.lsns, lsn)
 			}
 		}
-		for _, l := range []*Log{faa, lat, mtx} {
+		for _, l := range []*Log{faa, lat, mtx, str} {
 			if err := l.Close(); err != nil {
 				t.Fatal(err)
 			}
@@ -182,6 +190,15 @@ func FuzzReservationProtocolEquivalence(f *testing.F) {
 		}
 		if !reflect.DeepEqual(faaLSNs, latLSNs) {
 			t.Fatal("latched and fetch-and-add LSNs differ")
+		}
+		// The publish fence orders publication, not reservation: with one
+		// appender the strict and relaxed fences must be indistinguishable,
+		// down to the bytes on disk.
+		if !bytes.Equal(faaSink.bytes(), strSink.bytes()) {
+			t.Fatal("strict-fence and relaxed-fence streams differ")
+		}
+		if !reflect.DeepEqual(faaLSNs, strLSNs) {
+			t.Fatal("strict-fence and relaxed-fence LSNs differ")
 		}
 		// The mutex log elides ring padding, so compare decoded records and
 		// confirm its offsets agree wherever no padding intervened (they

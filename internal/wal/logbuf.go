@@ -12,10 +12,15 @@ package wal
 //     arithmetic under a short mutex — as the ablation baseline);
 //  2. fills   — encodes the record directly into its claimed range, with no
 //     lock held, concurrently with every other appender;
-//  3. publishes — advances the published watermark past its range with an
-//     in-order compare-and-swap (the publish fence). The fence is what gives
-//     the flusher a contiguous published prefix to consume with two atomic
-//     loads and no per-record bookkeeping.
+//  3. publishes — makes its range consumable by the flusher. The default is
+//     completion tracking (Aether's hybrid idea applied to the fence): a
+//     filler that finishes out of order deposits its completed range in a
+//     small pending set and returns immediately; whichever filler (or
+//     successor) holds the watermark merges every contiguous completion
+//     forward. A preempted filler therefore delays only the watermark, never
+//     another publisher. Config.StrictFence keeps the PR-3 in-order
+//     compare-and-swap fence — each filler spins until every earlier byte is
+//     published — as the ablation baseline (-ablation log-tail).
 //
 // The ring never splits a frame across its physical end: a reservation whose
 // frame would wrap claims the leftover tail bytes too and fills them with
@@ -87,6 +92,7 @@ type logBuffer struct {
 	size    int64
 	buf     []byte
 	latched bool // ablation: reserve under mu instead of a head CAS
+	strict  bool // ablation: in-order spin-CAS publish fence instead of completion tracking
 
 	head      atomic.Int64 // next virtual offset to reserve
 	published atomic.Int64 // fence: every byte below it is filled
@@ -98,20 +104,30 @@ type logBuffer struct {
 	fullWaiters atomic.Int32 // reservers blocked on a full buffer (flusher pressure signal)
 	wedged      atomic.Bool  // fast-path mirror of err != nil
 
+	fenceNanos atomic.Int64 // cumulative time appenders spent blocked publishing
+
+	// pubMu guards the relaxed fence's completion tracking: pubPending maps a
+	// completed-but-unmergeable range's claim offset to its end. Under the
+	// relaxed fence every store to published happens with pubMu held (loads
+	// stay lock-free), so "published == claim" is an exact handoff test.
+	pubMu      sync.Mutex
+	pubPending map[int64]int64
+
 	mu      sync.Mutex
 	notFull *sync.Cond
 	err     error // set once by close: every later reserve fails with it
 }
 
-func newLogBuffer(size int64, start LSN, latched bool) *logBuffer {
+func newLogBuffer(size int64, start LSN, latched, strict bool) *logBuffer {
 	if size <= 0 {
 		size = DefaultLogBufferBytes
 	}
 	if size < minLogBufferBytes {
 		size = minLogBufferBytes
 	}
-	lb := &logBuffer{size: size, buf: make([]byte, size), latched: latched}
+	lb := &logBuffer{size: size, buf: make([]byte, size), latched: latched, strict: strict}
 	lb.notFull = sync.NewCond(&lb.mu)
+	lb.pubPending = make(map[int64]int64)
 	lb.head.Store(int64(start))
 	lb.published.Store(int64(start))
 	lb.tail.Store(int64(start))
@@ -230,10 +246,61 @@ func (lb *logBuffer) padOut(s reservation) {
 	}
 	p := lb.phys(s.off)
 	clear(lb.buf[p : p+s.n])
-	claim, end := s.off-s.pad, s.off+s.n
-	for !lb.published.CompareAndSwap(claim, end) {
-		runtime.Gosched()
+	lb.publish(s.off-s.pad, s.off+s.n, false)
+}
+
+// publish makes the filled claim [claim, end) consumable. Under the strict
+// fence it is the in-order CAS: spin until every earlier byte is published.
+// Under the relaxed (default) fence it never waits on other fillers: the
+// watermark holder merges forward through every contiguous completion already
+// deposited, and anyone else deposits its range and leaves — a preempted
+// filler stalls the watermark (the flusher simply sees fewer bytes this
+// cycle) but no longer stalls later publishers. The returned duration is the
+// time spent blocked; the cumulative total feeds the fence-wait stat.
+func (lb *logBuffer) publish(claim, end int64, timed bool) time.Duration {
+	if lb.strict {
+		if lb.published.CompareAndSwap(claim, end) {
+			return 0
+		}
+		// Already off the fast path (a predecessor is mid-fill), so the spin
+		// is timed unconditionally: the strict arm's fence-wait total stays
+		// meaningful even in unprofiled runs.
+		fenceStart := time.Now()
+		for !lb.published.CompareAndSwap(claim, end) {
+			runtime.Gosched()
+		}
+		d := time.Since(fenceStart)
+		lb.fenceNanos.Add(int64(d))
+		if timed {
+			return d
+		}
+		return 0
 	}
+	var fenceStart time.Time
+	if timed {
+		fenceStart = time.Now()
+	}
+	lb.pubMu.Lock()
+	if lb.published.Load() == claim {
+		for {
+			next, ok := lb.pubPending[end]
+			if !ok {
+				break
+			}
+			delete(lb.pubPending, end)
+			end = next
+		}
+		lb.published.Store(end)
+	} else {
+		lb.pubPending[claim] = end
+	}
+	lb.pubMu.Unlock()
+	if timed {
+		d := time.Since(fenceStart)
+		lb.fenceNanos.Add(int64(d))
+		return d
+	}
+	return 0
 }
 
 // reserveLatched is the PR-3 reservation protocol kept as the log-lsn
@@ -305,10 +372,9 @@ func (lb *logBuffer) waitForSpace(n int64, kick func(), timed bool, w *AppendWai
 
 // fill writes the reservation's bytes — zeroing any wraparound padding, then
 // encoding the record at its offset — entirely outside any latch, and then
-// publishes the claim through the in-order fence. The fence CAS succeeds
-// exactly when every earlier byte is published, so a filler whose
-// predecessor is still copying yields until it finishes; the returned
-// duration is that wait (zero when untimed or uncontended).
+// publishes the claim (see publish for the strict/relaxed fence semantics).
+// The returned duration is the time spent blocked publishing (zero when
+// untimed or uncontended).
 func (lb *logBuffer) fill(rec Record, s reservation, timed bool) time.Duration {
 	if s.pad > 0 {
 		pstart := lb.phys(s.off - s.pad)
@@ -318,7 +384,6 @@ func (lb *logBuffer) fill(rec Record, s reservation, timed bool) time.Duration {
 	if n := int64(rec.EncodeTo(lb.buf[start : start+s.n])); n != s.n {
 		panic(fmt.Sprintf("wal: reserved %d bytes but encoded %d", s.n, n))
 	}
-	claim, end := s.off-s.pad, s.off+s.n
 	// Counted before the fence: a consume cycle that sees this record's
 	// bytes published (the fence won between its `published` and `pubRecs`
 	// loads) must not miss its count — the last cycle before an idle period
@@ -326,20 +391,7 @@ func (lb *logBuffer) fill(rec Record, s reservation, timed bool) time.Duration {
 	// skew (counted now, bytes consumed next cycle) self-corrects through
 	// the flusher's running delta.
 	lb.pubRecs.Add(1)
-	if lb.published.CompareAndSwap(claim, end) {
-		return 0
-	}
-	var fenceStart time.Time
-	if timed {
-		fenceStart = time.Now()
-	}
-	for !lb.published.CompareAndSwap(claim, end) {
-		runtime.Gosched()
-	}
-	if timed {
-		return time.Since(fenceStart)
-	}
-	return 0
+	return lb.publish(s.off-s.pad, s.off+s.n, timed)
 }
 
 // consume takes the published-but-unconsumed window of the virtual log and

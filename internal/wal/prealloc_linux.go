@@ -1,0 +1,17 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// sysPreallocImpl extends f to size bytes with fallocate(2), mode 0: the
+// file size grows and the blocks are really allocated, so later writes into
+// the region never block on file-system allocation. File systems that do not
+// support fallocate return ENOTSUP/EOPNOTSUPP, which the caller downgrades
+// to a plain truncate.
+func sysPreallocImpl(f *os.File, size int64) error {
+	return syscall.Fallocate(int(f.Fd()), 0, 0, size)
+}

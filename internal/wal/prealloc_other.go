@@ -1,0 +1,16 @@
+//go:build !linux
+
+package wal
+
+import (
+	"errors"
+	"os"
+)
+
+// sysPreallocImpl has no portable equivalent of fallocate(2); reporting
+// unsupported makes the caller fall back to truncate, which extends the file
+// with a (possibly sparse) zero tail — the same recovery semantics, without
+// the guaranteed block allocation.
+func sysPreallocImpl(_ *os.File, _ int64) error {
+	return errors.ErrUnsupported
+}

@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 )
 
 // DefaultSegmentBytes is the rotation threshold for on-disk log segments.
@@ -118,15 +120,48 @@ func readHeader(f io.Reader, name string, want LSN) error {
 // record at LSN L lives in that file at position segHeaderSize + (L - first)
 // — segments map an LSN to its location by arithmetic, never by scanning.
 // Rotation happens only at frame boundaries, so no frame spans two files.
+//
+// All writes are positional (pwrite at the tracked size), never O_APPEND:
+// with PreallocateSegments the current file is extended to the full rotation
+// size at creation — the file system allocates once instead of growing the
+// file on every group commit — and appends then land inside the preallocated
+// region, so the kernel's notion of "end of file" stops being the log's.
 type Segments struct {
 	dir      string
 	segBytes int64
+	prealloc bool
+
+	writes            atomic.Uint64 // physical write submissions (one pwritev counts once)
+	rotations         atomic.Uint64
+	preallocs         atomic.Uint64 // segments preallocated via fallocate
+	preallocFallbacks atomic.Uint64 // segments preallocated via truncate (fallocate unsupported)
 
 	mu      sync.Mutex
 	cur     *os.File
-	curSize int64 // current segment file size, header included
+	curSize int64 // current segment payload size, header included (not the file size)
 	end     LSN   // virtual offset just past the last byte in any segment
 	closed  bool
+}
+
+// SegmentStats is a snapshot of Segments' physical-write counters. Writes
+// counts write submissions (syscalls), not bytes: a whole vectored
+// group-commit cycle counts once, which is what the writes-per-cycle
+// efficiency stat measures.
+type SegmentStats struct {
+	Writes            uint64
+	Rotations         uint64
+	Preallocs         uint64
+	PreallocFallbacks uint64
+}
+
+// Stats returns a snapshot of the physical-write counters.
+func (s *Segments) Stats() SegmentStats {
+	return SegmentStats{
+		Writes:            s.writes.Load(),
+		Rotations:         s.rotations.Load(),
+		Preallocs:         s.preallocs.Load(),
+		PreallocFallbacks: s.preallocFallbacks.Load(),
+	}
 }
 
 // OpenSegments opens (creating if necessary) the segment directory. Existing
@@ -134,15 +169,20 @@ type Segments struct {
 // fails with ErrLogFormat) and scanned to find the end of the durable
 // prefix; a torn frame at the tail of the last segment — the signature of a
 // crash mid-write — is truncated away so subsequent appends extend a valid
-// log. segBytes <= 0 uses DefaultSegmentBytes.
-func OpenSegments(dir string, segBytes int64) (*Segments, error) {
+// log. segBytes <= 0 uses DefaultSegmentBytes. preallocate extends each new
+// segment file to segBytes at creation (falling back to truncate, and then
+// to plain growing writes, where the file system does not support
+// fallocate); a preallocated file's zero tail scans identically to a torn
+// tail, so directories move freely between preallocating and
+// non-preallocating configurations.
+func OpenSegments(dir string, segBytes int64, preallocate bool) (*Segments, error) {
 	if segBytes <= 0 {
 		segBytes = DefaultSegmentBytes
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create segment dir: %w", err)
 	}
-	s := &Segments{dir: dir, segBytes: segBytes}
+	s := &Segments{dir: dir, segBytes: segBytes, prealloc: preallocate}
 	infos, err := s.listSegments()
 	if err != nil {
 		return nil, err
@@ -165,7 +205,7 @@ func OpenSegments(dir string, segBytes int64) (*Segments, error) {
 			s.end = end
 		}
 		if last {
-			f, oerr := os.OpenFile(info.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			f, oerr := os.OpenFile(info.path, os.O_WRONLY, 0o644)
 			if oerr != nil {
 				return nil, fmt.Errorf("wal: reopen segment: %w", oerr)
 			}
@@ -176,7 +216,7 @@ func OpenSegments(dir string, segBytes int64) (*Segments, error) {
 					f.Close()
 					return nil, fmt.Errorf("wal: reset torn segment header: %w", terr)
 				}
-				if _, werr := f.Write(encodeHeader(info.first)); werr != nil {
+				if _, werr := f.WriteAt(encodeHeader(info.first), 0); werr != nil {
 					f.Close()
 					return nil, fmt.Errorf("wal: rewrite segment header: %w", werr)
 				}
@@ -187,9 +227,55 @@ func OpenSegments(dir string, segBytes int64) (*Segments, error) {
 			}
 			s.cur = f
 			s.curSize = valid
+			if s.prealloc && valid < segBytes {
+				// Re-extend the resumed segment to its full size. Truncate,
+				// not fallocate, so any torn garbage past the valid prefix is
+				// replaced by zeros — the same state a crash mid-preallocated
+				// segment leaves behind.
+				if terr := f.Truncate(valid); terr == nil {
+					s.preallocLocked(f)
+				}
+			}
 		}
 	}
 	return s, nil
+}
+
+// preallocLocked extends f to the full rotation size, preferring fallocate
+// (real block allocation) and degrading to truncate (a sparse zero tail)
+// where the file system does not support it. Preallocation is strictly an
+// optimization: if both fail the segment simply grows write by write, and
+// prealloc is switched off so later rotations stop retrying a file system
+// that already said no.
+func (s *Segments) preallocLocked(f *os.File) {
+	if !s.prealloc {
+		return
+	}
+	err := sysPrealloc(f, s.segBytes)
+	if err == nil {
+		s.preallocs.Add(1)
+		return
+	}
+	if preallocUnsupported(err) {
+		if terr := f.Truncate(s.segBytes); terr == nil {
+			s.preallocFallbacks.Add(1)
+			return
+		}
+	}
+	s.prealloc = false
+}
+
+// sysPrealloc is the platform fallocate hook (see prealloc_linux.go); a
+// package variable so tests can simulate an unsupporting file system.
+var sysPrealloc = sysPreallocImpl
+
+// preallocUnsupported reports whether err means the file system cannot
+// preallocate (as opposed to a real I/O failure) and the truncate fallback
+// should be tried.
+func preallocUnsupported(err error) bool {
+	return errors.Is(err, errors.ErrUnsupported) ||
+		errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.EOPNOTSUPP) ||
+		errors.Is(err, syscall.ENOSYS) || errors.Is(err, syscall.EINVAL)
 }
 
 // listSegments returns the segment files in first-offset order.
@@ -214,10 +300,15 @@ func (s *Segments) listSegments() ([]segmentInfo, error) {
 }
 
 // scanSegment validates the header and decodes every frame in the file,
-// returning the file offset of the end of the last whole frame (counting any
-// trailing padding bytes). A decode failure (torn or corrupt frame) is
-// reported alongside the prefix that was valid; a wrong-format header is
-// ErrLogFormat.
+// returning the file offset of the end of the last whole frame. A trailing
+// zero run — zeros with no frame after them — is the zero-frame cutoff and
+// never counts as valid payload: with preallocated segments a zero tail is
+// the normal state of the live segment, and it must scan exactly like the
+// torn tail it is indistinguishable from. (In-stream padding is still
+// counted: wraparound padding is always written together with the frame
+// that claimed it, so a healthy log never ends in padding.) A decode failure
+// (torn or corrupt frame) is reported alongside the prefix that was valid; a
+// wrong-format header is ErrLogFormat.
 func scanSegment(path string, first LSN) (validBytes int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -235,10 +326,10 @@ func scanSegment(path string, first LSN) (validBytes int64, err error) {
 	for {
 		_, pad, frame, derr := decodeCounted(r)
 		if derr == io.EOF {
-			return off + pad, nil
+			return off, nil
 		}
 		if derr != nil {
-			return off + pad, fmt.Errorf("%w at offset %d", ErrCorrupt, off+pad)
+			return off, fmt.Errorf("%w at offset %d", ErrCorrupt, off+pad)
 		}
 		off += pad + frame
 	}
@@ -252,7 +343,7 @@ func scanSegment(path string, first LSN) (validBytes int64, err error) {
 func (s *Segments) prepareLocked(at LSN) error {
 	if s.cur != nil && at > s.end {
 		pad := make([]byte, at-s.end)
-		n, err := s.cur.Write(pad)
+		n, err := s.writeCurLocked(pad)
 		s.curSize += int64(n)
 		s.end += LSN(n)
 		if err != nil {
@@ -288,13 +379,21 @@ func (s *Segments) WriteRecord(rec Record, encoded []byte) error {
 	if err := s.prepareLocked(rec.LSN); err != nil {
 		return err
 	}
-	n, err := s.cur.Write(encoded)
+	n, err := s.writeCurLocked(encoded)
 	s.curSize += int64(n)
 	s.end += LSN(n)
 	if err != nil {
 		return fmt.Errorf("wal: segment write: %w", err)
 	}
 	return nil
+}
+
+// writeCurLocked lands data at the current segment's tracked size with one
+// positional write. It is the only plain (non-vectored) payload write path,
+// so every physical write submission is counted here or in WriteRanges.
+func (s *Segments) writeCurLocked(data []byte) (int, error) {
+	s.writes.Add(1)
+	return s.cur.WriteAt(data, s.curSize)
 }
 
 // WriteRange appends a contiguous run of already-encoded bytes of the
@@ -320,7 +419,7 @@ func (s *Segments) WriteRange(encoded []byte, first LSN) error {
 			return err
 		}
 		chunk := rangePrefix(encoded, s.segBytes-s.curSize)
-		n, err := s.cur.Write(chunk)
+		n, err := s.writeCurLocked(chunk)
 		s.curSize += int64(n)
 		s.end += LSN(n)
 		if err != nil {
@@ -330,6 +429,72 @@ func (s *Segments) WriteRange(encoded []byte, first LSN) error {
 		encoded = encoded[len(chunk):]
 	}
 	return nil
+}
+
+// WriteRanges lands one whole group-commit cycle — every contiguous
+// published range the flusher consumed, in virtual-offset order — with a
+// single vectored submission per segment file (pwritev on Linux, a coalesced
+// single pwrite elsewhere): the vectorSink fast path above WriteRange.
+// Boundary decisions are identical to repeated WriteRange calls — the batch
+// is split exactly where rotation would split it, once, not per call — so
+// the on-disk bytes are byte-for-byte the same as the per-range path's.
+func (s *Segments) WriteRanges(ranges []flushRange) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("wal: segments closed")
+	}
+	// batch accumulates iovecs destined for the current segment at
+	// s.curSize; submit is the one syscall that lands them.
+	var batch [][]byte
+	var batchBytes int64
+	submit := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		s.writes.Add(1)
+		if err := writevAt(s.cur, batch, s.curSize); err != nil {
+			return fmt.Errorf("wal: segment vectored write: %w", err)
+		}
+		s.curSize += batchBytes
+		s.end += LSN(batchBytes)
+		batch, batchBytes = batch[:0], 0
+		return nil
+	}
+	for _, r := range ranges {
+		at := r.first
+		pendingEnd := s.end + LSN(batchBytes)
+		if at < pendingEnd {
+			return fmt.Errorf("wal: range at offset %d overlaps segment end %d: %w", at, pendingEnd, ErrCorrupt)
+		}
+		if at > pendingEnd && s.cur != nil {
+			// Gap below the range (per-record streams elide wraparound
+			// padding; range streams shouldn't get here): zero-fill it as one
+			// more iovec instead of a separate write.
+			batch = append(batch, make([]byte, at-pendingEnd))
+			batchBytes += int64(at - pendingEnd)
+		}
+		data := r.data
+		for len(data) > 0 {
+			if s.cur == nil || s.curSize+batchBytes >= s.segBytes {
+				if err := submit(); err != nil {
+					return err
+				}
+				if s.cur == nil || s.curSize >= s.segBytes {
+					if err := s.rotateLocked(at); err != nil {
+						return err
+					}
+					s.end = at
+				}
+			}
+			chunk := rangePrefix(data, s.segBytes-(s.curSize+batchBytes))
+			batch = append(batch, chunk)
+			batchBytes += int64(len(chunk))
+			at += LSN(len(chunk))
+			data = data[len(chunk):]
+		}
+	}
+	return submit()
 }
 
 // rangePrefix returns the longest prefix of encoded made of whole frames
@@ -358,35 +523,56 @@ func rangePrefix(encoded []byte, room int64) []byte {
 	return encoded[:off]
 }
 
+// sealCurrentLocked syncs and closes the current segment, first trimming any
+// preallocated zero tail back to the payload size so sealed segments are
+// byte-identical to ones written without preallocation. Only the live
+// segment ever carries a zero tail; recovery relies on that when it treats a
+// trailing zero run as end-of-log.
+func (s *Segments) sealCurrentLocked(action string) error {
+	if s.cur == nil {
+		return nil
+	}
+	if s.prealloc && s.curSize < s.segBytes {
+		if err := s.cur.Truncate(s.curSize); err != nil {
+			return fmt.Errorf("wal: trim preallocated tail at %s: %w", action, err)
+		}
+	}
+	if err := s.cur.Sync(); err != nil {
+		return fmt.Errorf("wal: sync segment at %s: %w", action, err)
+	}
+	if err := s.cur.Close(); err != nil {
+		return fmt.Errorf("wal: close segment at %s: %w", action, err)
+	}
+	s.cur = nil
+	s.curSize = 0
+	return nil
+}
+
 // rotateLocked closes the current segment (forcing it to disk) and creates a
 // fresh one whose name and header record first, the virtual offset of its
-// first payload byte.
+// first payload byte. Under PreallocateSegments the new file is extended to
+// the full rotation size immediately, so group commits never grow the file.
 func (s *Segments) rotateLocked(first LSN) error {
-	if s.cur != nil {
-		if err := s.cur.Sync(); err != nil {
-			return fmt.Errorf("wal: sync segment before rotate: %w", err)
-		}
-		if err := s.cur.Close(); err != nil {
-			return fmt.Errorf("wal: close segment: %w", err)
-		}
-		s.cur = nil
-		s.curSize = 0
+	if err := s.sealCurrentLocked("rotate"); err != nil {
+		return err
 	}
 	path := filepath.Join(s.dir, segmentName(first))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}
-	if _, err := f.Write(encodeHeader(first)); err != nil {
+	if _, err := f.WriteAt(encodeHeader(first), 0); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: write segment header: %w", err)
 	}
+	s.preallocLocked(f)
 	if err := syncDir(s.dir); err != nil {
 		f.Close()
 		return err
 	}
 	s.cur = f
 	s.curSize = segHeaderSize
+	s.rotations.Add(1)
 	return nil
 }
 
@@ -425,7 +611,10 @@ func (s *Segments) SegmentCount() int {
 
 // Iterate replays every record with LSN >= from, in LSN order, stopping at
 // the first torn frame in the final segment (records past a torn frame were
-// never acknowledged as durable). Because LSNs are byte offsets, the start
+// never acknowledged as durable) and at the zero-frame cutoff — a trailing
+// zero run with no frame after it, which is a preallocated segment's unused
+// tail (or a torn pad write) and never payload. Because LSNs are byte
+// offsets, the start
 // position is computed, not scanned: iteration seeks directly to from inside
 // the segment that covers it. from must be a frame (or padding) boundary; 0
 // means the beginning of the retained log. A decode failure in any earlier
@@ -504,15 +693,8 @@ func iterateSegment(info segmentInfo, last bool, from LSN, fn func(Record) error
 func (s *Segments) Checkpoint(durable LSN) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.cur != nil {
-		if err := s.cur.Sync(); err != nil {
-			return fmt.Errorf("wal: sync segment at checkpoint: %w", err)
-		}
-		if err := s.cur.Close(); err != nil {
-			return fmt.Errorf("wal: close segment at checkpoint: %w", err)
-		}
-		s.cur = nil
-		s.curSize = 0
+	if err := s.sealCurrentLocked("checkpoint"); err != nil {
+		return err
 	}
 	infos, err := s.listSegments()
 	if err != nil {
@@ -551,7 +733,8 @@ func (s *Segments) Crash() {
 	}
 }
 
-// Close syncs and closes the current segment file.
+// Close syncs and closes the current segment file (trimming any
+// preallocated zero tail first).
 func (s *Segments) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -559,16 +742,14 @@ func (s *Segments) Close() error {
 		return nil
 	}
 	s.closed = true
-	if s.cur == nil {
-		return nil
+	if err := s.sealCurrentLocked("close"); err != nil {
+		if s.cur != nil {
+			s.cur.Close()
+			s.cur = nil
+		}
+		return err
 	}
-	if err := s.cur.Sync(); err != nil {
-		s.cur.Close()
-		return fmt.Errorf("wal: segment sync at close: %w", err)
-	}
-	err := s.cur.Close()
-	s.cur = nil
-	return err
+	return nil
 }
 
 // syncDir fsyncs a directory so that file creations and removals inside it

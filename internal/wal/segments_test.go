@@ -10,7 +10,7 @@ import (
 // logTo creates a Log backed by a Segments sink.
 func logTo(t *testing.T, dir string, segBytes int64) (*Log, *Segments) {
 	t.Helper()
-	segs, err := OpenSegments(dir, segBytes)
+	segs, err := OpenSegments(dir, segBytes, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestSegmentsReopenResumesLSN(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	segs2, err := OpenSegments(dir, 0)
+	segs2, err := OpenSegments(dir, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestSegmentsTornTailTruncated(t *testing.T) {
 	}
 	f.Close()
 
-	segs2, err := OpenSegments(dir, 0)
+	segs2, err := OpenSegments(dir, 0, false)
 	if err != nil {
 		t.Fatalf("reopen with torn tail: %v", err)
 	}
@@ -237,7 +237,7 @@ func TestTornTailAcrossRotationBoundary(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	segs2, err := OpenSegments(dir, 128)
+	segs2, err := OpenSegments(dir, 128, false)
 	if err != nil {
 		t.Fatalf("reopen with torn rotated segment: %v", err)
 	}
@@ -285,7 +285,7 @@ func TestTornHeaderAtRotationRepaired(t *testing.T) {
 		if err := os.WriteFile(path, partial, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		segs2, err := OpenSegments(dir, 0)
+		segs2, err := OpenSegments(dir, 0, false)
 		if err != nil {
 			t.Fatalf("reopen with %d-byte torn header: %v", len(partial), err)
 		}
@@ -319,7 +319,7 @@ func TestOldFormatSegmentsFailLoudly(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), v1, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		_, err := OpenSegments(dir, 0)
+		_, err := OpenSegments(dir, 0, false)
 		if !errors.Is(err, ErrLogFormat) {
 			t.Fatalf("OpenSegments on v1 segment: err = %v, want ErrLogFormat", err)
 		}
@@ -331,7 +331,7 @@ func TestOldFormatSegmentsFailLoudly(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), h, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		_, err := OpenSegments(dir, 0)
+		_, err := OpenSegments(dir, 0, false)
 		if !errors.Is(err, ErrLogFormat) {
 			t.Fatalf("OpenSegments on future-version segment: err = %v, want ErrLogFormat", err)
 		}
@@ -367,7 +367,7 @@ func TestOldFormatSegmentsFailLoudly(t *testing.T) {
 // back at exactly the byte offset it was placed at.
 func TestRangeWriteRotationMatchesPerRecord(t *testing.T) {
 	dir := t.TempDir()
-	segs, err := OpenSegments(dir, 256)
+	segs, err := OpenSegments(dir, 256, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +415,7 @@ func TestRangeWriteRotationMatchesPerRecord(t *testing.T) {
 // its virtual offset — reading back must see each record at its LSN.
 func TestWriteRecordGapFillsPadding(t *testing.T) {
 	dir := t.TempDir()
-	segs, err := OpenSegments(dir, 0)
+	segs, err := OpenSegments(dir, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -385,6 +385,14 @@ type RangeSink interface {
 	WriteRange(encoded []byte, first LSN) error
 }
 
+// vectorSink is the vectored fast path above RangeSink: the flusher hands it
+// every contiguous range of one group-commit cycle in a single call, so the
+// sink can land the whole cycle in one pwritev-style submission instead of
+// one write per range. Segments implements it.
+type vectorSink interface {
+	WriteRanges(ranges []flushRange) error
+}
+
 // Config configures the log.
 type Config struct {
 	// FlushDelay simulates the latency of forcing the log to stable storage
@@ -392,8 +400,31 @@ type Config struct {
 	FlushDelay time.Duration
 	// GroupCommitWindow is how long the flusher waits to batch commits.
 	// Zero means flush requests are served immediately (still batched with
-	// any concurrent requests).
+	// any concurrent requests). Under AdaptiveGroupCommit it is only the
+	// controller's starting point.
 	GroupCommitWindow time.Duration
+	// AdaptiveGroupCommit replaces the fixed group-commit window with a
+	// controller that retunes it every flush cycle from what the cycle
+	// observed: the window halves when it closed with at most one
+	// subscriber (it only added latency) or when the durable lag has grown
+	// past a quarter of the log buffer (the flusher is behind — flush more,
+	// wait less), and widens by 25% when subscriptions were still arriving
+	// as the window closed (the batch was still widening). The window also
+	// ends early once the pending subscription set is satisfiable — as many
+	// subscribers as a typical recent batch, all of their bytes published —
+	// so a correct window costs no idle tail.
+	AdaptiveGroupCommit bool
+	// GroupCommitMin and GroupCommitMax bound the adaptive window. Zero
+	// values default to 10µs and 2ms. Ignored unless AdaptiveGroupCommit.
+	GroupCommitMin time.Duration
+	GroupCommitMax time.Duration
+	// StrictFence selects the in-order publish fence (each appender spins
+	// until every earlier byte is published) instead of the default
+	// completion-tracking publish, under which a preempted filler delays
+	// only the watermark and never another publisher. It exists as the
+	// baseline arm of the log-tail ablation (cmd/slibench -ablation
+	// log-tail); leave it off otherwise. Ignored under MutexLog.
+	StrictFence bool
 	// Sink, if non-nil, receives the encoded bytes of every record at flush
 	// time (e.g. an os.File). It is a best-effort mirror with no durability
 	// contract: a write error is returned from the Flush that observed it
@@ -481,7 +512,22 @@ type Log struct {
 	waiters       []flushWaiter // pending durability subscriptions
 	failed        error         // first durable-sink error; wedges the log
 
-	fastRange bool // cfg.Durable also implements RangeSink
+	fastRange  bool // cfg.Durable also implements RangeSink
+	fastVector bool // cfg.Durable also implements vectorSink
+
+	// Group-commit window state. window is the live value (fixed, or driven
+	// by the adaptive controller between winMin and winMax); the sum/count
+	// pair averages the time actually waited per windowed cycle; ewmaBatch
+	// is the flusher-private estimate of subscriptions per batch that the
+	// early-wake check compares against.
+	window         atomic.Int64 // current window in nanoseconds
+	winMin, winMax time.Duration
+	windowNanos    atomic.Int64 // total window time actually waited
+	windowedCycles atomic.Uint64
+	ewmaBatch      float64 // flusher-private; no lock needed
+	ewmaFlush      float64 // flusher-private EWMA of flush-cycle cost, in nanoseconds
+
+	draining atomic.Bool // Close/Crash started: no new appends can arrive
 
 	stats Stats
 }
@@ -495,10 +541,33 @@ func New(cfg Config) *Log {
 	l := &Log{cfg: cfg, nextLSN: start, flushLSN: start}
 	l.flushWork = sync.NewCond(&l.mu)
 	if !cfg.MutexLog {
-		l.lb = newLogBuffer(cfg.BufferBytes, start, cfg.LatchedLog)
+		l.lb = newLogBuffer(cfg.BufferBytes, start, cfg.LatchedLog, cfg.StrictFence)
 	}
 	if cfg.Durable != nil {
 		_, l.fastRange = cfg.Durable.(RangeSink)
+		_, l.fastVector = cfg.Durable.(vectorSink)
+	}
+	l.winMin, l.winMax = cfg.GroupCommitMin, cfg.GroupCommitMax
+	if cfg.AdaptiveGroupCommit {
+		if l.winMin <= 0 {
+			l.winMin = 10 * time.Microsecond
+		}
+		if l.winMax < l.winMin {
+			l.winMax = 2 * time.Millisecond
+		}
+		if l.winMax < l.winMin {
+			l.winMax = l.winMin
+		}
+		initial := cfg.GroupCommitWindow
+		if initial < l.winMin {
+			initial = l.winMin
+		}
+		if initial > l.winMax {
+			initial = l.winMax
+		}
+		l.window.Store(int64(initial))
+	} else {
+		l.window.Store(int64(cfg.GroupCommitWindow))
 	}
 	return l
 }
@@ -688,6 +757,20 @@ func (l *Log) pendingFlushLocked() bool {
 	return false
 }
 
+// pendingWaitersLocked returns the unsatisfied subscription count and the
+// highest target among them — the group-commit pause's early-wake inputs.
+func (l *Log) pendingWaitersLocked() (n int, maxTarget LSN) {
+	for _, w := range l.waiters {
+		if w.upTo > l.flushLSN {
+			n++
+			if w.upTo > maxTarget {
+				maxTarget = w.upTo
+			}
+		}
+	}
+	return n, maxTarget
+}
+
 // workPendingLocked reports whether the flusher has anything actionable:
 // an unsatisfied durability subscription, or — consolidated mode only —
 // reservers blocked on a full buffer (which must be drained even when no
@@ -733,33 +816,182 @@ func (l *Log) flusherLoop() {
 		subscriptionsPending := l.pendingFlushLocked()
 		l.mu.Unlock()
 
-		if window := l.cfg.GroupCommitWindow; window > 0 && subscriptionsPending {
-			time.Sleep(window)
-			l.mu.Lock()
-			crashed := l.failed != nil
-			l.mu.Unlock()
+		var arrived bool
+		if window := time.Duration(l.window.Load()); window > 0 && subscriptionsPending {
+			var crashed bool
+			arrived, crashed = l.groupCommitPause(window)
 			if crashed {
 				// Crashed or wedged while the window was open: nothing from
 				// this cycle (or the append buffer) may reach the sink.
 				continue
 			}
 		}
-		progressed := l.flushMutexBatch
+		flush := l.flushMutexBatch
 		if l.lb != nil {
-			progressed = l.flushConsolidated
+			flush = l.flushConsolidated
 		}
-		if !progressed() {
+		flushStart := time.Now()
+		progressed, acked := flush()
+		if progressed {
+			l.ewmaFlush = 0.75*l.ewmaFlush + 0.25*float64(time.Since(flushStart))
+		}
+		if !progressed {
 			// Work is pending but nothing was consumable: a lower-LSN
 			// reservation is still being filled (a concurrent memcpy, gone in
 			// microseconds). Yield instead of spinning on the buffer latch.
 			runtime.Gosched()
+		} else if l.cfg.AdaptiveGroupCommit && subscriptionsPending {
+			l.tuneWindow(acked, arrived)
 		}
 	}
 }
 
+// groupCommitPause waits out the group-commit window in short slices so the
+// flusher can wake as soon as waiting longer cannot widen the batch: the log
+// is draining (Close/Crash — no new appends can arrive), reservers are
+// blocked on a full buffer (nothing widens until we drain), or — adaptive
+// mode — the pending subscription set is already satisfiable: every target
+// offset published and a typical recent batch's worth of subscribers
+// waiting. arrived — the controller's grow
+// signal — reports that the window expired at its deadline with the batch
+// still widening in the final slice; crashed reports the log failed.
+func (l *Log) groupCommitPause(window time.Duration) (arrived, crashed bool) {
+	l.mu.Lock()
+	startWaiters, _ := l.pendingWaitersLocked()
+	l.mu.Unlock()
+	// A typical batch, per the EWMA the controller maintains; only the
+	// flusher goroutine touches ewmaBatch so the read is unsynchronized.
+	satisfiable := int(l.ewmaBatch + 0.5)
+	if satisfiable < 2 {
+		satisfiable = 2
+	}
+	slice := window / 8
+	const sliceMin, sliceMax = 20 * time.Microsecond, 250 * time.Microsecond
+	if slice < sliceMin {
+		slice = sliceMin
+	}
+	if slice > sliceMax {
+		slice = sliceMax
+	}
+	deadline := time.Now().Add(window)
+	waited := time.Now()
+	prevN := startWaiters
+	arrivedLast := false
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			// Deadline expiry with a subscriber still arriving in the final
+			// slice is the controller's only grow signal: the window closed
+			// on a batch that was still widening. Any early wake below means
+			// the window was already long enough.
+			arrived = arrivedLast
+			break
+		}
+		step := slice
+		if remaining < step {
+			step = remaining
+		}
+		if step < sliceMin {
+			// Sub-timer-resolution wait: a timed sleep here would overshoot
+			// by more than the whole window (the OS timer floor is tens of
+			// microseconds), erasing everything the controller shrank the
+			// window for. Yield-spin so a 10µs window costs ~10µs.
+			for spin := time.Now(); time.Since(spin) < step; {
+				runtime.Gosched()
+			}
+		} else {
+			time.Sleep(step)
+		}
+		l.mu.Lock()
+		n, maxTarget := l.pendingWaitersLocked()
+		crashed = l.failed != nil
+		l.mu.Unlock()
+		arrivedLast = n > prevN
+		prevN = n
+		if crashed {
+			break
+		}
+		if l.draining.Load() || (l.lb != nil && (l.lb.wedged.Load() || l.lb.fullWaiters.Load() > 0)) {
+			break
+		}
+		if l.cfg.AdaptiveGroupCommit && n >= satisfiable && l.targetsPublished(maxTarget) {
+			// The pending set is satisfiable — every subscriber's bytes are
+			// published and the batch already holds a typical recent cycle's
+			// worth of subscribers — so waiting longer buys latency, not
+			// batching. (Waking on a merely quiet slice instead was a
+			// throughput trap: at peak load the commit inter-arrival time
+			// exceeds a slice, so "no arrival this slice" routinely fires
+			// mid-batch and halves the cycle.)
+			break
+		}
+	}
+	l.windowNanos.Add(int64(time.Since(waited)))
+	l.windowedCycles.Add(1)
+	return arrived, crashed
+}
+
+// targetsPublished reports whether every byte below target is already
+// published (consolidated mode) or buffered (mutex mode) — i.e. a flush
+// starting now would satisfy a subscription with that target.
+func (l *Log) targetsPublished(target LSN) bool {
+	if l.lb != nil {
+		return LSN(l.lb.published.Load()) >= target
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN >= target
+}
+
+// tuneWindow is the adaptive group-commit controller, run once per windowed
+// flush cycle. acked is how many subscriptions the cycle satisfied; arrived
+// reports whether new subscriptions showed up while the window was open.
+// Multiplicative decrease on a wasted window (≤1 subscriber: the window only
+// added latency) or on high durable lag (more than a quarter of the log
+// buffer unflushed: stop waiting, start writing); multiplicative increase
+// while batches are still widening when the window closes.
+func (l *Log) tuneWindow(acked int, arrived bool) {
+	w := time.Duration(l.window.Load())
+	l.ewmaBatch = 0.75*l.ewmaBatch + 0.25*float64(acked)
+	lagHigh := false
+	if l.lb != nil {
+		lag := l.lb.head.Load() - l.lb.published.Load()
+		if pending := l.PendingBytes(); pending > lag {
+			lag = pending
+		}
+		lagHigh = lag > l.lb.size/4
+	}
+	switch {
+	case acked <= 1 || lagHigh:
+		w /= 2
+	case arrived:
+		// arrived is deliberately narrow (deadline expiry with the batch
+		// still widening in the final slice; see groupCommitPause): growing
+		// on any mid-window arrival pegs the window at the cap under steady
+		// load even when the extra wait stopped adding subscribers.
+		w += w / 4
+	}
+	// The force itself is a batching window: commits arriving while the
+	// flush runs join the next cycle for free, so a cycle's batch already
+	// spans one flush cost with a zero window. Keep the explicit window a
+	// bounded fraction of the cycle (half the flush cost's EWMA): it still
+	// widens batches under load, but its latency cost can never exceed a
+	// third of the cycle no matter what the grow rule does.
+	if cap := time.Duration(l.ewmaFlush) / 2; cap > 0 && w > cap {
+		w = cap
+	}
+	if w < l.winMin {
+		w = l.winMin
+	}
+	if w > l.winMax {
+		w = l.winMax
+	}
+	l.window.Store(int64(w))
+}
+
 // flushMutexBatch is one legacy-mode group-commit cycle: snapshot the append
-// buffer, encode and write record by record, sync once.
-func (l *Log) flushMutexBatch() bool {
+// buffer, encode and write record by record, sync once. It returns the
+// number of subscriptions the cycle acknowledged.
+func (l *Log) flushMutexBatch() (bool, int) {
 	l.mu.Lock()
 	// Snapshot everything appended so far: the whole group commits together,
 	// including records that arrived during the window.
@@ -785,22 +1017,23 @@ func (l *Log) flushMutexBatch() bool {
 			}
 		}
 	}
-	l.finishCycle(batch, len(batch), target, durableErr, sinkErr)
-	return true
+	return true, l.finishCycle(batch, len(batch), target, durableErr, sinkErr)
 }
 
 // flushConsolidated is one consolidated-mode group-commit cycle: consume the
 // contiguous published prefix of the log buffer and hand whole byte ranges
 // to the sinks — no per-record re-encode, no per-record write call on the
-// RangeSink fast path. It returns false when nothing was consumable.
-func (l *Log) flushConsolidated() bool {
+// RangeSink fast path, and a single vectored submission for the whole cycle
+// when the sink supports it. It returns false when nothing was consumable,
+// plus the number of subscriptions the cycle acknowledged.
+func (l *Log) flushConsolidated() (bool, int) {
 	// Per-record structures are only materialized when something needs them:
 	// in-memory retention for Records(), or a durable sink without the
 	// range-write fast path.
-	keepRecs := !l.cfg.DropAfterFlush || (l.cfg.Durable != nil && !l.fastRange)
+	keepRecs := !l.cfg.DropAfterFlush || (l.cfg.Durable != nil && !l.fastRange && !l.fastVector)
 	ranges, recs, count, end := l.lb.consume(keepRecs)
 	if end == 0 {
-		return false
+		return false, 0
 	}
 
 	// The best-effort Sink mirror trails the durable sink: a chunk only
@@ -816,6 +1049,17 @@ func (l *Log) flushConsolidated() bool {
 		}
 	}
 	switch {
+	case l.cfg.Durable != nil && l.fastVector:
+		// The vectored fast path: the whole cycle — every contiguous range —
+		// in one submission, so the sink pays one write syscall per group
+		// commit instead of one per range.
+		if werr := l.cfg.Durable.(vectorSink).WriteRanges(ranges); werr != nil {
+			durableErr = werr
+		} else {
+			for _, r := range ranges {
+				mirror(r.data)
+			}
+		}
 	case l.cfg.Durable != nil && l.fastRange:
 		rs := l.cfg.Durable.(RangeSink)
 		for _, r := range ranges {
@@ -848,14 +1092,15 @@ func (l *Log) flushConsolidated() bool {
 	// back to reservers before the sync latency is paid.
 	l.lb.release(end)
 
-	l.finishCycle(recs, count, LSN(end), durableErr, sinkErr)
-	return true
+	return true, l.finishCycle(recs, count, LSN(end), durableErr, sinkErr)
 }
 
 // finishCycle is the shared tail of a group-commit cycle: the single
 // physical force, retention, the durable-watermark advance, and the LSN-
 // ordered acknowledgements — or the wedge/crash handling that replaces them.
-func (l *Log) finishCycle(recs []Record, count int, target LSN, durableErr, sinkErr error) {
+// It returns the number of subscriptions acknowledged, the adaptive
+// controller's batch-size signal.
+func (l *Log) finishCycle(recs []Record, count int, target LSN, durableErr, sinkErr error) int {
 	if durableErr == nil && l.cfg.Durable != nil {
 		// The single physical force of the group commit.
 		durableErr = l.cfg.Durable.Sync()
@@ -874,27 +1119,28 @@ func (l *Log) finishCycle(recs []Record, count int, target LSN, durableErr, sink
 		// Crashed while the batch was in flight: even if the sync succeeded,
 		// never acknowledge — crash semantics allow un-acked records to
 		// survive, never the reverse. The loop top fails the waiters.
-		return
+		return 0
 	}
 	if durableErr != nil {
 		// The durable prefix can no longer grow contiguously: wedge the log
 		// so no later record is ever reported durable past the gap. The loop
 		// top fails the waiters and exits.
 		l.failed = durableErr
-		return
+		return 0
 	}
 	if l.flushLSN < target {
 		l.flushLSN = target
 	}
 	l.stats.Synced.Add(uint64(count))
-	l.notifyWaitersLocked(sinkErr)
+	return l.notifyWaitersLocked(sinkErr)
 }
 
 // notifyWaitersLocked acknowledges every subscription satisfied by the
-// current durable watermark, in ascending LSN order. sinkErr, when non-nil,
-// is the best-effort mirror's write error; it is reported to this batch's
-// waiters without affecting durability.
-func (l *Log) notifyWaitersLocked(sinkErr error) {
+// current durable watermark, in ascending LSN order, returning how many it
+// acknowledged. sinkErr, when non-nil, is the best-effort mirror's write
+// error; it is reported to this batch's waiters without affecting
+// durability.
+func (l *Log) notifyWaitersLocked(sinkErr error) int {
 	var remaining []flushWaiter
 	var done []flushWaiter
 	for _, w := range l.waiters {
@@ -909,6 +1155,7 @@ func (l *Log) notifyWaitersLocked(sinkErr error) {
 		w.ch <- sinkErr
 	}
 	l.waiters = remaining
+	return len(done)
 }
 
 // failWaitersLocked delivers err to every pending subscription.
@@ -962,12 +1209,57 @@ func (l *Log) StatsSnapshot() (appends, flushes, synced uint64) {
 	return l.stats.Appends.Load(), l.stats.Flushes.Load(), l.stats.Synced.Load()
 }
 
+// TailStats is a point-in-time snapshot of the log tail's self-tuning state:
+// how many group-commit cycles ran, how much group-commit window time they
+// actually waited (early wakes make this less than cycles×window), the
+// controller's live window, and the cumulative time appenders spent blocked
+// on the publish fence.
+type TailStats struct {
+	FlushCycles    uint64        // group-commit cycles completed
+	WindowedCycles uint64        // cycles that opened a group-commit window
+	WindowTotal    time.Duration // window time actually waited across those cycles
+	CurWindow      time.Duration // live window (the fixed value when not adaptive)
+	FenceWait      time.Duration // cumulative publish-fence block time
+}
+
+// AvgWindow returns the average group-commit window time actually waited per
+// windowed cycle.
+func (ts TailStats) AvgWindow() time.Duration {
+	if ts.WindowedCycles == 0 {
+		return 0
+	}
+	return ts.WindowTotal / time.Duration(ts.WindowedCycles)
+}
+
+// TailStats returns the log tail's self-tuning snapshot.
+func (l *Log) TailStats() TailStats {
+	ts := TailStats{
+		FlushCycles:    l.stats.Flushes.Load(),
+		WindowedCycles: l.windowedCycles.Load(),
+		WindowTotal:    time.Duration(l.windowNanos.Load()),
+		CurWindow:      time.Duration(l.window.Load()),
+	}
+	if l.lb != nil {
+		ts.FenceWait = time.Duration(l.lb.fenceNanos.Load())
+	}
+	return ts
+}
+
+// Window returns the group-commit window currently in effect — the adaptive
+// controller's live value, or the configured fixed window.
+func (l *Log) Window() time.Duration {
+	return time.Duration(l.window.Load())
+}
+
 // Close drains every pending record to the sinks and shuts the log down.
 // It re-checks for records appended concurrently with the drain, so when
 // Close returns nil the sink has received (and, for a DurableSink, synced)
 // every record ever accepted by Append. The flusher goroutine exits once the
 // drain completes. Close is idempotent.
 func (l *Log) Close() error {
+	// No new appends from here on: the group-commit pause wakes immediately
+	// instead of letting each drain cycle pay a full window.
+	l.draining.Store(true)
 	if l.lb != nil {
 		// Refuse new reservations first so the drain below is complete;
 		// records already reserved still fill, publish and drain.
@@ -1000,6 +1292,7 @@ func (l *Log) Close() error {
 // acknowledged even if its sync happens to complete — crash semantics allow
 // un-acked records to survive on disk, never an acked record to be lost.
 func (l *Log) Crash() {
+	l.draining.Store(true)
 	l.mu.Lock()
 	if l.failed == nil {
 		l.failed = ErrCrashed

@@ -1,0 +1,21 @@
+package wal
+
+import "os"
+
+// writevFallback is the portable vectored write: coalesce the buffers into
+// one contiguous allocation and land it with a single positional write.
+// Still one syscall per group-commit cycle — the copy trades a memcpy for
+// the per-range syscalls the vectored path exists to remove — so the
+// writes-per-cycle stat reads the same on every platform.
+func writevFallback(f *os.File, bufs [][]byte, off int64) error {
+	var total int
+	for _, b := range bufs {
+		total += len(b)
+	}
+	joined := make([]byte, 0, total)
+	for _, b := range bufs {
+		joined = append(joined, b...)
+	}
+	_, err := f.WriteAt(joined, off)
+	return err
+}

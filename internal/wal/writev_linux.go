@@ -1,0 +1,70 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// maxIovecs bounds one pwritev submission; Linux caps a vector at IOV_MAX
+// (1024) entries. A group-commit cycle is at most a handful of ranges, so
+// the bound only matters for defensive completeness.
+const maxIovecs = 1024
+
+// writevAt lands every buffer at consecutive file offsets starting at off
+// with pwritev(2) — the whole group-commit cycle in one syscall — retrying
+// partial writes and EINTR. The raw syscall keeps the package free of
+// golang.org/x/sys; on 64-bit Linux pwritev takes the position as (pos_l,
+// pos_h) with pos_h zero.
+func writevAt(f *os.File, bufs [][]byte, off int64) error {
+	// Work on a private header slice: partial-write bookkeeping below
+	// re-slices entries, and the caller reuses its batch.
+	bufs = append([][]byte(nil), bufs...)
+	iovs := make([]syscall.Iovec, 0, min(len(bufs), maxIovecs))
+	for len(bufs) > 0 {
+		iovs = iovs[:0]
+		for _, b := range bufs {
+			if len(b) == 0 {
+				continue
+			}
+			if len(iovs) == maxIovecs {
+				break
+			}
+			iovs = append(iovs, syscall.Iovec{Base: &b[0], Len: uint64(len(b))})
+		}
+		if len(iovs) == 0 {
+			return nil
+		}
+		n, _, errno := syscall.Syscall6(syscall.SYS_PWRITEV, f.Fd(),
+			uintptr(unsafe.Pointer(&iovs[0])), uintptr(len(iovs)),
+			uintptr(off), 0, 0)
+		runtime.KeepAlive(bufs)
+		if errno != 0 {
+			if errno == syscall.EINTR || errno == syscall.EAGAIN {
+				continue
+			}
+			if errno == syscall.ENOSYS {
+				return writevFallback(f, bufs, off)
+			}
+			return errno
+		}
+		written := int64(n)
+		off += written
+		for written > 0 {
+			if b := int64(len(bufs[0])); b <= written {
+				written -= b
+				bufs = bufs[1:]
+			} else {
+				bufs[0] = bufs[0][written:]
+				written = 0
+			}
+		}
+		for len(bufs) > 0 && len(bufs[0]) == 0 {
+			bufs = bufs[1:]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// writevAt degrades to the coalescing fallback off Linux: one positional
+// write per group-commit cycle instead of one pwritev.
+func writevAt(f *os.File, bufs [][]byte, off int64) error {
+	return writevFallback(f, bufs, off)
+}

@@ -181,6 +181,22 @@ func execLookup(db *slidb.Engine, index string, key slidb.Value) ([]slidb.Row, e
 // that exactly the committed transactions survived: balances conserved,
 // every acknowledged history row present, no loser row visible.
 func TestCrashRecoveryTorture(t *testing.T) {
+	runCrashRecoveryTorture(t, slidb.Config{})
+}
+
+// TestCrashRecoveryTorturePreallocated is the same torture with the PR-7 log
+// tail fully enabled: preallocated segment files (the crash abandons a live
+// segment carrying a zero tail at its full rotation size), the adaptive
+// group-commit controller, and the relaxed publish fence. Recovery must be
+// indistinguishable from the unallocated layout's.
+func TestCrashRecoveryTorturePreallocated(t *testing.T) {
+	runCrashRecoveryTorture(t, slidb.Config{
+		PreallocateSegments: true,
+		AdaptiveGroupCommit: true,
+	})
+}
+
+func runCrashRecoveryTorture(t *testing.T, cfg slidb.Config) {
 	const (
 		branches   = 4
 		accounts   = 64
@@ -189,7 +205,9 @@ func TestCrashRecoveryTorture(t *testing.T) {
 		checkpoint = 300 // committed-transfer count that triggers the checkpoint
 	)
 	dir := t.TempDir()
-	db, err := slidb.OpenAt(dir, slidb.Config{Agents: workers, SegmentBytes: 32 << 10})
+	cfg.Agents = workers
+	cfg.SegmentBytes = 32 << 10
+	db, err := slidb.OpenAt(dir, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +264,9 @@ func TestCrashRecoveryTorture(t *testing.T) {
 	// survives into the reopened engine.
 	db = nil
 
-	db2, err := slidb.OpenAt(dir, slidb.Config{Agents: 2})
+	recfg := cfg
+	recfg.Agents = 2
+	db2, err := slidb.OpenAt(dir, recfg)
 	if err != nil {
 		t.Fatalf("recovery failed: %v", err)
 	}
@@ -486,7 +506,7 @@ func TestCrashDuringAbortTorture(t *testing.T) {
 	// Close drains the log: the full CLR chain and abort record reach disk.
 	must(db.Close())
 
-	segs, err := wal.OpenSegments(srcDir, wal.DefaultSegmentBytes)
+	segs, err := wal.OpenSegments(srcDir, wal.DefaultSegmentBytes, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -542,7 +562,7 @@ func TestCrashDuringAbortTorture(t *testing.T) {
 		}
 
 		dir := t.TempDir()
-		out, err := wal.OpenSegments(dir, wal.DefaultSegmentBytes)
+		out, err := wal.OpenSegments(dir, wal.DefaultSegmentBytes, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -641,7 +661,7 @@ func TestRestartUndoIsLoggedExactlyOnce(t *testing.T) {
 
 	// Rewrite the log without the final commit record: the second
 	// transaction's data records are durable but its outcome is not.
-	segs, err := wal.OpenSegments(srcDir, wal.DefaultSegmentBytes)
+	segs, err := wal.OpenSegments(srcDir, wal.DefaultSegmentBytes, false)
 	must(err)
 	var recs []wal.Record
 	must(segs.Iterate(1, func(r wal.Record) error {
@@ -653,7 +673,7 @@ func TestRestartUndoIsLoggedExactlyOnce(t *testing.T) {
 		t.Fatalf("last record is %v, want COMMIT", recs[len(recs)-1].Type)
 	}
 	dir := t.TempDir()
-	out, err := wal.OpenSegments(dir, wal.DefaultSegmentBytes)
+	out, err := wal.OpenSegments(dir, wal.DefaultSegmentBytes, false)
 	must(err)
 	for _, r := range recs[:len(recs)-1] {
 		must(out.WriteRecord(r, r.Encode()))
