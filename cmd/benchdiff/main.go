@@ -109,9 +109,18 @@ func main() {
 				"-", e.WritesPerCycle, e.AvgWindowUs, e.UndoFailures)
 		} else {
 			delta := 100 * (e.TPS - old.TPS) / old.TPS
-			fmt.Printf("%-12s %-10s %7d %12.1f %12.1f %+8.1f%% %12.2f %12.2f %9.2f %9.2f %10.1f %10d\n",
+			// A pre-PR-7 baseline artifact has no log-tail fields at all:
+			// flush_cycles/writes_per_cycle decode as zero. Zero cycles means
+			// "not measured", not "measured zero" — print n/a and skip the
+			// fragmentation comparison rather than reporting 0.00 or a
+			// division blowing up to +Inf%.
+			wcPrev := "n/a"
+			if old.FlushCycles > 0 {
+				wcPrev = fmt.Sprintf("%.2f", old.WritesPerCycle)
+			}
+			fmt.Printf("%-12s %-10s %7d %12.1f %12.1f %+8.1f%% %12.2f %12.2f %9s %9.2f %10.1f %10d\n",
 				e.Workload, e.Config, e.Agents, old.TPS, e.TPS, delta, old.ReserveWaitMs, e.ReserveWaitMs,
-				old.WritesPerCycle, e.WritesPerCycle, e.AvgWindowUs, e.UndoFailures)
+				wcPrev, e.WritesPerCycle, e.AvgWindowUs, e.UndoFailures)
 			if delta < -*threshold {
 				regressions++
 				fmt.Printf("::warning::benchdiff: %s/%s (agents=%d) tps regressed %.1f%% (%.1f -> %.1f)\n",
@@ -120,7 +129,7 @@ func main() {
 			// Writes per flush cycle is an efficiency invariant, not noise:
 			// the vectored path lands a whole cycle in one submission, so a
 			// >10% climb means flushes fragmented into extra syscalls.
-			if old.WritesPerCycle > 0 && e.WritesPerCycle > 1.1*old.WritesPerCycle {
+			if old.FlushCycles > 0 && old.WritesPerCycle > 0 && e.WritesPerCycle > 1.1*old.WritesPerCycle {
 				fmt.Printf("::warning::benchdiff: %s/%s (agents=%d) writes/cycle regressed %.2f -> %.2f — vectored flush path is fragmenting\n",
 					e.Workload, e.Config, e.Agents, old.WritesPerCycle, e.WritesPerCycle)
 			}

@@ -1,0 +1,143 @@
+// Command slint is slidb's project-specific vettool: six analyzers that pin
+// the engine's concurrency and logging invariants at build time.
+//
+// Analyzers (see internal/slint for the full rationale of each):
+//
+//	densearith  arithmetic on wal.LSN outside its helper methods —
+//	            byte-offset LSNs are ordered, not dense; lsn+1 is a bug
+//	atomicmix   struct fields accessed both atomically and plainly, and
+//	            by-value copies of atomic-bearing structs
+//	proftimer   profiler category starts must reach their time.Since stop
+//	            on every return path
+//	errwedge    dropped errors from log-durability calls (logAppend,
+//	            WriteRange(s), Flush(Async), raw syscall wrappers)
+//	hotblock    no sleeps, channel blocking or mutex acquisition inside
+//	            //slint:hotpath functions
+//	metricname  metric names passed to obs.Registry constructors satisfy
+//	            the slidb_ naming rules
+//	directives  the //slint: comments themselves are well-formed
+//
+// Directives:
+//
+//	//slint:hotpath                      (function doc) opt into hotblock
+//	//slint:ignore <analyzer> <reason>   suppress a finding on this or the
+//	                                     next line; the reason is mandatory
+//
+// Usage:
+//
+//	go run ./cmd/slint ./...                 # standalone: wraps go vet
+//	go vet -vettool=$(go run ./cmd/slint -print-path) ./...
+//
+// The tool speaks the go vet -vettool protocol (unitchecker): when cmd/go
+// invokes it with -V=full, -flags, or a *.cfg unit file it behaves as a vet
+// analysis unit; invoked by a human with package patterns it re-executes
+// itself through `go vet -vettool`. -print-path builds a stable binary
+// (go run's temporary one disappears with the process) and prints its path
+// for use in $(...) substitution.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"slidb/internal/slint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if isVetProtocol(args) {
+		unitchecker.Main(slint.Analyzers()...) // never returns
+	}
+
+	printPath := false
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-print-path", "--print-path":
+			printPath = true
+		case "-h", "-help", "--help":
+			usage(os.Stdout)
+			return
+		default:
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(os.Stderr, "slint: unknown flag %s\n", a)
+				usage(os.Stderr)
+				os.Exit(2)
+			}
+			patterns = append(patterns, a)
+		}
+	}
+
+	if printPath {
+		path, err := stableBinary()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(path)
+		return
+	}
+
+	// Standalone mode: run the full suite by wrapping go vet around
+	// ourselves. os.Executable is alive for the duration of the child.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slint: cannot locate own binary: %v\n", err)
+		os.Exit(1)
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "slint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// isVetProtocol reports whether cmd/go is driving us as a vettool: it probes
+// with -V=full and -flags, then invokes one *.cfg analysis unit at a time.
+func isVetProtocol(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}
+
+// stableBinary builds slint to a deterministic location outside go run's
+// ephemeral directory and returns the path, so
+// $(go run ./cmd/slint -print-path) survives for the enclosing go vet.
+func stableBinary() (string, error) {
+	dir := filepath.Join(os.TempDir(), "slint-bin")
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "slint")
+	build := exec.Command("go", "build", "-o", path, "slidb/cmd/slint")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return "", fmt.Errorf("building stable slint binary: %w", err)
+	}
+	return path, nil
+}
+
+func usage(w *os.File) {
+	fmt.Fprintf(w, `usage:
+  slint [packages]      run the analyzer suite (wraps go vet -vettool)
+  slint -print-path     build a stable binary and print its path, for
+                        go vet -vettool=$(go run ./cmd/slint -print-path)
+`)
+}

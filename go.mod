@@ -1,3 +1,12 @@
 module slidb
 
 go 1.24
+
+// slint (the project vettool, cmd/slint) builds on the go/analysis framework.
+// The container has no network access, so the x/tools subset the tool needs
+// is vendored from the Go distribution under third_party/ (BSD license
+// included there) and wired in with a directory replace — no download, no
+// go.sum entry.
+require golang.org/x/tools v0.28.1
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

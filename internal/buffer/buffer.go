@@ -198,6 +198,9 @@ func (p *Pool) Fetch(h *profiler.Handle, id PageID) (*Frame, error) {
 	victim := p.victimLocked()
 	if victim == nil {
 		p.mu.Unlock()
+		// Even the pool-exhausted miss spent wall time under the table lock;
+		// attribute it (found by the proftimer analyzer).
+		h.Add(profiler.BufferWork, time.Since(workStart)-wait)
 		return nil, ErrNoFrames
 	}
 	oldID, oldValid, oldDirty := victim.id, victim.valid, victim.dirty.Load()

@@ -358,7 +358,7 @@ func (e *Engine) DurableLag() uint64 {
 	if last <= durable {
 		return 0
 	}
-	return uint64(last - durable)
+	return uint64(last.Distance(durable))
 }
 
 // SimulateCrash abandons the engine the way a machine failure would, for

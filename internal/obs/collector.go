@@ -287,6 +287,8 @@ func (o *Observer) Tracer() *SlowTxTracer { return o.tracer }
 // ObserveTx feeds one completed transaction attempt into the duration
 // histogram and the slow-transaction tracer. It is wait-free unless the
 // attempt is slow enough to enter the tracer's slow set.
+//
+//slint:hotpath
 func (o *Observer) ObserveTx(xid uint64, start time.Time, d time.Duration, committed bool, b profiler.Breakdown) {
 	o.txDur.Observe(d.Seconds())
 	o.tracer.Observe(xid, start, d, committed, b)

@@ -1,0 +1,277 @@
+package slint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// AtomicMix enforces a single access discipline per field and per struct:
+//
+//  1. A struct field that is ever passed by address to a legacy sync/atomic
+//     function (atomic.AddUint64(&s.f, ...) and friends) must not also be
+//     read or written with plain loads/stores in the same package — mixing
+//     the two is a data race that -race only reports when a schedule
+//     exposes it.
+//
+//  2. A struct type that (transitively, through embedded structs and
+//     arrays) contains typed atomics (sync/atomic.Int64 etc.) or fields
+//     from case 1 must not be copied by value: the copy tears concurrent
+//     updates and silently forks the counters. Declared-by-value params,
+//     value receivers, copy-assignments and copy-returns are all flagged.
+//
+// Snapshot structs built field-by-field from atomic loads (wal.TailStats)
+// are fine: they contain plain fields, not atomics.
+var AtomicMix = &analysis.Analyzer{
+	Name:     "atomicmix",
+	Doc:      "flag struct fields accessed both atomically and plainly, and by-value copies of atomic-bearing structs",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runAtomicMix,
+}
+
+// legacyAtomicOps are the sync/atomic package-level functions whose first
+// argument is the address of the value they operate on.
+var legacyAtomicOps = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicMix(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	idx := buildDirectiveIndex(pass)
+
+	// Pass 1: find every field whose address feeds a legacy atomic op, and
+	// remember the exact selector expressions sanctioned by those calls.
+	atomicFields := make(map[*types.Var]string) // field -> op name first seen
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || !isStdPkg(fn.Pkg(), "sync/atomic") || !legacyAtomicOps[fn.Name()] {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		if field, sel := addrOfField(pass, call.Args[0]); field != nil {
+			if _, seen := atomicFields[field]; !seen {
+				atomicFields[field] = fn.Name()
+			}
+			sanctioned[sel] = true
+		}
+	})
+
+	// Pass 2: any other selector resolving to one of those fields is a plain
+	// access racing with the atomics.
+	if len(atomicFields) > 0 {
+		insp.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+			sel := n.(*ast.SelectorExpr)
+			if sanctioned[sel] {
+				return
+			}
+			field := selectedField(pass, sel)
+			if field == nil {
+				return
+			}
+			if op, ok := atomicFields[field]; ok {
+				report(pass, idx, sel,
+					"field %s is updated with atomic.%s but accessed plainly here; pick one discipline (a typed atomic ends the ambiguity)",
+					field.Name(), op)
+			}
+		})
+	}
+
+	// Pass 3: by-value copies of atomic-bearing structs.
+	bearing := newBearingCache(atomicFields)
+
+	flagCopy := func(rng analysis.Range, expr ast.Expr, how string) {
+		t := pass.TypesInfo.TypeOf(expr)
+		if t == nil || !copiesValue(expr) {
+			return
+		}
+		if name, ok := bearing.check(t); ok {
+			report(pass, idx, rng, "%s copies %s, which contains atomic field %s; copying tears concurrent updates — use a pointer or build a plain snapshot struct",
+				how, types.TypeString(t, types.RelativeTo(pass.Pkg)), name)
+		}
+	}
+
+	nodeFilter := []ast.Node{
+		(*ast.AssignStmt)(nil),
+		(*ast.ReturnStmt)(nil),
+		(*ast.CallExpr)(nil),
+		(*ast.FuncDecl)(nil),
+		(*ast.RangeStmt)(nil),
+	}
+	insp.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				// `_ = x` evaluates and discards; nothing retains the copy.
+				if len(n.Lhs) == len(n.Rhs) {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				flagCopy(n, rhs, "assignment")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				flagCopy(n, res, "return")
+			}
+		case *ast.CallExpr:
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				return // conversion, not a call
+			}
+			for _, arg := range n.Args {
+				flagCopy(arg, arg, "argument")
+			}
+		case *ast.FuncDecl:
+			params := []*ast.FieldList{n.Type.Params, n.Recv}
+			for _, fl := range params {
+				if fl == nil {
+					continue
+				}
+				for _, f := range fl.List {
+					t := pass.TypesInfo.TypeOf(f.Type)
+					if t == nil {
+						continue
+					}
+					if name, ok := bearing.check(t); ok {
+						report(pass, idx, f, "by-value parameter of %s, which contains atomic field %s; pass a pointer",
+							types.TypeString(t, types.RelativeTo(pass.Pkg)), name)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				t := pass.TypesInfo.TypeOf(n.Value)
+				if t != nil {
+					if name, ok := bearing.check(t); ok {
+						report(pass, idx, n.Value, "range value copies %s, which contains atomic field %s; range over indices or pointers instead",
+							types.TypeString(t, types.RelativeTo(pass.Pkg)), name)
+					}
+				}
+			}
+		}
+	})
+	return nil, nil
+}
+
+// copiesValue reports whether expr reads an existing value (so assigning or
+// passing it makes a copy). Fresh composite literals and function results
+// are not copies of anything concurrently shared.
+func copiesValue(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// addrOfField unwraps &x.f and returns the field object and selector.
+func addrOfField(pass *analysis.Pass, arg ast.Expr) (*types.Var, *ast.SelectorExpr) {
+	unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || unary.Op.String() != "&" {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	return selectedField(pass, sel), sel
+}
+
+// selectedField resolves a selector expression to the struct field it
+// denotes, or nil if it denotes something else (method, package member...).
+func selectedField(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// bearingCache memoizes "does this type transitively contain atomics".
+type bearingCache struct {
+	atomicFields map[*types.Var]string
+	memo         map[types.Type]string // type -> offending field name ("" = clean)
+}
+
+func newBearingCache(atomicFields map[*types.Var]string) *bearingCache {
+	return &bearingCache{atomicFields: atomicFields, memo: make(map[types.Type]string)}
+}
+
+// check reports whether t (a non-pointer struct or array type) transitively
+// contains a typed sync/atomic value or a legacy atomic field; it returns a
+// path-ish name for the first one found.
+func (b *bearingCache) check(t types.Type) (string, bool) {
+	name := b.find(t, 0)
+	return name, name != ""
+}
+
+func (b *bearingCache) find(t types.Type, depth int) string {
+	if t == nil || depth > 10 {
+		return ""
+	}
+	t = types.Unalias(t)
+	if got, ok := b.memo[t]; ok {
+		return got
+	}
+	b.memo[t] = "" // break cycles; overwritten below on a hit
+	var hit string
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		if named, ok := t.(*types.Named); ok && isStdPkg(named.Obj().Pkg(), "sync/atomic") {
+			hit = typeBase(t)
+			break
+		}
+		for i := 0; i < u.NumFields() && hit == ""; i++ {
+			f := u.Field(i)
+			if _, legacy := b.atomicFields[f]; legacy {
+				hit = f.Name()
+				break
+			}
+			if sub := b.find(f.Type(), depth+1); sub != "" {
+				hit = f.Name() + "." + sub
+				if isStdPkg(fieldTypePkg(f.Type()), "sync/atomic") {
+					hit = f.Name()
+				}
+			}
+		}
+	case *types.Array:
+		if sub := b.find(u.Elem(), depth+1); sub != "" {
+			hit = "[...]" + sub
+		}
+	}
+	b.memo[t] = hit
+	return hit
+}
+
+// fieldTypePkg returns the defining package of a named type, or nil.
+func fieldTypePkg(t types.Type) *types.Package {
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Pkg()
+	}
+	return nil
+}
+
+// typeBase returns the bare name of a named type ("atomic.Int64" -> "Int64").
+func typeBase(t types.Type) string {
+	s := types.TypeString(t, nil)
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

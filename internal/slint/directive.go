@@ -1,0 +1,172 @@
+package slint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// slint recognizes two comment directives:
+//
+//	//slint:ignore <analyzer> <reason>
+//	//slint:hotpath
+//
+// An ignore directive suppresses findings of the named analyzer on the
+// directive's own line and on the line immediately following it, so it can
+// ride at the end of the offending statement or on its own line above. The
+// reason string is mandatory: a suppression with no recorded justification
+// is exactly the kind of silent exception these analyzers exist to prevent.
+//
+// //slint:hotpath goes in a function declaration's doc comment and opts the
+// function into the hotblock analyzer (see hotblock.go).
+
+const (
+	directivePrefix  = "//slint:"
+	directiveIgnore  = "ignore"
+	directiveHotpath = "hotpath"
+)
+
+// analyzerNames is the set of names //slint:ignore may reference.
+var analyzerNames = map[string]bool{
+	"densearith": true,
+	"atomicmix":  true,
+	"proftimer":  true,
+	"errwedge":   true,
+	"hotblock":   true,
+	"metricname": true,
+	"directives": true,
+}
+
+// ignoreDirective is one parsed //slint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+}
+
+// directiveIndex maps file -> line -> ignore directives, for suppression
+// lookups. Each analyzer builds one per pass; parsing is a linear scan of
+// the comment lists and is cheap next to type checking.
+type directiveIndex struct {
+	byFile map[string]map[int][]ignoreDirective
+}
+
+func buildDirectiveIndex(pass *analysis.Pass) *directiveIndex {
+	idx := &directiveIndex{byFile: make(map[string]map[int][]ignoreDirective)}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				verb, rest, ok := parseDirective(c.Text)
+				if !ok || verb != directiveIgnore {
+					continue
+				}
+				name, reason := splitArg(rest)
+				if !analyzerNames[name] || reason == "" {
+					continue // the directives analyzer reports these
+				}
+				fname, line := posLine(pass.Fset, c.Pos())
+				m := idx.byFile[fname]
+				if m == nil {
+					m = make(map[int][]ignoreDirective)
+					idx.byFile[fname] = m
+				}
+				m[line] = append(m[line], ignoreDirective{analyzer: name, reason: reason})
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a finding of analyzer at pos is covered by an
+// ignore directive on the same line or the line above.
+func (idx *directiveIndex) suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	fname, line := posLine(fset, pos)
+	m := idx.byFile[fname]
+	if m == nil {
+		return false
+	}
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range m[l] {
+			if d.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseDirective splits a comment into its directive verb and argument
+// string. ok is false for ordinary comments.
+func parseDirective(text string) (verb, rest string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	body := text[len(directivePrefix):]
+	verb, rest = splitArg(body)
+	return verb, rest, true
+}
+
+// splitArg splits off the first whitespace-separated field.
+func splitArg(s string) (first, rest string) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i+1:])
+	}
+	return s, ""
+}
+
+// Directives validates the slint directives themselves: unknown verbs,
+// ignore directives naming no (or an unknown) analyzer, ignores missing the
+// mandatory reason string, and hotpath directives that are not attached to a
+// function declaration.
+var Directives = &analysis.Analyzer{
+	Name: "directives",
+	Doc:  "check that //slint: directives are well-formed (known analyzer, mandatory reason, hotpath on a function)",
+	Run:  runDirectives,
+}
+
+func runDirectives(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		// Comments attached as a FuncDecl doc are legal positions for
+		// //slint:hotpath.
+		hotpathOK := make(map[*ast.Comment]bool)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					hotpathOK[c] = true
+				}
+			}
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				verb, rest, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				switch verb {
+				case directiveIgnore:
+					name, reason := splitArg(rest)
+					switch {
+					case name == "":
+						pass.ReportRangef(c, "slint:ignore needs an analyzer name and a reason: //slint:ignore <analyzer> <reason>")
+					case !analyzerNames[name]:
+						pass.ReportRangef(c, "slint:ignore names unknown analyzer %q", name)
+					case reason == "":
+						pass.ReportRangef(c, "slint:ignore %s needs a reason: the justification is part of the suppression", name)
+					}
+				case directiveHotpath:
+					if rest != "" {
+						pass.ReportRangef(c, "slint:hotpath takes no arguments")
+					} else if !hotpathOK[c] {
+						pass.ReportRangef(c, "slint:hotpath must appear in a function declaration's doc comment")
+					}
+				default:
+					pass.ReportRangef(c, "unknown slint directive %q (known: ignore, hotpath)", verb)
+				}
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,135 @@
+package slint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// ErrWedge flags discarded results from log-durability calls.
+//
+// The WAL's error contract is "wedge, never lie": once a sink write fails,
+// the log refuses further appends so recovery can trust everything before
+// the failure point. That contract only holds if callers look at the error.
+// PR 4's UndoFailures class was exactly this — rollback discarded logAppend
+// errors and the tree lied about which undos were durable.
+//
+// Flagged forms, for calls to the functions below:
+//
+//	f(...)          // expression statement, result dropped
+//	_ = f(...)      // assigned entirely to blank
+//	_, _ = f(...)   // all results blank
+//	go f(...)       // result unobservable
+//	defer f(...)    // result unobservable
+//
+// Deliberate discards (abort-path best-effort flushes) must carry an
+// explicit //slint:ignore errwedge <reason> so the decision is recorded at
+// the call site.
+var ErrWedge = &analysis.Analyzer{
+	Name:     "errwedge",
+	Doc:      "flag dropped errors from log-durability calls (their contract is wedge-the-log, never ignore)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runErrWedge,
+}
+
+func runErrWedge(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	idx := buildDirectiveIndex(pass)
+
+	nodeFilter := []ast.Node{
+		(*ast.ExprStmt)(nil),
+		(*ast.AssignStmt)(nil),
+		(*ast.GoStmt)(nil),
+		(*ast.DeferStmt)(nil),
+	}
+	insp.Preorder(nodeFilter, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if name, ok := wedgeTarget(pass, call); ok {
+					report(pass, idx, n, "result of %s dropped: its error wedges the log and must be handled (or discarded explicitly with //slint:ignore errwedge <reason>)", name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !allBlank(n.Lhs) {
+				return
+			}
+			if name, ok := wedgeTarget(pass, call); ok {
+				report(pass, idx, n, "error from %s assigned to _: its error wedges the log and must be handled (or discarded explicitly with //slint:ignore errwedge <reason>)", name)
+			}
+		case *ast.GoStmt:
+			if name, ok := wedgeTarget(pass, n.Call); ok {
+				report(pass, idx, n, "go %s discards its result: run it synchronously or collect the error", name)
+			}
+		case *ast.DeferStmt:
+			if name, ok := wedgeTarget(pass, n.Call); ok {
+				report(pass, idx, n, "defer %s discards its result: wrap it in a closure that handles the error", name)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// allBlank reports whether every left-hand side is the blank identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// wedgeTarget reports whether call resolves to one of the log-durability
+// functions whose result must not be discarded, and returns a display name.
+//
+// Exported wal API is matched in the wal package; the unexported helpers
+// are matched in their home package (wal or core) so moving a call site
+// into another package cannot silently exempt it.
+func wedgeTarget(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	obj := typeutil.Callee(pass.TypesInfo, call)
+	if obj == nil {
+		return "", false
+	}
+	name := obj.Name()
+	pkg := obj.Pkg()
+	switch obj.(type) {
+	case *types.Func, *types.Var: // sysPrealloc is a func-typed package var
+	default:
+		return "", false
+	}
+	switch name {
+	// Exported wal durability API.
+	case "WriteRecord", "WriteRange", "WriteRanges", "Flush", "FlushAsync", "Sync":
+		if fromPkg(pkg, "wal") {
+			return displayName(pkg, name), true
+		}
+	// Unexported append/undo helpers in core: the PR 4 bug class.
+	case "logAppend", "logCLR", "appendTimed", "applyUndo":
+		if fromPkg(pkg, "core") {
+			return displayName(pkg, name), true
+		}
+	// Raw syscall wrappers in wal.
+	case "writevAt", "writevFallback", "sysPrealloc", "sysPreallocImpl":
+		if fromPkg(pkg, "wal") {
+			return displayName(pkg, name), true
+		}
+	}
+	return "", false
+}
+
+func displayName(pkg *types.Package, name string) string {
+	if pkg == nil {
+		return name
+	}
+	return pkg.Name() + "." + name
+}

@@ -1,0 +1,178 @@
+package slint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// HotBlock enforces the //slint:hotpath contract: a function so annotated
+// must not block in its own statements.
+//
+// The reserve/fill path is the paper's whole point — one fetch-and-add and
+// some memcpy, no centralized waits — and PR 6 promised the per-transaction
+// completion hook stays lock-free because it runs inside commit publication.
+// An innocent-looking time.Sleep, channel operation or mutex acquisition
+// added there during a refactor re-centralizes the log. The annotation
+// makes the promise explicit, and this analyzer makes it binding.
+//
+// Flagged inside an annotated function (including its nested literals):
+//
+//   - time.Sleep calls
+//   - sync.Mutex/RWMutex Lock/RLock, sync.Cond.Wait, sync.WaitGroup.Wait,
+//     sync.Once.Do
+//   - channel send, channel receive, range over a channel
+//   - select without a default case
+//
+// The check is a direct-statement discipline, not an interprocedural one:
+// calls into other functions are trusted (annotate those too if they are on
+// the path). A genuinely non-blocking use (e.g. a channel send that is
+// provably buffered by construction) can be recorded with
+// //slint:ignore hotblock <reason>.
+var HotBlock = &analysis.Analyzer{
+	Name: "hotblock",
+	Doc:  "forbid sleeps, channel blocking and mutex acquisition in //slint:hotpath functions",
+	Run:  runHotBlock,
+}
+
+func runHotBlock(pass *analysis.Pass) (interface{}, error) {
+	idx := buildDirectiveIndex(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotBody(pass, idx, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// //slint:hotpath directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if verb, rest, ok := parseDirective(c.Text); ok && verb == directiveHotpath && rest == "" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *analysis.Pass, idx *directiveIndex, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// Send/receive operations that are a select case's communication are
+	// governed by the select itself (flagged above when it has no default),
+	// not blocking operations in their own right.
+	exempt := make(map[ast.Node]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.SendStmt:
+						exempt[m] = true
+					case *ast.UnaryExpr:
+						if m.Op == token.ARROW {
+							exempt[m] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if what := blockingCall(pass, n); what != "" {
+				report(pass, idx, n, "%s in //slint:hotpath function %s: the hot path must not block", what, name)
+			}
+		case *ast.SendStmt:
+			if !exempt[n] {
+				report(pass, idx, n, "channel send in //slint:hotpath function %s: the hot path must not block", name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !exempt[n] {
+				report(pass, idx, n, "channel receive in //slint:hotpath function %s: the hot path must not block", name)
+			}
+		case *ast.SelectStmt:
+			if !hasDefault(n) {
+				report(pass, idx, n, "select without default in //slint:hotpath function %s blocks until a case is ready", name)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					report(pass, idx, n, "range over channel in //slint:hotpath function %s: the hot path must not block", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies a call as a known blocking primitive, returning a
+// human-readable description or "".
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return ""
+	}
+	if isStdPkg(fn.Pkg(), "time") && fn.Name() == "Sleep" {
+		return "time.Sleep"
+	}
+	if !isStdPkg(fn.Pkg(), "sync") {
+		return ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	recvName := typeBase(derefType(recv.Type()))
+	// strip any type parameters rendered by TypeString
+	if i := strings.IndexByte(recvName, '['); i >= 0 {
+		recvName = recvName[:i]
+	}
+	switch {
+	case fn.Name() == "Lock" && (recvName == "Mutex" || recvName == "RWMutex"):
+		return "sync." + recvName + ".Lock"
+	case fn.Name() == "RLock" && recvName == "RWMutex":
+		return "sync.RWMutex.RLock"
+	case fn.Name() == "Wait" && (recvName == "Cond" || recvName == "WaitGroup"):
+		return "sync." + recvName + ".Wait"
+	case fn.Name() == "Do" && recvName == "Once":
+		return "sync.Once.Do"
+	}
+	return ""
+}
+
+// derefType unwraps one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// hasDefault reports whether a select statement has a default clause.
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package slint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// MetricName validates metric names handed to obs.Registry constructors at
+// build time.
+//
+// The registry panics on a malformed name — deliberately, because a bad
+// metric name is a deploy-time bug — but a panic at first scrape is a much
+// worse place to learn about it than a vet failure. For every constant
+// string passed to Counter/Gauge/Histogram/CounterFunc/GaugeFunc/
+// LabeledCounterFunc/LabeledGaugeFunc on obs.Registry, this analyzer
+// checks the project naming rules:
+//
+//   - names match [a-z][a-z0-9_]* (Prometheus-safe, lower_snake)
+//   - names carry the project prefix slidb_ (slidbd_ for daemon-side metrics)
+//   - counter names end in _total (Prometheus counter convention)
+//   - label names match [a-z_][a-z0-9_]*
+//
+// Dynamic names cannot be checked and are reported too: registration is
+// init-time code, there is no reason for a computed metric name.
+// Test files are exempt (harness metrics use neutral names on purpose).
+var MetricName = &analysis.Analyzer{
+	Name:     "metricname",
+	Doc:      "check metric names passed to obs.Registry constructors against the slidb_ naming rules",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runMetricName,
+}
+
+// metricCtors maps obs.Registry constructor name to the index of its label
+// argument (-1 = unlabeled) and whether it creates a counter.
+var metricCtors = map[string]struct {
+	labelArg int
+	counter  bool
+}{
+	"Counter":            {-1, true},
+	"Gauge":              {-1, false},
+	"Histogram":          {-1, false},
+	"CounterFunc":        {-1, true},
+	"GaugeFunc":          {-1, false},
+	"LabeledCounterFunc": {2, true},
+	"LabeledGaugeFunc":   {2, false},
+}
+
+func runMetricName(pass *analysis.Pass) (interface{}, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	idx := buildDirectiveIndex(pass)
+
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok {
+			return
+		}
+		ctor, ok := metricCtors[fn.Name()]
+		if !ok || !isRegistryMethod(fn) || len(call.Args) == 0 {
+			return
+		}
+		if inTestFile(pass, call) {
+			return
+		}
+		name, isConst := constString(pass, call.Args[0])
+		if !isConst {
+			report(pass, idx, call.Args[0], "metric name passed to obs.Registry.%s is not a constant string: registration is init-time code, use a literal so the name can be vetted", fn.Name())
+			return
+		}
+		for _, problem := range checkMetricName(name, ctor.counter) {
+			report(pass, idx, call.Args[0], "metric name %q: %s", name, problem)
+		}
+		if ctor.labelArg >= 0 && ctor.labelArg < len(call.Args) {
+			if label, ok := constString(pass, call.Args[ctor.labelArg]); ok && !validLabelName(label) {
+				report(pass, idx, call.Args[ctor.labelArg], "label name %q must match [a-z_][a-z0-9_]*", label)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// isRegistryMethod reports whether fn is a method on obs.Registry.
+func isRegistryMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named, ok := types.Unalias(derefType(recv.Type())).(*types.Named)
+	return ok && named.Obj().Name() == "Registry" && fromPkg(named.Obj().Pkg(), "obs")
+}
+
+// inTestFile reports whether the node lives in a _test.go file.
+func inTestFile(pass *analysis.Pass, n ast.Node) bool {
+	return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// checkMetricName returns every naming-rule violation for a metric name.
+func checkMetricName(name string, counter bool) []string {
+	var problems []string
+	if !validMetricChars(name) {
+		problems = append(problems, "must match [a-z][a-z0-9_]* (lower_snake, no leading digit or underscore)")
+	}
+	if !strings.HasPrefix(name, "slidb_") && !strings.HasPrefix(name, "slidbd_") {
+		problems = append(problems, "must carry the project prefix slidb_ (or slidbd_ for daemon-side metrics)")
+	}
+	if counter && !strings.HasSuffix(name, "_total") {
+		problems = append(problems, "counters end in _total by Prometheus convention")
+	}
+	return problems
+}
+
+func validMetricChars(name string) bool {
+	if name == "" {
+		return false
+	}
+	if name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	if (name[0] < 'a' || name[0] > 'z') && name[0] != '_' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}

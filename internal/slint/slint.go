@@ -1,0 +1,48 @@
+// Package slint implements slidb's project-specific static analyzers.
+//
+// The engine's hottest code is lock-free reserve/fill/publish machinery
+// whose correctness rests on invariants the Go compiler cannot see and
+// that -race only catches when a schedule happens to expose them. Each
+// analyzer here pins one such invariant at build time, grounded in a bug
+// class that has actually occurred in this repository:
+//
+//   - densearith: arithmetic on wal.LSN outside its helper methods.
+//     LSNs are byte offsets into the virtual log, ordered but not dense;
+//     "lsn+1" is always a bug (the PR 5 sweep hunted these down once).
+//   - atomicmix: a struct field accessed both through sync/atomic calls
+//     and through plain reads/writes, and by-value copies of structs
+//     that (transitively) contain atomic fields.
+//   - proftimer: a profiler timing started with time.Now must reach its
+//     time.Since stop on every return path, so no category silently
+//     under-reports on an error return.
+//   - errwedge: results of log-durability calls (logAppend, WriteRange(s),
+//     Flush, FlushAsync, raw syscall wrappers) must not be discarded —
+//     their contract is "wedge the log", never ignore (the PR 4
+//     UndoFailures bug class).
+//   - hotblock: functions annotated //slint:hotpath must not sleep,
+//     block on channels, or acquire mutexes in their own statements.
+//   - metricname: constant metric names passed to obs.Registry
+//     constructors must satisfy the slidb_ naming rules at build time
+//     instead of panicking at first scrape.
+//
+// Two directives tune the analyzers (see directive.go): //slint:hotpath
+// marks a function for hotblock, and //slint:ignore <analyzer> <reason>
+// suppresses a finding on the same or the following line. The directives
+// analyzer validates the directives themselves, so a typo'd analyzer
+// name or a missing reason is itself a build error.
+package slint
+
+import "golang.org/x/tools/go/analysis"
+
+// Analyzers returns the full slint suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DenseArith,
+		AtomicMix,
+		ProfTimer,
+		ErrWedge,
+		HotBlock,
+		MetricName,
+		Directives,
+	}
+}

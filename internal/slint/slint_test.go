@@ -1,0 +1,51 @@
+package slint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"slidb/internal/slint"
+	"slidb/internal/slint/slinttest"
+)
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// TestDenseArith runs both inside the wal stand-in (where LSN methods are
+// allowlisted) and from consumer code (where nothing is).
+func TestDenseArith(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.DenseArith, "wal", "densearith")
+}
+
+func TestAtomicMix(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.AtomicMix, "atomicmix")
+}
+
+func TestProfTimer(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.ProfTimer, "proftimer")
+}
+
+// TestErrWedge's fixture package is named core on purpose: the unexported
+// helpers (applyUndo, logAppend) are matched in their home package, and the
+// fixture reproduces the PR 4 dropped-undo-error bug verbatim.
+func TestErrWedge(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.ErrWedge, "core")
+}
+
+func TestHotBlock(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.HotBlock, "hotblock")
+}
+
+func TestMetricName(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.MetricName, "metricname")
+}
+
+func TestDirectives(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.Directives, "directives")
+}

@@ -1,0 +1,299 @@
+// Package slinttest is a minimal golden-test harness for the slint
+// analyzers, in the spirit of golang.org/x/tools/go/analysis/analysistest.
+//
+// The real analysistest depends on go/packages and `go list`, which need
+// module resolution; this harness instead type-checks GOPATH-style fixture
+// trees under testdata/src directly, with the standard library imported
+// from source. Fixture packages import each other by bare path ("wal",
+// "profiler", "obs"), which is exactly why the analyzers match slidb
+// packages by base name.
+//
+// Expectations are comments of the form
+//
+//	// want "regexp" `another regexp`
+//
+// matching diagnostics reported on the comment's own line. A relative-line
+// marker supports diagnostics that land on a directive comment, where no
+// second comment can share the line:
+//
+//	//slint:ignore
+//	// want@-1 "needs an analyzer name"
+package slinttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run applies the analyzer to each fixture package (a path relative to
+// testdata/src) and compares its diagnostics against the // want comments
+// in that package's files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(t, filepath.Join(testdata, "src"))
+	for _, path := range pkgpaths {
+		t.Run(a.Name+"/"+path, func(t *testing.T) {
+			t.Helper()
+			pi := l.load(t, path)
+			diags := runAnalyzer(t, l, pi, a)
+			checkExpectations(t, l.fset, pi, diags)
+		})
+	}
+}
+
+// loader type-checks fixture packages, caching results so stand-ins shared
+// between tests (wal, profiler, obs) are only compiled once per Run.
+type loader struct {
+	srcdir string
+	fset   *token.FileSet
+	std    types.Importer
+	pkgs   map[string]*pkgInfo
+}
+
+type pkgInfo struct {
+	path  string
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func newLoader(t *testing.T, srcdir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		srcdir: srcdir,
+		fset:   fset,
+		// The source importer type-checks the standard library from GOROOT
+		// source: no compiled export data needed, works offline.
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*pkgInfo),
+	}
+}
+
+func (l *loader) load(t *testing.T, path string) *pkgInfo {
+	t.Helper()
+	if pi, ok := l.pkgs[path]; ok {
+		return pi
+	}
+	dir := filepath.Join(l.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture package %s: %v", path, err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture package %s has no Go files", path)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			if fi, err := os.Stat(filepath.Join(l.srcdir, ipath)); err == nil && fi.IsDir() {
+				return l.load(t, ipath).pkg, nil
+			}
+			return l.std.Import(ipath)
+		}),
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		t.Fatalf("type-check %s: %v", path, err)
+	}
+	pi := &pkgInfo{path: path, pkg: pkg, files: files, info: info}
+	l.pkgs[path] = pi
+	return pi
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runAnalyzer runs a (and, recursively, its Requires) over the package and
+// returns the diagnostics reported by a itself.
+func runAnalyzer(t *testing.T, l *loader, pi *pkgInfo, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]interface{})
+	var run func(a *analysis.Analyzer, top bool)
+	run = func(a *analysis.Analyzer, top bool) {
+		if _, done := results[a]; done {
+			return
+		}
+		resultOf := make(map[*analysis.Analyzer]interface{})
+		for _, req := range a.Requires {
+			run(req, false)
+			resultOf[req] = results[req]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Files:      pi.files,
+			Pkg:        pi.pkg,
+			TypesInfo:  pi.info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				if top {
+					diags = append(diags, d)
+				}
+			},
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		}
+		result, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", a.Name, pi.path, err)
+		}
+		results[a] = result
+	}
+	run(a, true)
+	return diags
+}
+
+// expectation is one parsed // want clause.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`^// want(@[+-]?\d+)?\s+(.*)$`)
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pi.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					delta, err := strconv.Atoi(m[1][1:])
+					if err != nil {
+						t.Fatalf("%s: bad want line offset %q", pos, m[1])
+					}
+					line += delta
+				}
+				pats, err := splitPatterns(m[2])
+				if err != nil {
+					t.Fatalf("%s: %v", pos, err)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: line, re: re, raw: p})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitPatterns parses a sequence of double- or back-quoted regexps.
+func splitPatterns(s string) ([]string, error) {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q in want", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want string %s: %v", s[:end+1], err)
+			}
+			pats = append(pats, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated `...` in want")
+			}
+			pats = append(pats, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("want comment has no patterns")
+	}
+	return pats, nil
+}

@@ -1,0 +1,77 @@
+// Package atomicmix exercises the atomicmix analyzer: mixed-discipline
+// fields and by-value copies of atomic-bearing structs.
+package atomicmix
+
+import "sync/atomic"
+
+// stats mixes legacy atomic updates with plain access.
+type stats struct {
+	appends uint64
+	flushes uint64
+}
+
+func bump(s *stats) {
+	atomic.AddUint64(&s.appends, 1)
+	atomic.AddUint64(&s.flushes, 1)
+}
+
+func readMixed(s *stats) uint64 {
+	return s.appends // want `field appends is updated with atomic\.AddUint64 but accessed plainly`
+}
+
+func writeMixed(s *stats) {
+	s.flushes = 0 // want `field flushes is updated with atomic\.AddUint64 but accessed plainly`
+}
+
+func readAtomically(s *stats) uint64 {
+	return atomic.LoadUint64(&s.appends) // sanctioned: same discipline
+}
+
+func readSuppressed(s *stats) uint64 {
+	//slint:ignore atomicmix single-writer phase, no concurrent updates yet
+	return s.appends
+}
+
+// counters is atomic-bearing through a typed atomic.
+type counters struct {
+	ops atomic.Uint64
+}
+
+// nested is atomic-bearing transitively, through a struct and an array.
+type nested struct {
+	name  string
+	inner counters
+	lanes [4]atomic.Int64
+}
+
+func copies(c counters, all []nested) { // want `by-value parameter of counters`
+	snapshot := c // want `assignment copies counters`
+	_ = snapshot
+
+	for _, n := range all { // want `range value copies nested`
+		_ = n.name
+	}
+}
+
+func copyReturn(n *nested) nested {
+	return *n // want `return copies nested`
+}
+
+func passByValue(n *nested) {
+	sink(*n) // want `argument copies nested`
+}
+
+func sink(n nested) {} // want `by-value parameter of nested`
+
+// pointersAndSnapshotsAreFine shows the sanctioned spellings.
+func pointersAndSnapshotsAreFine(n *nested) (uint64, *nested) {
+	type view struct {
+		ops   uint64
+		lane0 int64
+	}
+	v := view{ops: n.inner.ops.Load(), lane0: n.lanes[0].Load()}
+	_ = v
+	fresh := nested{name: "fresh"} // composite literal, not a copy of shared state
+	_ = fresh
+	return n.inner.ops.Load(), n
+}

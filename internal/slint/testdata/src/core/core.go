@@ -1,0 +1,59 @@
+// Package core is a stand-in for slidb/internal/core exercising the
+// errwedge analyzer: results of log-durability calls must not be dropped.
+package core
+
+import "wal"
+
+type entry struct {
+	rec wal.Record
+}
+
+type tx struct {
+	log     *wal.Log
+	undo    []entry
+	lastLSN wal.LSN
+}
+
+func (tx *tx) applyUndo(ent entry) error { return nil }
+
+func (tx *tx) logAppend(rec *wal.Record) (wal.LSN, error) {
+	return tx.log.WriteRecord(rec)
+}
+
+// abortDroppingUndo is the PR 4 UndoFailures bug class verbatim: rollback
+// discarded applyUndo errors and the tree lied about which undos held.
+func (tx *tx) abortDroppingUndo() {
+	for _, ent := range tx.undo {
+		_ = tx.applyUndo(ent) // want `error from core\.applyUndo assigned to _`
+	}
+}
+
+func (tx *tx) moreDrops(rec *wal.Record) {
+	tx.log.Flush(tx.lastLSN)       // want `result of wal\.Flush dropped`
+	tx.log.FlushAsync(tx.lastLSN)  // want `result of wal\.FlushAsync dropped`
+	_, _ = tx.logAppend(rec)       // want `error from core\.logAppend assigned to _`
+	go tx.log.Sync()               // want `go wal\.Sync discards its result`
+	defer tx.log.Sync()            // want `defer wal\.Sync discards its result`
+	_ = tx.log.WriteRanges(nil, 0) // want `error from wal\.WriteRanges assigned to _`
+}
+
+func (tx *tx) handled(rec *wal.Record) error {
+	if _, err := tx.logAppend(rec); err != nil {
+		return err
+	}
+	if err := tx.log.Flush(tx.lastLSN); err != nil {
+		return err
+	}
+	errc := tx.log.FlushAsync(tx.lastLSN)
+	return <-errc
+}
+
+// bestEffort records the deliberate abort-path discards with reasons, the
+// sanctioned spelling for what abort() does in the real engine.
+func (tx *tx) bestEffort() {
+	for _, ent := range tx.undo {
+		//slint:ignore errwedge abort path is best-effort; failures surface via UndoFailures counter
+		_ = tx.applyUndo(ent)
+	}
+	_ = tx.log.FlushAsync(tx.lastLSN) //slint:ignore errwedge fire-and-forget durability nudge on abort
+}

@@ -1,0 +1,36 @@
+// Package directives exercises the directives analyzer: the //slint:
+// comments themselves must be well-formed.
+package directives
+
+import "time"
+
+// wellFormed carries a valid hotpath annotation.
+//
+//slint:hotpath
+func wellFormed() int { return 1 }
+
+func wellFormedIgnore() {
+	//slint:ignore hotblock fixture: a valid directive with analyzer and reason
+	_ = time.Now()
+}
+
+//slint:ignore
+// want@-1 `slint:ignore needs an analyzer name and a reason`
+
+//slint:ignore densearith
+// want@-1 `slint:ignore densearith needs a reason`
+
+//slint:ignore speling mistake in the analyzer name
+// want@-1 `slint:ignore names unknown analyzer "speling"`
+
+//slint:frobnicate
+// want@-1 `unknown slint directive "frobnicate"`
+
+//slint:hotpath with arguments
+// want@-1 `slint:hotpath takes no arguments`
+
+func misplacedHotpath() {
+	//slint:hotpath
+	// want@-1 `slint:hotpath must appear in a function declaration's doc comment`
+	_ = time.Now()
+}

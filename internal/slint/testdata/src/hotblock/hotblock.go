@@ -1,0 +1,71 @@
+// Package hotblock exercises the hotblock analyzer: functions annotated
+// //slint:hotpath must not block in their own statements.
+package hotblock
+
+import (
+	"sync"
+	"time"
+)
+
+type buf struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	once  sync.Once
+	wg    sync.WaitGroup
+	ready chan struct{}
+	work  chan int
+}
+
+// reserve is on the hot path and does everything wrong.
+//
+//slint:hotpath
+func (b *buf) reserve(n int) {
+	time.Sleep(time.Microsecond) // want `time\.Sleep in //slint:hotpath function reserve`
+	b.mu.Lock()                  // want `sync\.Mutex\.Lock in //slint:hotpath function reserve`
+	b.rw.RLock()                 // want `sync\.RWMutex\.RLock in //slint:hotpath function reserve`
+	b.once.Do(func() {})         // want `sync\.Once\.Do in //slint:hotpath function reserve`
+	b.wg.Wait()                  // want `sync\.WaitGroup\.Wait in //slint:hotpath function reserve`
+	b.work <- n                  // want `channel send in //slint:hotpath function reserve`
+	<-b.ready                    // want `channel receive in //slint:hotpath function reserve`
+}
+
+// drain blocks in fancier ways.
+//
+//slint:hotpath
+func (b *buf) drain() {
+	for v := range b.work { // want `range over channel in //slint:hotpath function drain`
+		_ = v
+	}
+	select { // want `select without default in //slint:hotpath function drain`
+	case <-b.ready:
+	}
+}
+
+// publishFast is hot and stays non-blocking: CAS loops, atomic-free reads,
+// and a select with a default are all fine.
+//
+//slint:hotpath
+func (b *buf) publishFast(n int) bool {
+	select {
+	case b.work <- n:
+	default:
+		return false
+	}
+	return true
+}
+
+// coldPath has no annotation; blocking is its job.
+func (b *buf) coldPath(n int) {
+	time.Sleep(time.Millisecond)
+	b.mu.Lock()
+	b.work <- n
+	<-b.ready
+}
+
+// suppressed records the non-blocking-by-construction argument.
+//
+//slint:hotpath
+func (b *buf) suppressed(n int) {
+	//slint:ignore hotblock buffered by construction: capacity equals max outstanding reservations
+	b.work <- n
+}

@@ -1,0 +1,38 @@
+// Package metricname exercises the metricname analyzer: constant names
+// passed to obs.Registry constructors must satisfy the project rules.
+package metricname
+
+import "obs"
+
+func registerGood(r *obs.Registry) {
+	r.Counter("slidb_txn_commits_total", "committed transactions")
+	r.Gauge("slidb_durable_lag_bytes", "bytes between head and durable LSN")
+	r.Histogram("slidbd_request_seconds", "request latency", nil)
+	r.CounterFunc("slidb_elr_aborts_total", "early-lock-release aborts", func() float64 { return 0 })
+	r.LabeledCounterFunc("slidb_profile_seconds_total", "per-category time", "category", func() []obs.Sample { return nil })
+}
+
+func registerBad(r *obs.Registry) {
+	r.Counter("txn_commits_total", "no prefix")                                 // want `must carry the project prefix slidb_`
+	r.Counter("slidb_txn_commits", "no _total")                                 // want `counters end in _total`
+	r.Gauge("slidb_Durable_lag", "upper case")                                  // want `must match \[a-z\]\[a-z0-9_\]\*`
+	r.Gauge("slidb_lag:bytes", "colon")                                         // want `must match \[a-z\]\[a-z0-9_\]\*`
+	r.Histogram("2slidb_seconds", "digit", nil)                                 // want `must match \[a-z\]\[a-z0-9_\]\*` `must carry the project prefix slidb_`
+	r.LabeledGaugeFunc("slidb_lock_waiters", "per-table waiters", "Table", nil) // want `label name "Table" must match`
+}
+
+func registerDynamic(r *obs.Registry, suffix string) {
+	r.Counter("slidb_"+suffix+"_total", "computed") // want `not a constant string`
+}
+
+const promoted = "slidb_restarts_total"
+
+func registerConst(r *obs.Registry) {
+	// Constants propagate: still checkable, still fine.
+	r.Counter(promoted, "engine restarts")
+}
+
+func registerSuppressed(r *obs.Registry) {
+	//slint:ignore metricname legacy dashboard name kept for continuity
+	r.Counter("legacy_restarts", "grandfathered")
+}

@@ -1,0 +1,58 @@
+// Package obs is a minimal stand-in for slidb/internal/obs used by the
+// slint analyzer tests: just the Registry constructor surface metricname
+// matches on.
+package obs
+
+// Sample is one labeled observation.
+type Sample struct {
+	Label string
+	Value float64
+}
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Add(n uint64) { c.v += n }
+
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Set(v float64) { g.v = v }
+
+type Histogram struct{ sum float64 }
+
+func (h *Histogram) Observe(v float64) { h.sum += v }
+
+// Registry registers metric families.
+type Registry struct {
+	names []string
+}
+
+func (r *Registry) Counter(name, help string) *Counter {
+	r.names = append(r.names, name)
+	return &Counter{}
+}
+
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.names = append(r.names, name)
+	return &Gauge{}
+}
+
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.names = append(r.names, name)
+}
+
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.names = append(r.names, name)
+}
+
+func (r *Registry) LabeledCounterFunc(name, help, label string, fn func() []Sample) {
+	r.names = append(r.names, name)
+}
+
+func (r *Registry) LabeledGaugeFunc(name, help, label string, fn func() []Sample) {
+	r.names = append(r.names, name)
+}
+
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.names = append(r.names, name)
+	return &Histogram{}
+}

@@ -1,0 +1,34 @@
+// Package profiler is a minimal stand-in for slidb/internal/profiler used
+// by the slint analyzer tests.
+package profiler
+
+import "time"
+
+// Category indexes a timing bucket.
+type Category int
+
+const (
+	CatLogFlush Category = iota
+	CatLogReserveWait
+	CatLogBufferFullWait
+	CatWork
+)
+
+// Handle accumulates per-category durations.
+type Handle struct {
+	nanos [4]int64
+}
+
+// Add attributes d to category c.
+func (h *Handle) Add(c Category, d time.Duration) {
+	if h != nil {
+		h.nanos[c] += int64(d)
+	}
+}
+
+// Timed runs f and attributes its wall time to c.
+func (h *Handle) Timed(c Category, f func()) {
+	start := time.Now()
+	f()
+	h.Add(c, time.Since(start))
+}

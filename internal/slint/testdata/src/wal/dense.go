@@ -1,0 +1,34 @@
+package wal
+
+// nextDense is the PR 5 bug class verbatim: "lsn+1" assumed dense LSNs and
+// broke the moment LSNs became byte offsets.
+func nextDense(lsn LSN) LSN {
+	next := lsn + 1 // want `arithmetic on wal\.LSN`
+	return next
+}
+
+func moreArith(a, b LSN, n int64) {
+	_ = a - b          // want `arithmetic on wal\.LSN`
+	_ = a * 2          // want `arithmetic on wal\.LSN`
+	_ = a % LSN(n)     // want `arithmetic on wal\.LSN`
+	_ = a &^ LSN(4095) // want `arithmetic on wal\.LSN`
+	a += LSN(n)        // want `compound assignment on wal\.LSN`
+	a++                // want `\+\+ on wal\.LSN is a dense-LSN bug`
+}
+
+// helpersAreFine shows the allowlisted spellings: helper methods, ordering
+// comparisons, and explicit int64 byte math.
+func helpersAreFine(a, b LSN, n int64) {
+	_ = a.Advance(n)
+	_ = a.Next(128)
+	_ = a.Distance(b)
+	_ = a < b
+	_ = a >= b
+	_ = LSN(int64(a) + n) // byte math done in int64 space, then converted
+}
+
+// suppressed records a deliberate exception with its reason.
+func suppressed(a LSN) LSN {
+	//slint:ignore densearith test fixture exercising the suppression path
+	return a + 1
+}

@@ -1,0 +1,58 @@
+// Package wal is a minimal stand-in for slidb/internal/wal used by the
+// slint analyzer tests. The bare import path "wal" is what the analyzers'
+// base-name package matching keys on.
+package wal
+
+// LSN is a byte offset into the virtual log address space: ordered, not
+// dense, exactly like the real type.
+type LSN uint64
+
+// Advance returns the LSN n bytes further into the virtual log. Methods on
+// LSN are the densearith allowlist: they ARE the byte math.
+func (l LSN) Advance(n int64) LSN { return l + LSN(n) }
+
+// Next returns the LSN one encoded record past l.
+func (l LSN) Next(size int64) LSN { return l.Advance(size) }
+
+// Distance returns how many bytes separate l from from.
+func (l LSN) Distance(from LSN) int64 { return int64(l) - int64(from) }
+
+// Record is a stand-in log record.
+type Record struct {
+	LSN  LSN
+	Size int64
+}
+
+// Log is a stand-in write-ahead log with the durability API surface the
+// errwedge analyzer matches on.
+type Log struct {
+	head    LSN
+	wedged  bool
+	durable LSN
+}
+
+func (l *Log) WriteRecord(r *Record) (LSN, error) {
+	lsn := l.head
+	l.head = l.head.Advance(r.Size)
+	return lsn, nil
+}
+
+func (l *Log) WriteRange(p []byte, off int64) error { return nil }
+
+func (l *Log) WriteRanges(bufs [][]byte, off int64) error { return nil }
+
+func (l *Log) Flush(upTo LSN) error { return nil }
+
+func (l *Log) FlushAsync(upTo LSN) <-chan error {
+	ch := make(chan error, 1)
+	ch <- nil
+	return ch
+}
+
+func (l *Log) Sync() error { return nil }
+
+// writevAt mirrors the raw pwritev syscall wrapper.
+func writevAt(bufs [][]byte, off int64) error { return nil }
+
+// use keeps the unexported stand-ins referenced.
+var _ = writevAt

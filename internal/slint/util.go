@@ -1,0 +1,56 @@
+package slint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// fromPkg reports whether pkg is the slidb package with the given base name
+// (e.g. "wal", "core", "obs", "profiler"). Matching by base name rather than
+// full import path keeps the analyzers honest under the test harness, whose
+// fixture stand-ins live at import paths like "wal" instead of
+// "slidb/internal/wal".
+func fromPkg(pkg *types.Package, base string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == base || strings.HasSuffix(path, "/"+base)
+}
+
+// isStdPkg reports whether pkg is exactly the standard-library package path
+// (e.g. "sync", "time", "sync/atomic"). Standard packages are matched by
+// full path: nothing vendored or fixture-local shadows them.
+func isStdPkg(pkg *types.Package, path string) bool {
+	return pkg != nil && pkg.Path() == path
+}
+
+// enclosingFuncDecl returns the innermost FuncDecl in the ancestor stack
+// produced by inspector.WithStack (stack[0] is the *ast.File).
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// report emits a diagnostic unless an //slint:ignore directive for this
+// analyzer covers the position (same line, or the line immediately above).
+func report(pass *analysis.Pass, idx *directiveIndex, rng analysis.Range, format string, args ...interface{}) {
+	if idx.suppressed(pass.Fset, pass.Analyzer.Name, rng.Pos()) {
+		return
+	}
+	pass.ReportRangef(rng, format, args...)
+}
+
+// posLine returns the file name and line for a position.
+func posLine(fset *token.FileSet, pos token.Pos) (string, int) {
+	p := fset.Position(pos)
+	return p.Filename, p.Line
+}

@@ -202,6 +202,8 @@ func (lb *logBuffer) reserve(rec Record, kick func(), timed bool) (reservation, 
 // reserver that finds the buffer full wait WITHOUT holding a claim — so a
 // closing or crashed log can fail it cleanly instead of leaving a hole that
 // would stall the publish fence forever.
+//
+//slint:hotpath
 func (lb *logBuffer) reserveAtomic(n int64, kick func(), timed bool, w *AppendWaits) (reservation, error) {
 	for {
 		if lb.wedged.Load() {
@@ -257,6 +259,8 @@ func (lb *logBuffer) padOut(s reservation) {
 // filler stalls the watermark (the flusher simply sees fewer bytes this
 // cycle) but no longer stalls later publishers. The returned duration is the
 // time spent blocked; the cumulative total feeds the fence-wait stat.
+//
+//slint:hotpath
 func (lb *logBuffer) publish(claim, end int64, timed bool) time.Duration {
 	if lb.strict {
 		if lb.published.CompareAndSwap(claim, end) {
@@ -280,6 +284,7 @@ func (lb *logBuffer) publish(claim, end int64, timed bool) time.Duration {
 	if timed {
 		fenceStart = time.Now()
 	}
+	//slint:ignore hotblock pubMu is a merge-only critical section (map ops, one store), never held across waits or I/O
 	lb.pubMu.Lock()
 	if lb.published.Load() == claim {
 		for {
@@ -375,6 +380,8 @@ func (lb *logBuffer) waitForSpace(n int64, kick func(), timed bool, w *AppendWai
 // publishes the claim (see publish for the strict/relaxed fence semantics).
 // The returned duration is the time spent blocked publishing (zero when
 // untimed or uncontended).
+//
+//slint:hotpath
 func (lb *logBuffer) fill(rec Record, s reservation, timed bool) time.Duration {
 	if s.pad > 0 {
 		pstart := lb.phys(s.off - s.pad)

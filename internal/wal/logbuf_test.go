@@ -84,8 +84,8 @@ func decodeAll(t *testing.T, data []byte, base LSN) []Record {
 		if err != nil {
 			break
 		}
-		rec.LSN = at + LSN(pad)
-		at += LSN(pad + frame)
+		rec.LSN = at.Advance(int64(pad))
+		at = at.Advance(int64(pad + frame))
 		out = append(out, rec)
 	}
 	if reader.Len() != 0 {
@@ -179,6 +179,7 @@ func TestConsolidatedConcurrentAppendsRoundTrip(t *testing.T) {
 						mu.Unlock()
 						// Subscribe occasionally so flushing interleaves with appends.
 						if i%32 == 0 {
+							//slint:ignore errwedge the subscription only interleaves flushing with appends; the ack is irrelevant
 							l.FlushAsync(lsn)
 						}
 					}

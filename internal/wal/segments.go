@@ -201,7 +201,7 @@ func OpenSegments(dir string, segBytes int64, preallocate bool) (*Segments, erro
 				return nil, fmt.Errorf("wal: truncate torn segment tail: %w", terr)
 			}
 		}
-		if end := info.first + LSN(valid) - segHeaderSize; valid >= segHeaderSize && end > s.end {
+		if end := info.first.Advance(valid - segHeaderSize); valid >= segHeaderSize && end > s.end {
 			s.end = end
 		}
 		if last {
@@ -342,10 +342,10 @@ func scanSegment(path string, first LSN) (validBytes int64, err error) {
 // on-disk byte at exactly its virtual offset.
 func (s *Segments) prepareLocked(at LSN) error {
 	if s.cur != nil && at > s.end {
-		pad := make([]byte, at-s.end)
+		pad := make([]byte, at.Distance(s.end))
 		n, err := s.writeCurLocked(pad)
 		s.curSize += int64(n)
-		s.end += LSN(n)
+		s.end = s.end.Advance(int64(n))
 		if err != nil {
 			return fmt.Errorf("wal: segment pad write: %w", err)
 		}
@@ -381,7 +381,7 @@ func (s *Segments) WriteRecord(rec Record, encoded []byte) error {
 	}
 	n, err := s.writeCurLocked(encoded)
 	s.curSize += int64(n)
-	s.end += LSN(n)
+	s.end = s.end.Advance(int64(n))
 	if err != nil {
 		return fmt.Errorf("wal: segment write: %w", err)
 	}
@@ -421,11 +421,11 @@ func (s *Segments) WriteRange(encoded []byte, first LSN) error {
 		chunk := rangePrefix(encoded, s.segBytes-s.curSize)
 		n, err := s.writeCurLocked(chunk)
 		s.curSize += int64(n)
-		s.end += LSN(n)
+		s.end = s.end.Advance(int64(n))
 		if err != nil {
 			return fmt.Errorf("wal: segment range write: %w", err)
 		}
-		at += LSN(len(chunk))
+		at = at.Advance(int64(len(chunk)))
 		encoded = encoded[len(chunk):]
 	}
 	return nil
@@ -457,13 +457,13 @@ func (s *Segments) WriteRanges(ranges []flushRange) error {
 			return fmt.Errorf("wal: segment vectored write: %w", err)
 		}
 		s.curSize += batchBytes
-		s.end += LSN(batchBytes)
+		s.end = s.end.Advance(batchBytes)
 		batch, batchBytes = batch[:0], 0
 		return nil
 	}
 	for _, r := range ranges {
 		at := r.first
-		pendingEnd := s.end + LSN(batchBytes)
+		pendingEnd := s.end.Advance(batchBytes)
 		if at < pendingEnd {
 			return fmt.Errorf("wal: range at offset %d overlaps segment end %d: %w", at, pendingEnd, ErrCorrupt)
 		}
@@ -471,8 +471,9 @@ func (s *Segments) WriteRanges(ranges []flushRange) error {
 			// Gap below the range (per-record streams elide wraparound
 			// padding; range streams shouldn't get here): zero-fill it as one
 			// more iovec instead of a separate write.
-			batch = append(batch, make([]byte, at-pendingEnd))
-			batchBytes += int64(at - pendingEnd)
+			gap := at.Distance(pendingEnd)
+			batch = append(batch, make([]byte, gap))
+			batchBytes += gap
 		}
 		data := r.data
 		for len(data) > 0 {
@@ -490,7 +491,7 @@ func (s *Segments) WriteRanges(ranges []flushRange) error {
 			chunk := rangePrefix(data, s.segBytes-(s.curSize+batchBytes))
 			batch = append(batch, chunk)
 			batchBytes += int64(len(chunk))
-			at += LSN(len(chunk))
+			at = at.Advance(int64(len(chunk)))
 			data = data[len(chunk):]
 		}
 	}
@@ -658,7 +659,7 @@ func iterateSegment(info segmentInfo, last bool, from LSN, fn func(Record) error
 	if from > at {
 		// Direct seek: the byte at virtual offset from lives at file offset
 		// segHeaderSize + (from - first).
-		if _, err := f.Seek(int64(from-info.first), io.SeekCurrent); err != nil {
+		if _, err := f.Seek(from.Distance(info.first), io.SeekCurrent); err != nil {
 			return fmt.Errorf("wal: seek segment %s: %w", filepath.Base(info.path), err)
 		}
 		at = from
@@ -676,8 +677,8 @@ func iterateSegment(info segmentInfo, last bool, from LSN, fn func(Record) error
 			}
 			return fmt.Errorf("wal: segment %s: %w", filepath.Base(info.path), derr)
 		}
-		rec.LSN = at + LSN(pad)
-		at += LSN(pad + frame)
+		rec.LSN = at.Advance(int64(pad))
+		at = at.Advance(int64(pad + frame))
 		if err := fn(rec); err != nil {
 			return err
 		}

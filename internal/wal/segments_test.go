@@ -67,7 +67,7 @@ func TestSegmentsRoundTrip(t *testing.T) {
 		t.Fatalf("partial iterate = %d records starting at %v, want 5 from %d", len(got), got[0].LSN, lsns[5])
 	}
 	// End is the offset just past the last frame.
-	wantEnd := lsns[9] + LSN(recs[9].EncodedSize())
+	wantEnd := lsns[9].Advance(int64(recs[9].EncodedSize()))
 	if segs.End() != wantEnd {
 		t.Fatalf("End = %d, want %d", segs.End(), wantEnd)
 	}
@@ -382,7 +382,7 @@ func TestRangeWriteRotationMatchesPerRecord(t *testing.T) {
 		want = append(want, at)
 		enc := rec.Encode()
 		rng = append(rng, enc...)
-		at += LSN(len(enc))
+		at = at.Advance(int64(len(enc)))
 	}
 	if err := segs.WriteRange(rng, 1); err != nil {
 		t.Fatal(err)

@@ -46,7 +46,7 @@ func TestWriteRangesTwoRotationsMatchesWriteRange(t *testing.T) {
 		} else {
 			r2 = append(r2, enc...)
 		}
-		at += LSN(len(enc))
+		at = at.Advance(int64(len(enc)))
 	}
 	mid := LSN(1 + len(r1))
 
@@ -200,7 +200,7 @@ func TestCrashMidPreallocatedSegmentRecoversIdentically(t *testing.T) {
 			if err := segs.WriteRecord(rec, enc); err != nil {
 				t.Fatal(err)
 			}
-			at += LSN(len(enc))
+			at = at.Advance(int64(len(enc)))
 		}
 		if err := segs.Sync(); err != nil {
 			t.Fatal(err)

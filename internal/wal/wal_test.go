@@ -211,10 +211,10 @@ func TestAppendAssignsByteOffsetLSNs(t *testing.T) {
 		if lsn != want {
 			t.Fatalf("append %d: LSN %d, want byte offset %d", i, lsn, want)
 		}
-		want += LSN(rec.EncodedSize())
+		want = want.Advance(int64(rec.EncodedSize()))
 	}
-	if got := l.PendingBytes(); got != int64(want-1) {
-		t.Fatalf("pending = %d bytes, want %d", got, int64(want-1))
+	if got := l.PendingBytes(); got != want.Distance(1) {
+		t.Fatalf("pending = %d bytes, want %d", got, want.Distance(1))
 	}
 	if got := l.LastLSN(); got != want {
 		t.Fatalf("LastLSN = %d, want end offset %d", got, want)
