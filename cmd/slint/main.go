@@ -1,5 +1,5 @@
-// Command slint is slidb's project-specific vettool: six analyzers that pin
-// the engine's concurrency and logging invariants at build time.
+// Command slint is slidb's project-specific vettool: eleven analyzers that
+// pin the engine's concurrency and logging invariants at build time.
 //
 // Analyzers (see internal/slint for the full rationale of each):
 //
@@ -15,17 +15,29 @@
 //	            //slint:hotpath functions
 //	metricname  metric names passed to obs.Registry constructors satisfy
 //	            the slidb_ naming rules
+//	walorder    Tx mutation paths follow the write-ahead protocol: every
+//	            heap/index mutation registers an undo or rolls back inline,
+//	            and the log record is appended before its undo is pushed
+//	lockorder   cross-package lock acquisition graph built from per-function
+//	            Facts; cycles are reported with both witness paths
+//	hotalloc    //slint:hotpath functions and their callees (via Facts,
+//	            across packages) are allocation-free
+//	goroleak    every go statement in an engine package has a provable
+//	            shutdown edge (stop channel, ctx.Done, channel range,
+//	            Cond.Wait) or provably terminates
 //	directives  the //slint: comments themselves are well-formed
 //
 // Directives:
 //
-//	//slint:hotpath                      (function doc) opt into hotblock
-//	//slint:ignore <analyzer> <reason>   suppress a finding on this or the
-//	                                     next line; the reason is mandatory
+//	//slint:hotpath                  (function doc) opt into hotblock+hotalloc
+//	//slint:ignore <a>[,<a>...] <reason>  suppress findings from the listed
+//	                                 analyzers on this or the next line;
+//	                                 the reason is mandatory
 //
 // Usage:
 //
 //	go run ./cmd/slint ./...                 # standalone: wraps go vet
+//	go run ./cmd/slint -github ./...         # CI: GitHub annotations + summary
 //	go vet -vettool=$(go run ./cmd/slint -print-path) ./...
 //
 // The tool speaks the go vet -vettool protocol (unitchecker): when cmd/go
@@ -33,14 +45,24 @@
 // analysis unit; invoked by a human with package patterns it re-executes
 // itself through `go vet -vettool`. -print-path builds a stable binary
 // (go run's temporary one disappears with the process) and prints its path
-// for use in $(...) substitution.
+// for use in $(...) substitution; the binary is cached under $SLINT_CACHE_DIR
+// (default: <tmp>/slint-bin) keyed by a hash of the analyzer sources, so
+// repeated invocations — and CI runs restoring the cache directory — skip
+// the rebuild entirely.
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
@@ -55,11 +77,14 @@ func main() {
 	}
 
 	printPath := false
+	github := false
 	var patterns []string
 	for _, a := range args {
 		switch a {
 		case "-print-path", "--print-path":
 			printPath = true
+		case "-github", "--github":
+			github = true
 		case "-h", "-help", "--help":
 			usage(os.Stdout)
 			return
@@ -83,15 +108,20 @@ func main() {
 		return
 	}
 
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if github {
+		os.Exit(runGitHub(patterns))
+	}
+
 	// Standalone mode: run the full suite by wrapping go vet around
 	// ourselves. os.Executable is alive for the duration of the child.
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "slint: cannot locate own binary: %v\n", err)
 		os.Exit(1)
-	}
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
 	}
 	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
 	cmd.Stdout = os.Stdout
@@ -117,15 +147,26 @@ func isVetProtocol(args []string) bool {
 	return false
 }
 
-// stableBinary builds slint to a deterministic location outside go run's
-// ephemeral directory and returns the path, so
-// $(go run ./cmd/slint -print-path) survives for the enclosing go vet.
+// stableBinary builds slint to a location outside go run's ephemeral
+// directory and returns the path, so $(go run ./cmd/slint -print-path)
+// survives for the enclosing go vet. The binary name carries a hash of the
+// analyzer sources: if a binary for the current sources already exists
+// (e.g. restored by a CI cache), the build is skipped.
 func stableBinary() (string, error) {
-	dir := filepath.Join(os.TempDir(), "slint-bin")
+	dir := os.Getenv("SLINT_CACHE_DIR")
+	if dir == "" {
+		dir = filepath.Join(os.TempDir(), "slint-bin")
+	}
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return "", err
 	}
 	path := filepath.Join(dir, "slint")
+	if h, err := sourceHash(); err == nil {
+		path = filepath.Join(dir, "slint-"+h)
+		if fi, statErr := os.Stat(path); statErr == nil && fi.Mode().IsRegular() && fi.Size() > 0 {
+			return path, nil
+		}
+	}
 	build := exec.Command("go", "build", "-o", path, "slidb/cmd/slint")
 	build.Stderr = os.Stderr
 	if err := build.Run(); err != nil {
@@ -134,10 +175,163 @@ func stableBinary() (string, error) {
 	return path, nil
 }
 
+// sourceHash digests the analyzer sources (cmd/slint and internal/slint,
+// fixtures excluded) into a short cache key.
+func sourceHash() (string, error) {
+	out, err := exec.Command("go", "list", "-f", "{{.Dir}}",
+		"slidb/cmd/slint", "slidb/internal/slint", "slidb/internal/slint/slinttest").Output()
+	if err != nil {
+		return "", fmt.Errorf("go list: %w", err)
+	}
+	var files []string
+	for _, dir := range strings.Fields(string(out)) {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			return "", err
+		}
+		files = append(files, matches...)
+	}
+	sort.Strings(files)
+	h := sha256.New()
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s %d\n", filepath.Base(f), len(data))
+		h.Write(data)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16], nil
+}
+
+// runGitHub runs the suite in go vet's JSON mode and re-emits every finding
+// as a GitHub Actions workflow annotation (::error file=…,line=…), then
+// prints a per-analyzer summary count. Exit status 1 if anything fired.
+func runGitHub(patterns []string) int {
+	// Use the hash-named stable binary so CI's restored cache is reused;
+	// fall back to the running binary if the build fails.
+	self, err := stableBinary()
+	if err != nil {
+		self, err = os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slint: cannot locate own binary: %v\n", err)
+			return 1
+		}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self, "-json"}, patterns...)...)
+	var stderr bytes.Buffer
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+	counts, parseErr := emitAnnotations(&stderr)
+	if parseErr != nil {
+		// Not vet JSON (e.g. a compile error): surface the raw output.
+		os.Stderr.Write(stderr.Bytes())
+		fmt.Fprintf(os.Stderr, "slint: %v\n", parseErr)
+		return 1
+	}
+	total := 0
+	var names []string
+	for name, n := range counts {
+		total += n
+		names = append(names, name)
+	}
+	if total == 0 {
+		if runErr != nil {
+			// vet failed without reporting diagnostics: broken build etc.
+			os.Stderr.Write(stderr.Bytes())
+			fmt.Fprintf(os.Stderr, "slint: %v\n", runErr)
+			return 1
+		}
+		fmt.Println("slint: clean")
+		return 0
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s: %d", name, counts[name]))
+	}
+	fmt.Printf("slint: %d finding(s) — %s\n", total, strings.Join(parts, ", "))
+	return 1
+}
+
+// vet -json groups diagnostics as {"pkgpath": {"analyzer": [diag, ...]}},
+// one JSON object per package, interleaved with "# pkgpath" comment lines
+// on stderr.
+type vetDiag struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// emitAnnotations parses go vet -json output from r, prints one GitHub
+// ::error annotation per diagnostic, and returns per-analyzer counts.
+func emitAnnotations(r io.Reader) (map[string]int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var jsonBuf bytes.Buffer
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		jsonBuf.WriteString(line)
+		jsonBuf.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	cwd, _ := os.Getwd()
+	counts := make(map[string]int)
+	dec := json.NewDecoder(&jsonBuf)
+	for dec.More() {
+		var unit map[string]map[string][]vetDiag
+		if err := dec.Decode(&unit); err != nil {
+			return nil, fmt.Errorf("parsing vet -json output: %w", err)
+		}
+		for _, byAnalyzer := range unit {
+			for analyzer, diags := range byAnalyzer {
+				for _, d := range diags {
+					counts[analyzer]++
+					file, line, col := splitPosn(d.Posn)
+					if cwd != "" {
+						if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+							file = rel
+						}
+					}
+					fmt.Printf("::error file=%s,line=%d,col=%d,title=slint/%s::%s\n",
+						file, line, col, analyzer, d.Message)
+				}
+			}
+		}
+	}
+	return counts, nil
+}
+
+// splitPosn breaks a "path/file.go:12:34" position into its parts.
+func splitPosn(posn string) (file string, line, col int) {
+	file = posn
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			col = n
+			file = file[:i]
+		}
+	}
+	if i := strings.LastIndexByte(file, ':'); i >= 0 {
+		if n, err := strconv.Atoi(file[i+1:]); err == nil {
+			line = n
+			file = file[:i]
+		}
+	}
+	return file, line, col
+}
+
 func usage(w *os.File) {
 	fmt.Fprintf(w, `usage:
   slint [packages]      run the analyzer suite (wraps go vet -vettool)
-  slint -print-path     build a stable binary and print its path, for
-                        go vet -vettool=$(go run ./cmd/slint -print-path)
+  slint -github [pkgs]  CI mode: emit GitHub ::error annotations and a
+                        per-analyzer summary; exit 1 on any finding
+  slint -print-path     build (or reuse a cached) stable binary and print
+                        its path, for go vet -vettool=$(go run ./cmd/slint
+                        -print-path); cache dir: $SLINT_CACHE_DIR
 `)
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSplitPosn(t *testing.T) {
+	cases := []struct {
+		in   string
+		file string
+		line int
+		col  int
+	}{
+		{"internal/core/tx.go:604:3", "internal/core/tx.go", 604, 3},
+		{"/abs/path/file.go:12:34", "/abs/path/file.go", 12, 34},
+		{"noline.go", "noline.go", 0, 0},
+		{"file.go:7", "file.go", 0, 7}, // single trailing number parses as the innermost field
+	}
+	for _, c := range cases {
+		file, line, col := splitPosn(c.in)
+		if file != c.file || line != c.line || col != c.col {
+			t.Errorf("splitPosn(%q) = %q, %d, %d; want %q, %d, %d",
+				c.in, file, line, col, c.file, c.line, c.col)
+		}
+	}
+}
+
+func TestEmitAnnotations(t *testing.T) {
+	// The shape go vet -json writes to stderr: "# pkg" comment lines
+	// interleaved with one JSON object per package.
+	input := `# slidb/internal/core
+{
+	"slidb/internal/core": {
+		"walorder": [
+			{
+				"posn": "/work/internal/core/tx.go:604:3",
+				"message": "return in Delete with the index remove still applied"
+			},
+			{
+				"posn": "/work/internal/core/tx.go:610:3",
+				"message": "another one"
+			}
+		]
+	}
+}
+# slidb/internal/obs
+{
+	"slidb/internal/obs": {
+		"hotalloc": [
+			{
+				"posn": "/work/internal/obs/collector.go:294:2",
+				"message": "call to Observe allocates"
+			}
+		]
+	}
+}
+`
+	counts, err := emitAnnotations(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["walorder"] != 2 || counts["hotalloc"] != 1 {
+		t.Errorf("counts = %v; want walorder:2 hotalloc:1", counts)
+	}
+}
+
+func TestEmitAnnotationsRejectsNonJSON(t *testing.T) {
+	input := "internal/core/tx.go:10:2: undefined: frobnicate\n"
+	if _, err := emitAnnotations(strings.NewReader(input)); err == nil {
+		t.Error("expected an error for non-JSON vet output")
+	}
+}
+
+func TestEmitAnnotationsEmpty(t *testing.T) {
+	counts, err := emitAnnotations(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 0 {
+		t.Errorf("counts = %v; want empty", counts)
+	}
+}

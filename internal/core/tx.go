@@ -601,6 +601,12 @@ func (tx *Tx) Delete(table string, key ...record.Value) error {
 	}
 	rt.pk.tree.remove(pkKey)
 	if err := rt.hf.Delete(tx.prof, rid); err != nil {
+		// The heap still holds the row at rid; re-insert the index entries
+		// removed above so the indexes stay consistent with the heap.
+		rt.pk.tree.insert(pkKey, rid)
+		for _, sec := range rt.secs {
+			sec.tree.insert(indexKey(sec.meta.KeyOf(oldRow), rid, sec.meta.Unique), rid)
+		}
 		return err
 	}
 	// The undo re-inserts the row at a fresh RID and rebuilds every index key

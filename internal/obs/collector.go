@@ -291,6 +291,7 @@ func (o *Observer) Tracer() *SlowTxTracer { return o.tracer }
 //slint:hotpath
 func (o *Observer) ObserveTx(xid uint64, start time.Time, d time.Duration, committed bool, b profiler.Breakdown) {
 	o.txDur.Observe(d.Seconds())
+	//slint:ignore hotalloc Observe allocates only past the atomic floor check, for attempts slow enough to enter the trace set
 	o.tracer.Observe(xid, start, d, committed, b)
 }
 

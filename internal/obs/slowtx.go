@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"container/heap"
 	"encoding/json"
 	"net/http"
 	"sort"
@@ -39,14 +38,64 @@ type slowEntry struct {
 }
 
 // slowHeap is a min-heap by duration, so the root is the cheapest entry to
-// evict when the tracer is at capacity.
+// evict when the tracer is at capacity. It is hand-rolled rather than built
+// on container/heap: heap.Push takes its element as `any`, which boxes every
+// slowEntry on insert — an allocation on a path reachable from the
+// //slint:hotpath ObserveTx (hotalloc flags it).
 type slowHeap []slowEntry
 
-func (h slowHeap) Len() int           { return len(h) }
-func (h slowHeap) Less(i, j int) bool { return h[i].d < h[j].d }
-func (h slowHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *slowHeap) Push(x any)        { *h = append(*h, x.(slowEntry)) }
-func (h *slowHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h slowHeap) less(i, j int) bool { return h[i].d < h[j].d }
+
+func (h *slowHeap) push(e slowEntry) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the root (cheapest) entry.
+func (h *slowHeap) popMin() slowEntry {
+	s := *h
+	n := len(s) - 1
+	root := s[0]
+	s[0] = s[n]
+	s[n] = slowEntry{}
+	*h = s[:n]
+	(*h).siftDown(0)
+	return root
+}
+
+func (h slowHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// reinit restores the heap property after bulk mutation (pruning).
+func (h slowHeap) reinit() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
 
 // SlowTxTracer keeps the N slowest transactions of the recent window
 // (entries older than the window are discarded lazily). The hot path is the
@@ -100,9 +149,9 @@ func (t *SlowTxTracer) Observe(xid uint64, start time.Time, d time.Duration, com
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.pruneLocked(time.Now())
-	heap.Push(&t.h, slowEntry{d: d, tx: tx})
+	t.h.push(slowEntry{d: d, tx: tx})
 	if len(t.h) > t.capacity {
-		heap.Pop(&t.h)
+		t.h.popMin()
 	}
 	t.updateFloorLocked()
 }
@@ -118,7 +167,7 @@ func (t *SlowTxTracer) pruneLocked(now time.Time) {
 	}
 	if len(kept) != len(t.h) {
 		t.h = kept
-		heap.Init(&t.h)
+		t.h.reinit()
 	}
 }
 

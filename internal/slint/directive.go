@@ -10,12 +10,14 @@ import (
 
 // slint recognizes two comment directives:
 //
-//	//slint:ignore <analyzer> <reason>
+//	//slint:ignore <analyzer>[,<analyzer>...] <reason>
 //	//slint:hotpath
 //
-// An ignore directive suppresses findings of the named analyzer on the
+// An ignore directive suppresses findings of the named analyzers on the
 // directive's own line and on the line immediately following it, so it can
 // ride at the end of the offending statement or on its own line above. The
+// analyzer field is a comma-separated list so one annotated line does not
+// need stacked comments when two analyzers fire on the same site. The
 // reason string is mandatory: a suppression with no recorded justification
 // is exactly the kind of silent exception these analyzers exist to prevent.
 //
@@ -37,6 +39,21 @@ var analyzerNames = map[string]bool{
 	"hotblock":   true,
 	"metricname": true,
 	"directives": true,
+	"walorder":   true,
+	"lockorder":  true,
+	"hotalloc":   true,
+	"goroleak":   true,
+}
+
+// splitAnalyzerList splits the comma-separated analyzer field of an ignore
+// directive. Empty elements (trailing commas, "a,,b") are preserved so the
+// validator can reject them.
+func splitAnalyzerList(field string) []string {
+	parts := strings.Split(field, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 // ignoreDirective is one parsed //slint:ignore comment.
@@ -61,17 +78,22 @@ func buildDirectiveIndex(pass *analysis.Pass) *directiveIndex {
 				if !ok || verb != directiveIgnore {
 					continue
 				}
-				name, reason := splitArg(rest)
-				if !analyzerNames[name] || reason == "" {
+				field, reason := splitArg(rest)
+				if reason == "" {
 					continue // the directives analyzer reports these
 				}
-				fname, line := posLine(pass.Fset, c.Pos())
-				m := idx.byFile[fname]
-				if m == nil {
-					m = make(map[int][]ignoreDirective)
-					idx.byFile[fname] = m
+				for _, name := range splitAnalyzerList(field) {
+					if !analyzerNames[name] {
+						continue // the directives analyzer reports these
+					}
+					fname, line := posLine(pass.Fset, c.Pos())
+					m := idx.byFile[fname]
+					if m == nil {
+						m = make(map[int][]ignoreDirective)
+						idx.byFile[fname] = m
+					}
+					m[line] = append(m[line], ignoreDirective{analyzer: name, reason: reason})
 				}
-				m[line] = append(m[line], ignoreDirective{analyzer: name, reason: reason})
 			}
 		}
 	}
@@ -147,14 +169,22 @@ func runDirectives(pass *analysis.Pass) (interface{}, error) {
 				}
 				switch verb {
 				case directiveIgnore:
-					name, reason := splitArg(rest)
-					switch {
-					case name == "":
-						pass.ReportRangef(c, "slint:ignore needs an analyzer name and a reason: //slint:ignore <analyzer> <reason>")
-					case !analyzerNames[name]:
-						pass.ReportRangef(c, "slint:ignore names unknown analyzer %q", name)
-					case reason == "":
-						pass.ReportRangef(c, "slint:ignore %s needs a reason: the justification is part of the suppression", name)
+					field, reason := splitArg(rest)
+					if field == "" {
+						pass.ReportRangef(c, "slint:ignore needs an analyzer name and a reason: //slint:ignore <analyzer>[,<analyzer>...] <reason>")
+						continue
+					}
+					names := splitAnalyzerList(field)
+					for _, name := range names {
+						switch {
+						case name == "":
+							pass.ReportRangef(c, "slint:ignore has an empty element in its analyzer list %q", field)
+						case !analyzerNames[name]:
+							pass.ReportRangef(c, "slint:ignore names unknown analyzer %q", name)
+						}
+					}
+					if reason == "" {
+						pass.ReportRangef(c, "slint:ignore %s needs a reason: the justification is part of the suppression", field)
 					}
 				case directiveHotpath:
 					if rest != "" {

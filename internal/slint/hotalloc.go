@@ -1,0 +1,359 @@
+package slint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// HotAlloc extends the //slint:hotpath contract interprocedurally: an
+// annotated function and everything it calls must be allocation-free.
+//
+// The reserve/fill/publish path is one fetch-and-add and some memcpy; a
+// single allocation there shows up as GC pressure exactly at peak commit
+// rate. hotblock pins the blocking discipline; this analyzer pins the
+// allocation discipline, and unlike hotblock it follows calls: every
+// function that allocates (directly or transitively) exports an object
+// Fact carrying the witness chain, so an allocation introduced three calls
+// below an annotated function still trips the build in the package that
+// spawned it.
+//
+// Direct allocation witnesses:
+//
+//   - make and new
+//   - append (may grow its backing array)
+//   - escaping composite literals: slice/map literals, and &T{...} or
+//     composite literals used as call arguments, return values, stored
+//     into fields/indexes, or sent — a plain `v := T{...}` local stays on
+//     the stack and is not flagged
+//   - function literals in escaping positions (closure capture); a literal
+//     assigned to a local and called in place does not escape
+//   - interface boxing: a non-interface value passed for an interface
+//     parameter (including variadic ...any) or assigned to an interface
+//   - string concatenation with + (non-constant)
+//   - any call into fmt
+//
+// Arguments of panic(...) are exempt: a hot path that is already dying may
+// format its last words.
+var HotAlloc = &analysis.Analyzer{
+	Name:      "hotalloc",
+	Doc:       "forbid allocations in //slint:hotpath functions and, via Facts, in everything they call",
+	Run:       runHotAlloc,
+	FactTypes: []analysis.Fact{(*allocFact)(nil)},
+}
+
+// allocFact marks a function as allocating, with a human-readable witness
+// chain ("publish → fmt.Sprintf: fmt call").
+type allocFact struct {
+	Chain string
+}
+
+func (*allocFact) AFact()           {}
+func (f *allocFact) String() string { return "allocates: " + f.Chain }
+
+// allocWitness is one direct allocation site in a function.
+type allocWitness struct {
+	node ast.Node
+	what string
+}
+
+func runHotAlloc(pass *analysis.Pass) (interface{}, error) {
+	idx := buildDirectiveIndex(pass)
+
+	type funcInfo struct {
+		fd      *ast.FuncDecl
+		direct  []allocWitness
+		parents map[ast.Node]ast.Node
+	}
+	funcs := make(map[*types.Func]*funcInfo)
+	for _, file := range pass.Files {
+		parents := buildParentMap(file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			funcs[fn] = &funcInfo{
+				fd:      fd,
+				direct:  directAllocs(pass, parents, fd.Body),
+				parents: parents,
+			}
+		}
+	}
+
+	// Summaries to a fixpoint: a function allocates if it has a direct
+	// witness or calls an allocator (same package or via imported Fact).
+	chain := make(map[*types.Func]string)
+	lookup := func(fn *types.Func) (string, bool) {
+		if c, ok := chain[fn]; ok {
+			return c, true
+		}
+		var fact allocFact
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Chain, true
+		}
+		return "", false
+	}
+	for fn, fi := range funcs {
+		if len(fi.direct) > 0 {
+			chain[fn] = fmt.Sprintf("%s: %s", fn.Name(), fi.direct[0].what)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fi := range funcs {
+			if _, done := chain[fn]; done {
+				continue
+			}
+			ast.Inspect(fi.fd.Body, func(n ast.Node) bool {
+				if _, done := chain[fn]; done {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+				if !ok || callee == fn || inPanicArg(fi.parents, call) {
+					return true
+				}
+				if c, ok := lookup(callee); ok {
+					chain[fn] = fn.Name() + " → " + c
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+	for fn, c := range chain {
+		pass.ExportObjectFact(fn, &allocFact{Chain: c})
+	}
+
+	// Report inside //slint:hotpath functions: direct witnesses and calls
+	// into allocating functions.
+	for fn, fi := range funcs {
+		if !isHotpath(fi.fd) {
+			continue
+		}
+		name := fn.Name()
+		for _, w := range fi.direct {
+			report(pass, idx, w.node, "%s in //slint:hotpath function %s: the hot path must not allocate", w.what, name)
+		}
+		ast.Inspect(fi.fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok || callee == fn || inPanicArg(fi.parents, call) {
+				return true
+			}
+			if isStdPkg(callee.Pkg(), "fmt") {
+				return true // already a direct witness on this call
+			}
+			if c, ok := lookup(callee); ok {
+				report(pass, idx, call,
+					"call to %s allocates (%s) in //slint:hotpath function %s: the hot path must not allocate",
+					callee.Name(), c, name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// directAllocs collects direct allocation witnesses in body, exempting
+// panic arguments.
+func directAllocs(pass *analysis.Pass, parents map[ast.Node]ast.Node, body *ast.BlockStmt) []allocWitness {
+	var out []allocWitness
+	add := func(n ast.Node, what string) {
+		if !inPanicArg(parents, n) {
+			out = append(out, allocWitness{node: n, what: what})
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if builtinCall(pass, fun) {
+					switch fun.Name {
+					case "make":
+						add(n, "make")
+					case "new":
+						add(n, "new")
+					case "append":
+						add(n, "append (may grow its backing array)")
+					}
+					return true
+				}
+			}
+			if fn, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func); ok {
+				if isStdPkg(fn.Pkg(), "fmt") {
+					add(n, "fmt."+fn.Name()+" call")
+					return true
+				}
+				// Interface boxing at the call boundary.
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					checkBoxing(pass, n, sig, add)
+				}
+			}
+		case *ast.CompositeLit:
+			if escapingComposite(pass, parents, n) {
+				add(n, "escaping composite literal")
+				return false // don't double-report nested literals
+			}
+		case *ast.FuncLit:
+			if escapingFuncLit(parents, n) {
+				add(n, "escaping function literal (closure capture)")
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringConcat(pass, n) {
+				add(n, "string concatenation")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// builtinCall reports whether id resolves to a builtin.
+func builtinCall(pass *analysis.Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// inPanicArg reports whether n sits inside the argument list of a panic
+// call.
+func inPanicArg(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for cur := parents[n]; cur != nil; cur = parents[cur] {
+		call, ok := cur.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+	}
+	return false
+}
+
+// escapingComposite reports whether a composite literal is heap-bound:
+// slice and map literals always carry a backing allocation; struct
+// literals only when their address is taken or they leave the local frame
+// (argument, return, store into a field/index/channel).
+func escapingComposite(pass *analysis.Pass, parents map[ast.Node]ast.Node, lit *ast.CompositeLit) bool {
+	if t := pass.TypesInfo.TypeOf(lit); t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+	}
+	switch p := parents[ast.Node(lit)].(type) {
+	case *ast.UnaryExpr:
+		return p.Op == token.AND // &T{...}
+	case *ast.CompositeLit:
+		// element of an enclosing literal: the enclosing one decides
+		return false
+	case *ast.KeyValueExpr:
+		return false
+	case *ast.ReturnStmt:
+		return false // returned by value: copied, not boxed
+	case *ast.CallExpr:
+		// argument passed by value does not allocate unless the parameter
+		// is an interface, which checkBoxing already reports
+		return false
+	}
+	return false
+}
+
+// escapingFuncLit reports whether a function literal escapes: used as an
+// argument, returned, stored into a composite/field/global, or deferred to
+// a variable. `f := func(){...}` called locally stays on the stack.
+func escapingFuncLit(parents map[ast.Node]ast.Node, lit *ast.FuncLit) bool {
+	switch p := parents[ast.Node(lit)].(type) {
+	case *ast.CallExpr:
+		// go f() / defer f() / f() where lit IS the function being called:
+		// immediate invocation, no capture outlives the frame.
+		if p.Fun == ast.Expr(lit) {
+			return false
+		}
+		return true // passed as an argument
+	case *ast.GoStmt, *ast.DeferStmt:
+		return false
+	case *ast.ReturnStmt:
+		return true
+	case *ast.CompositeLit, *ast.KeyValueExpr:
+		return true
+	case *ast.AssignStmt:
+		// local `f := func(){...}` does not escape; a store through a
+		// selector or index does.
+		for i, rhs := range p.Rhs {
+			if rhs == ast.Expr(lit) && i < len(p.Lhs) {
+				if _, ok := p.Lhs[i].(*ast.Ident); ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// checkBoxing reports non-interface arguments bound to interface
+// parameters (including variadic interface parameters).
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr, sig *types.Signature, add func(ast.Node, string)) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			last := params.At(params.Len() - 1)
+			if s, ok := last.Type().Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at.Underlying()) {
+			continue
+		}
+		if bt, ok := at.(*types.Basic); ok && bt.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointers box without copying: a word store, no allocation
+		}
+		add(arg, "interface boxing of "+at.String())
+	}
+}
+
+// isStringConcat reports whether a + expression builds a non-constant
+// string.
+func isStringConcat(pass *analysis.Pass, b *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[b]
+	if !ok || tv.Value != nil { // constant-folded at compile time
+		return false
+	}
+	bt, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && bt.Info()&types.IsString != 0
+}

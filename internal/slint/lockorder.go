@@ -1,0 +1,524 @@
+package slint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// LockOrder proves a consistent global lock acquisition order at compile
+// time, across packages.
+//
+// Every function gets a summary of the lock-order edges it can perform: an
+// edge A → B means the function can acquire B while holding A, where a lock
+// is identified by its declaration site ("wal.Log.mu" for a mutex field,
+// "core.nameMu" for a package-level mutex). Edges compose transitively
+// through calls — if f locks A and calls g, every lock g's summary can
+// acquire is acquired while A is held — and the summaries travel between
+// packages as object Facts on the called functions.
+//
+// Per package, the analyzer unions its own functions' edges with every
+// imported summary and searches the acquisition graph for cycles. A cycle
+// A → B → A is a potential deadlock: one goroutine holds A wanting B, the
+// other holds B wanting A. The diagnostic carries both witness paths
+// (file:line and function for each direction) so the report is actionable
+// without re-deriving the interleaving.
+//
+// Identity is per-field, not per-instance: two different *lockHead latches
+// share the key lockmgr.lockHead.mu, so instance-ordered chains (hand-over-
+// hand traversal) would self-loop. Self-edges are therefore excluded;
+// instance-level ordering needs a runtime check, not this analyzer.
+// RLock counts as an acquisition (reader-writer cycles still deadlock
+// against writers); TryLock does not (it cannot block).
+var LockOrder = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "build the cross-package lock acquisition graph from per-function Facts and report cycles",
+	Run:       runLockOrder,
+	FactTypes: []analysis.Fact{(*lockOrderFact)(nil)},
+}
+
+// lockEdge is one "acquired To while holding From" observation.
+type lockEdge struct {
+	From, To string
+	Witness  string // "file.go:12 in FuncName"
+}
+
+// lockOrderFact summarizes a function for callers: the locks it can
+// acquire (transitively) and the order edges it can perform.
+type lockOrderFact struct {
+	Acquires []string
+	Edges    []lockEdge
+}
+
+func (*lockOrderFact) AFact() {}
+
+func (f *lockOrderFact) String() string {
+	var parts []string
+	for _, e := range f.Edges {
+		parts = append(parts, e.From+"→"+e.To)
+	}
+	if len(parts) == 0 {
+		return "acquires " + strings.Join(f.Acquires, ", ")
+	}
+	return "lock edges " + strings.Join(parts, ", ")
+}
+
+// lockSummary is the in-progress per-function summary.
+type lockSummary struct {
+	acquires map[string]bool
+	edges    map[lockEdge]bool
+}
+
+func newLockSummary() *lockSummary {
+	return &lockSummary{acquires: make(map[string]bool), edges: make(map[lockEdge]bool)}
+}
+
+func runLockOrder(pass *analysis.Pass) (interface{}, error) {
+	idx := buildDirectiveIndex(pass)
+
+	funcs := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				funcs[fn] = fd
+			}
+		}
+	}
+
+	summaries := make(map[*types.Func]*lockSummary)
+	for fn := range funcs {
+		summaries[fn] = newLockSummary()
+	}
+	imported := func(fn *types.Func) *lockOrderFact {
+		var fact lockOrderFact
+		if pass.ImportObjectFact(fn, &fact) {
+			return &fact
+		}
+		return nil
+	}
+
+	// Fixpoint: edges and acquire sets only grow.
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range funcs {
+			if summarizeLocks(pass, fn, fd, summaries, imported) {
+				changed = true
+			}
+		}
+	}
+
+	for fn, s := range summaries {
+		if len(s.acquires) == 0 && len(s.edges) == 0 {
+			continue
+		}
+		fact := &lockOrderFact{}
+		for a := range s.acquires {
+			fact.Acquires = append(fact.Acquires, a)
+		}
+		sort.Strings(fact.Acquires)
+		for e := range s.edges {
+			fact.Edges = append(fact.Edges, e)
+		}
+		sort.Slice(fact.Edges, func(i, j int) bool {
+			a, b := fact.Edges[i], fact.Edges[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			if a.To != b.To {
+				return a.To < b.To
+			}
+			return a.Witness < b.Witness
+		})
+		pass.ExportObjectFact(fn, fact)
+	}
+
+	reportLockCycles(pass, idx, summaries)
+	return nil, nil
+}
+
+// summarizeLocks re-walks fn's body accumulating acquisitions and edges
+// into its summary; reports whether anything new was learned.
+func summarizeLocks(pass *analysis.Pass, fn *types.Func, fd *ast.FuncDecl, summaries map[*types.Func]*lockSummary, imported func(*types.Func) *lockOrderFact) bool {
+	s := summaries[fn]
+	before := len(s.acquires) + len(s.edges)
+
+	var held []string
+	holding := func(k string) bool {
+		for _, h := range held {
+			if h == k {
+				return true
+			}
+		}
+		return false
+	}
+	witness := func(n ast.Node) string {
+		p := pass.Fset.Position(n.Pos())
+		file := p.Filename
+		if i := strings.LastIndexByte(file, '/'); i >= 0 {
+			file = file[i+1:]
+		}
+		return fmt.Sprintf("%s:%d in %s", file, p.Line, fn.Name())
+	}
+	addEdge := func(from, to string, n ast.Node) {
+		if from == to {
+			return // per-field identity: instance order is out of scope
+		}
+		s.edges[lockEdge{From: from, To: to, Witness: witness(n)}] = true
+	}
+	acquire := func(k string, n ast.Node) {
+		for _, h := range held {
+			addEdge(h, k, n)
+		}
+		s.acquires[k] = true
+		if !holding(k) {
+			held = append(held, k)
+		}
+	}
+	release := func(k string) {
+		for i, h := range held {
+			if h == k {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+
+	// Statement-ordered walk. Deferred unlocks do not release mid-function
+	// (they run at return); deferred locks are treated as immediate.
+	var inDefer int
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				inDefer++
+				walk(n.Call)
+				inDefer--
+				return false
+			case *ast.CallExpr:
+				callee, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
+				if !ok {
+					return true
+				}
+				if key, op, ok := mutexOp(pass, n, callee); ok {
+					switch op {
+					case "Lock", "RLock":
+						acquire(key, n)
+					case "Unlock", "RUnlock":
+						if inDefer == 0 {
+							release(key)
+						}
+					}
+					return true
+				}
+				// Compose with the callee's summary: everything it can
+				// acquire happens while the current held set is held.
+				var acq []string
+				var edges []lockEdge
+				if cs, ok := summaries[callee]; ok {
+					for a := range cs.acquires {
+						acq = append(acq, a)
+					}
+					for e := range cs.edges {
+						edges = append(edges, e)
+					}
+				} else if fact := imported(callee); fact != nil {
+					acq = fact.Acquires
+					edges = fact.Edges
+				}
+				for _, a := range acq {
+					for _, h := range held {
+						addEdge(h, a, n)
+					}
+					s.acquires[a] = true
+				}
+				for _, e := range edges {
+					if e.From != e.To {
+						s.edges[e] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+	return len(s.acquires)+len(s.edges) != before
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex operation on an
+// identifiable lock (a struct field or a package-level variable), returning
+// the lock key and the operation name.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr, callee *types.Func) (key, op string, ok bool) {
+	if !isStdPkg(callee.Pkg(), "sync") {
+		return "", "", false
+	}
+	switch callee.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isMethodOn(callee, "Mutex") && !isMethodOn(callee, "RWMutex") {
+		return "", "", false
+	}
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	k := lockKey(pass, sel.X)
+	if k == "" {
+		return "", "", false
+	}
+	return k, callee.Name(), true
+}
+
+// lockKey names the lock by its declaration: pkg.Type.field for a mutex
+// field, pkg.var for a package-level mutex. Local mutex variables return ""
+// (they cannot participate in cross-goroutine cycles by identity).
+func lockKey(pass *analysis.Pass, x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.ObjectOf(x.Sel)
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			if ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return pkgBase(v.Pkg()) + "." + v.Name()
+			}
+			return ""
+		}
+		// Find the struct type that declares the field via the selection's
+		// receiver type.
+		if selInfo, ok := pass.TypesInfo.Selections[x]; ok {
+			t := derefType(selInfo.Recv())
+			return typeKey(t) + "." + v.Name()
+		}
+		// Qualified package-level var (pkg.Mu) resolves above; embedded
+		// cases without a selection fall back to the field's package.
+		return pkgBase(v.Pkg()) + "." + v.Name()
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(x)
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return pkgBase(v.Pkg()) + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// typeKey renders a named type as pkg.Name.
+func typeKey(t types.Type) string {
+	t = derefType(t)
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			return pkgBase(obj.Pkg()) + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return typeBase(t)
+}
+
+// pkgBase is the package's base name — stable across the real module and
+// the harness's bare fixture paths.
+func pkgBase(pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	path := pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// reportLockCycles unions this package's edges with all imported facts and
+// reports each cycle that includes an edge witnessed in this package.
+func reportLockCycles(pass *analysis.Pass, idx *directiveIndex, summaries map[*types.Func]*lockSummary) {
+	edges := make(map[string][]edgeInfo) // From -> outgoing
+	addEdge := func(e lockEdge, local bool) {
+		for _, ex := range edges[e.From] {
+			if ex.edge == e {
+				return
+			}
+		}
+		edges[e.From] = append(edges[e.From], edgeInfo{edge: e, local: local})
+	}
+	// An edge is "local" — eligible to anchor a cycle report here — only if
+	// its witness line is in one of this package's files. Edges inherited
+	// from callee summaries keep their foreign witness (often deep inside
+	// an imported package, or the standard library); those participate in
+	// the graph but are some other package's problem to report.
+	localFiles := make(map[string]bool)
+	for _, f := range pass.Files {
+		p := pass.Fset.Position(f.Pos())
+		localFiles[filepath.Base(p.Filename)] = true
+	}
+	witnessedHere := func(e lockEdge) bool {
+		file := e.Witness
+		if i := strings.IndexByte(file, ':'); i >= 0 {
+			file = file[:i]
+		}
+		return localFiles[file]
+	}
+	for _, s := range summaries {
+		for e := range s.edges {
+			addEdge(e, witnessedHere(e))
+		}
+	}
+	for _, of := range pass.AllObjectFacts() {
+		if fact, ok := of.Fact.(*lockOrderFact); ok {
+			for _, e := range fact.Edges {
+				addEdge(e, false)
+			}
+		}
+	}
+
+	// For each local edge u→v, search for a path v ⇝ u; if found, the
+	// cycle closes here and this package reports it. Local edges are
+	// visited in sorted order so the reporting site is deterministic.
+	var locals []lockEdge
+	for _, outs := range edges {
+		for _, ei := range outs {
+			if ei.local {
+				locals = append(locals, ei.edge)
+			}
+		}
+	}
+	sort.Slice(locals, func(i, j int) bool {
+		a, b := locals[i], locals[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Witness < b.Witness
+	})
+	reported := make(map[string]bool)
+	for _, le := range locals {
+		path := findPath(edges, le.To, le.From)
+		if path == nil {
+			continue
+		}
+		nodes := append([]string{le.From, le.To}, pathNodes(path)...)
+		key := canonicalCycle(nodes)
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		var back []string
+		for _, e := range path {
+			back = append(back, fmt.Sprintf("%s → %s (%s)", e.From, e.To, e.Witness))
+		}
+		pos := lockEdgePos(pass, le)
+		report(pass, idx, pos,
+			"lock acquisition cycle: %s → %s (%s), closed by %s — acquiring these locks in inconsistent order can deadlock; pick one global order",
+			le.From, le.To, le.Witness, strings.Join(back, ", "))
+	}
+}
+
+// edgeInfo is one acquisition-graph edge plus whether it was witnessed in
+// the current package.
+type edgeInfo struct {
+	edge  lockEdge
+	local bool
+}
+
+// findPath does a DFS from start to goal over the edge map, returning the
+// edge path or nil.
+func findPath(edges map[string][]edgeInfo, start, goal string) []lockEdge {
+	type frame struct {
+		node string
+		path []lockEdge
+	}
+	seen := map[string]bool{start: true}
+	work := []frame{{node: start}}
+	for len(work) > 0 {
+		f := work[len(work)-1]
+		work = work[:len(work)-1]
+		if f.node == goal {
+			return f.path
+		}
+		for _, ei := range edges[f.node] {
+			if !seen[ei.edge.To] || ei.edge.To == goal {
+				seen[ei.edge.To] = true
+				np := append(append([]lockEdge(nil), f.path...), ei.edge)
+				if ei.edge.To == goal {
+					return np
+				}
+				work = append(work, frame{node: ei.edge.To, path: np})
+			}
+		}
+	}
+	return nil
+}
+
+func pathNodes(path []lockEdge) []string {
+	var out []string
+	for _, e := range path {
+		out = append(out, e.To)
+	}
+	return out
+}
+
+// canonicalCycle produces a rotation-invariant key for a cycle's node list.
+func canonicalCycle(nodes []string) string {
+	if len(nodes) == 0 {
+		return ""
+	}
+	// nodes ends with the start node repeated; normalize to the set walk
+	// starting from the smallest element.
+	uniq := nodes
+	if uniq[len(uniq)-1] == uniq[0] {
+		uniq = uniq[:len(uniq)-1]
+	}
+	min := 0
+	for i := range uniq {
+		if uniq[i] < uniq[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string(nil), uniq[min:]...), uniq[:min]...)
+	return strings.Join(rot, "→")
+}
+
+// lockEdgePos finds an AST node in this package matching the edge's witness
+// line, so the diagnostic lands on the acquisition site.
+func lockEdgePos(pass *analysis.Pass, e lockEdge) analysis.Range {
+	// Witness is "file.go:NN in Func".
+	var file string
+	var line int
+	if i := strings.IndexByte(e.Witness, ':'); i >= 0 {
+		file = e.Witness[:i]
+		fmt.Sscanf(e.Witness[i+1:], "%d", &line)
+	}
+	for _, f := range pass.Files {
+		p := pass.Fset.Position(f.Pos())
+		if !strings.HasSuffix(p.Filename, file) {
+			continue
+		}
+		var best analysis.Range
+		ast.Inspect(f, func(n ast.Node) bool {
+			if best != nil {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && pass.Fset.Position(call.Pos()).Line == line {
+				best = call
+			}
+			return true
+		})
+		if best != nil {
+			return best
+		}
+		return f.Name
+	}
+	return pass.Files[0].Name
+}

@@ -25,11 +25,33 @@
 //     constructors must satisfy the slidb_ naming rules at build time
 //     instead of panicking at first scrape.
 //
+// The second generation is interprocedural, built on the analysis
+// framework's Facts (gob-serialized summaries that flow between packages
+// through the vet driver), and checks protocols rather than spellings:
+//
+//   - walorder: a control-flow proof that Tx mutation paths follow the
+//     write-ahead protocol — once a heap/index mutation is applied, every
+//     non-panic return has registered its undo (pushUndo) or rolled the
+//     mutation back inline, and pushUndo always follows the log append
+//     (the PR 4 undo-registration bug class, as a CFG invariant).
+//   - lockorder: each function exports a Fact summarizing the lock
+//     acquisition orders it can perform, transitively through callees;
+//     the per-package driver assembles the cross-package acquisition
+//     graph and reports any cycle with both witness paths.
+//   - hotalloc: //slint:hotpath functions and everything they call must
+//     be allocation-free; allocation summaries propagate via Facts so a
+//     new allocation three calls deep still trips the build.
+//   - goroleak: every go statement in the engine packages needs a
+//     provable shutdown edge — a stop/done/quit channel or context
+//     receive, a channel range, or a Cond.Wait loop — reachable from the
+//     spawned function, directly or through Facts.
+//
 // Two directives tune the analyzers (see directive.go): //slint:hotpath
-// marks a function for hotblock, and //slint:ignore <analyzer> <reason>
-// suppresses a finding on the same or the following line. The directives
-// analyzer validates the directives themselves, so a typo'd analyzer
-// name or a missing reason is itself a build error.
+// marks a function for hotblock and hotalloc, and
+// //slint:ignore <analyzer>[,<analyzer>...] <reason> suppresses findings
+// on the same or the following line. The directives analyzer validates
+// the directives themselves, so a typo'd analyzer name or a missing
+// reason is itself a build error.
 package slint
 
 import "golang.org/x/tools/go/analysis"
@@ -43,6 +65,10 @@ func Analyzers() []*analysis.Analyzer {
 		ErrWedge,
 		HotBlock,
 		MetricName,
+		WalOrder,
+		LockOrder,
+		HotAlloc,
+		GoroLeak,
 		Directives,
 	}
 }

@@ -49,3 +49,25 @@ func TestMetricName(t *testing.T) {
 func TestDirectives(t *testing.T) {
 	slinttest.Run(t, testdata(t), slint.Directives, "directives")
 }
+
+// TestWalOrder's fixtures carry the PR 4 undo-registration-ordering bug
+// class verbatim (InsertNoRollback) next to the fixed protocol shape.
+func TestWalOrder(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.WalOrder, "walorder")
+}
+
+// TestLockOrder runs over both halves of a cross-package cycle: locka's
+// facts flow into lockb's pass, where the cycle closes.
+func TestLockOrder(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.LockOrder, "locka", "lockb", "lockorder")
+}
+
+// TestHotAlloc includes a dependency package (hotallocdep) whose allocation
+// facts must reach the hotpath package for the three-calls-deep case.
+func TestHotAlloc(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.HotAlloc, "hotallocdep", "hotalloc")
+}
+
+func TestGoroLeak(t *testing.T) {
+	slinttest.Run(t, testdata(t), slint.GoroLeak, "goroleakdep", "goroleak")
+}

@@ -18,9 +18,23 @@
 //
 //	//slint:ignore
 //	// want@-1 "needs an analyzer name"
+//
+// Facts flow for real: before a package is analyzed, the harness analyzes
+// its fixture-package imports with the same analyzer and carries the
+// exported object/package facts across, gob-roundtripping each one exactly
+// as unitchecker would, so FactTypes that are not gob-serializable fail in
+// the harness rather than in CI. A fact exported on an object can be
+// asserted with
+//
+//	// wantfact "regexp"
+//
+// on the object's declaration line (offsets like // wantfact@-1 work as for
+// want); the pattern matches the fact's fmt.Sprintf("%v") rendering.
 package slinttest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -29,6 +43,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"runtime"
 	"sort"
@@ -45,12 +60,13 @@ import (
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	l := newLoader(t, filepath.Join(testdata, "src"))
+	r := newRunner(l)
 	for _, path := range pkgpaths {
 		t.Run(a.Name+"/"+path, func(t *testing.T) {
 			t.Helper()
 			pi := l.load(t, path)
-			diags := runAnalyzer(t, l, pi, a)
-			checkExpectations(t, l.fset, pi, diags)
+			pr := r.analyze(t, pi, a)
+			checkExpectations(t, l.fset, pi, pr.diags, pr.facts)
 		})
 	}
 }
@@ -62,6 +78,7 @@ type loader struct {
 	fset   *token.FileSet
 	std    types.Importer
 	pkgs   map[string]*pkgInfo
+	byPkg  map[*types.Package]*pkgInfo
 }
 
 type pkgInfo struct {
@@ -78,8 +95,9 @@ func newLoader(t *testing.T, srcdir string) *loader {
 		fset:   fset,
 		// The source importer type-checks the standard library from GOROOT
 		// source: no compiled export data needed, works offline.
-		std:  importer.ForCompiler(fset, "source", nil),
-		pkgs: make(map[string]*pkgInfo),
+		std:   importer.ForCompiler(fset, "source", nil),
+		pkgs:  make(map[string]*pkgInfo),
+		byPkg: make(map[*types.Package]*pkgInfo),
 	}
 }
 
@@ -134,6 +152,7 @@ func (l *loader) load(t *testing.T, path string) *pkgInfo {
 	}
 	pi := &pkgInfo{path: path, pkg: pkg, files: files, info: info}
 	l.pkgs[path] = pi
+	l.byPkg[pkg] = pi
 	return pi
 }
 
@@ -141,25 +160,65 @@ type importerFunc func(string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
-// runAnalyzer runs a (and, recursively, its Requires) over the package and
-// returns the diagnostics reported by a itself.
-func runAnalyzer(t *testing.T, l *loader, pi *pkgInfo, a *analysis.Analyzer) []analysis.Diagnostic {
+// factRecord is one object fact exported during analysis, kept for
+// // wantfact matching against the object's declaration position.
+type factRecord struct {
+	pos  token.Pos
+	fact analysis.Fact
+}
+
+// pkgResult is what analyzing one package with the top-level analyzer
+// produced: its diagnostics and the facts exported on its objects.
+type pkgResult struct {
+	diags []analysis.Diagnostic
+	facts []factRecord
+}
+
+// runner drives an analyzer over fixture packages in dependency order,
+// carrying exported facts from imported fixture packages into the importing
+// package's pass the way the real vet driver does.
+type runner struct {
+	l        *loader
+	objFacts []analysis.ObjectFact  // accumulated across packages
+	pkgFacts []analysis.PackageFact // accumulated across packages
+	done     map[*pkgInfo]*pkgResult
+}
+
+func newRunner(l *loader) *runner {
+	return &runner{l: l, done: make(map[*pkgInfo]*pkgResult)}
+}
+
+// analyze runs a (and, recursively, its Requires) over the package and its
+// fixture-package imports, and returns the package's diagnostics and
+// exported facts. Each package is analyzed at most once per Run.
+func (r *runner) analyze(t *testing.T, pi *pkgInfo, a *analysis.Analyzer) *pkgResult {
 	t.Helper()
-	var diags []analysis.Diagnostic
+	if pr, ok := r.done[pi]; ok {
+		return pr
+	}
+	// Dependencies first, so their facts are importable below. Only fixture
+	// packages participate; stdlib imports carry no slint facts.
+	for _, imp := range pi.pkg.Imports() {
+		if dep, ok := r.l.byPkg[imp]; ok {
+			r.analyze(t, dep, a)
+		}
+	}
+	pr := &pkgResult{}
 	results := make(map[*analysis.Analyzer]interface{})
-	var run func(a *analysis.Analyzer, top bool)
-	run = func(a *analysis.Analyzer, top bool) {
-		if _, done := results[a]; done {
+	var run func(cur *analysis.Analyzer)
+	run = func(cur *analysis.Analyzer) {
+		if _, done := results[cur]; done {
 			return
 		}
 		resultOf := make(map[*analysis.Analyzer]interface{})
-		for _, req := range a.Requires {
-			run(req, false)
+		for _, req := range cur.Requires {
+			run(req)
 			resultOf[req] = results[req]
 		}
+		top := cur == a
 		pass := &analysis.Pass{
-			Analyzer:   a,
-			Fset:       l.fset,
+			Analyzer:   cur,
+			Fset:       r.l.fset,
 			Files:      pi.files,
 			Pkg:        pi.pkg,
 			TypesInfo:  pi.info,
@@ -167,28 +226,98 @@ func runAnalyzer(t *testing.T, l *loader, pi *pkgInfo, a *analysis.Analyzer) []a
 			ResultOf:   resultOf,
 			Report: func(d analysis.Diagnostic) {
 				if top {
-					diags = append(diags, d)
+					pr.diags = append(pr.diags, d)
 				}
 			},
-			ReadFile:          os.ReadFile,
-			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
-			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
-			ExportObjectFact:  func(types.Object, analysis.Fact) {},
-			ExportPackageFact: func(analysis.Fact) {},
-			AllPackageFacts:   func() []analysis.PackageFact { return nil },
-			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			ReadFile: os.ReadFile,
+			ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+				for _, of := range r.objFacts {
+					if of.Object == obj && reflect.TypeOf(of.Fact) == reflect.TypeOf(fact) {
+						gobCopy(t, fact, of.Fact)
+						return true
+					}
+				}
+				return false
+			},
+			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+				for _, pf := range r.pkgFacts {
+					if pf.Package == pkg && reflect.TypeOf(pf.Fact) == reflect.TypeOf(fact) {
+						gobCopy(t, fact, pf.Fact)
+						return true
+					}
+				}
+				return false
+			},
+			ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+				cp := gobClone(t, fact)
+				for i, of := range r.objFacts {
+					if of.Object == obj && reflect.TypeOf(of.Fact) == reflect.TypeOf(fact) {
+						r.objFacts[i].Fact = cp
+						return
+					}
+				}
+				r.objFacts = append(r.objFacts, analysis.ObjectFact{Object: obj, Fact: cp})
+				if top {
+					pr.facts = append(pr.facts, factRecord{pos: obj.Pos(), fact: cp})
+				}
+			},
+			ExportPackageFact: func(fact analysis.Fact) {
+				cp := gobClone(t, fact)
+				for i, pf := range r.pkgFacts {
+					if pf.Package == pi.pkg && reflect.TypeOf(pf.Fact) == reflect.TypeOf(fact) {
+						r.pkgFacts[i].Fact = cp
+						return
+					}
+				}
+				r.pkgFacts = append(r.pkgFacts, analysis.PackageFact{Package: pi.pkg, Fact: cp})
+			},
+			AllPackageFacts: func() []analysis.PackageFact {
+				return append([]analysis.PackageFact(nil), r.pkgFacts...)
+			},
+			AllObjectFacts: func() []analysis.ObjectFact {
+				return append([]analysis.ObjectFact(nil), r.objFacts...)
+			},
 		}
-		result, err := a.Run(pass)
+		result, err := cur.Run(pass)
 		if err != nil {
-			t.Fatalf("%s on %s: %v", a.Name, pi.path, err)
+			t.Fatalf("%s on %s: %v", cur.Name, pi.path, err)
 		}
-		results[a] = result
+		results[cur] = result
 	}
-	run(a, true)
-	return diags
+	run(a)
+	r.done[pi] = pr
+	return pr
 }
 
-// expectation is one parsed // want clause.
+// gobClone deep-copies a fact through gob, the same serialization
+// unitchecker uses between compilation units. A FactType that cannot make
+// this trip would silently drop information in real `go vet` runs, so the
+// harness fails the test instead.
+func gobClone(t *testing.T, fact analysis.Fact) analysis.Fact {
+	t.Helper()
+	rv := reflect.TypeOf(fact)
+	if rv.Kind() != reflect.Ptr {
+		t.Fatalf("fact %T must be a pointer for gob round-tripping", fact)
+	}
+	cp := reflect.New(rv.Elem()).Interface().(analysis.Fact)
+	gobCopy(t, cp, fact)
+	return cp
+}
+
+// gobCopy encodes src and decodes into dst (both pointers to the same
+// concrete fact type).
+func gobCopy(t *testing.T, dst, src analysis.Fact) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(src); err != nil {
+		t.Fatalf("fact %T does not gob-encode: %v", src, err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(dst); err != nil {
+		t.Fatalf("fact %T does not gob-decode: %v", src, err)
+	}
+}
+
+// expectation is one parsed // want or // wantfact clause.
 type expectation struct {
 	file    string
 	line    int
@@ -197,11 +326,11 @@ type expectation struct {
 	matched bool
 }
 
-var wantRE = regexp.MustCompile(`^// want(@[+-]?\d+)?\s+(.*)$`)
+var wantRE = regexp.MustCompile(`^// want(fact)?(@[+-]?\d+)?\s+(.*)$`)
 
-func checkExpectations(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []analysis.Diagnostic) {
+func checkExpectations(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []analysis.Diagnostic, facts []factRecord) {
 	t.Helper()
-	var wants []*expectation
+	var wants, wantFacts []*expectation
 	for _, f := range pi.files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -211,14 +340,14 @@ func checkExpectations(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []a
 				}
 				pos := fset.Position(c.Pos())
 				line := pos.Line
-				if m[1] != "" {
-					delta, err := strconv.Atoi(m[1][1:])
+				if m[2] != "" {
+					delta, err := strconv.Atoi(m[2][1:])
 					if err != nil {
-						t.Fatalf("%s: bad want line offset %q", pos, m[1])
+						t.Fatalf("%s: bad want line offset %q", pos, m[2])
 					}
 					line += delta
 				}
-				pats, err := splitPatterns(m[2])
+				pats, err := splitPatterns(m[3])
 				if err != nil {
 					t.Fatalf("%s: %v", pos, err)
 				}
@@ -227,7 +356,12 @@ func checkExpectations(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []a
 					if err != nil {
 						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
 					}
-					wants = append(wants, &expectation{file: pos.Filename, line: line, re: re, raw: p})
+					e := &expectation{file: pos.Filename, line: line, re: re, raw: p}
+					if m[1] == "fact" {
+						wantFacts = append(wantFacts, e)
+					} else {
+						wants = append(wants, e)
+					}
 				}
 			}
 		}
@@ -250,6 +384,25 @@ func checkExpectations(t *testing.T, fset *token.FileSet, pi *pkgInfo, diags []a
 	for _, w := range wants {
 		if !w.matched {
 			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+
+	// Facts are matched at the owning object's declaration position, against
+	// the fact's %v rendering. Unmatched facts are not errors (analyzers
+	// export summaries for most functions); unmatched wantfacts are.
+	for _, fr := range facts {
+		pos := fset.Position(fr.pos)
+		text := fmt.Sprintf("%v", fr.fact)
+		for _, w := range wantFacts {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(text) {
+				w.matched = true
+				break
+			}
+		}
+	}
+	for _, w := range wantFacts {
+		if !w.matched {
+			t.Errorf("%s:%d: expected exported fact matching %q, got none", w.file, w.line, w.raw)
 		}
 	}
 }

@@ -23,6 +23,20 @@ func wellFormedIgnore() {
 //slint:ignore speling mistake in the analyzer name
 // want@-1 `slint:ignore names unknown analyzer "speling"`
 
+func wellFormedIgnoreList() {
+	//slint:ignore errwedge,walorder a valid comma-separated suppression list
+	_ = time.Now()
+}
+
+//slint:ignore errwedge,walorder
+// want@-1 `slint:ignore errwedge,walorder needs a reason`
+
+//slint:ignore errwedge,,walorder trailing comma slipped in
+// want@-1 `slint:ignore has an empty element in its analyzer list "errwedge,,walorder"`
+
+//slint:ignore errwedge,speling one good name, one bad
+// want@-1 `slint:ignore names unknown analyzer "speling"`
+
 //slint:frobnicate
 // want@-1 `unknown slint directive "frobnicate"`
 

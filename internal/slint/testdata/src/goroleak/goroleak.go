@@ -1,0 +1,78 @@
+// Package goroleak exercises the goroleak analyzer: every go statement in
+// an engine package needs a provable shutdown edge — a stop-like channel
+// or context receive, a channel range, a Cond.Wait loop, or provable
+// termination (no unbounded loop).
+package goroleak
+
+import (
+	"sync"
+
+	"goroleakdep"
+)
+
+type worker struct {
+	quit     chan struct{}
+	inflight chan int
+	flush    *sync.Cond
+	closed   bool
+}
+
+// loopWithQuit selects on a stop channel. // wantfact "shutdown via receive on w.quit"
+func (w *worker) loopWithQuit() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case job := <-w.inflight:
+			_ = job
+		}
+	}
+}
+
+// drainRange ends when the producer closes the channel.
+func (w *worker) drainRange() {
+	for range w.inflight {
+	}
+}
+
+// condLoop is the flusher pattern: Cond.Wait under a closed flag.
+func (w *worker) condLoop() {
+	w.flush.L.Lock()
+	for !w.closed {
+		w.flush.Wait()
+	}
+	w.flush.L.Unlock()
+}
+
+// spin has no shutdown edge at all.
+func (w *worker) spin() {
+	for {
+		w.step()
+	}
+}
+
+func (w *worker) step() {}
+
+func (w *worker) Start(p *goroleakdep.Pump) {
+	go w.loopWithQuit()
+	go w.drainRange()
+	go w.condLoop()
+	go p.Run() // provable via the imported fact from goroleakdep
+	go func() { w.inflight <- 1 }()
+	go w.spin() // want `go spin has no provable shutdown edge`
+	go func() { // want `go statement spawns a loop with no provable shutdown edge`
+		for {
+			w.step()
+		}
+	}()
+}
+
+// StartDyn spawns a dynamic function value: unprovable by construction.
+func (w *worker) StartDyn(f func()) {
+	go f() // want `go statement spawns a dynamic function value`
+}
+
+// StartIgnored records a deliberate exception.
+func (w *worker) StartIgnored() {
+	go w.spin() //slint:ignore goroleak fixture demonstrating a reasoned suppression
+}

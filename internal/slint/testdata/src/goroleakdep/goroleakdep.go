@@ -1,0 +1,27 @@
+// Package goroleakdep provides a cross-package loop whose shutdown edge
+// lives at home, proving the goroleak fact flows into the spawning package.
+package goroleakdep
+
+// Pump produces values until stopped.
+type Pump struct {
+	stop chan struct{}
+	out  chan int
+}
+
+func New() *Pump {
+	return &Pump{stop: make(chan struct{}), out: make(chan int)}
+}
+
+// Run loops until the stop channel is closed. // wantfact "shutdown via receive on p.stop"
+func (p *Pump) Run() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case p.out <- 1:
+		}
+	}
+}
+
+// Close releases Run.
+func (p *Pump) Close() { close(p.stop) }

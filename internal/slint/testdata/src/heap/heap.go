@@ -1,0 +1,54 @@
+// Package heap is a stand-in for slidb/internal/heap: the slotted-page heap
+// file whose Insert/Update/Delete methods the walorder analyzer treats as
+// in-memory mutations.
+package heap
+
+import "errors"
+
+// ErrNotFound mirrors the real heap's missing-row error.
+var ErrNotFound = errors.New("heap: not found")
+
+// RID addresses a row by page and slot.
+type RID struct {
+	Page uint32
+	Slot uint16
+}
+
+// File is a minimal in-memory heap file.
+type File struct {
+	rows map[RID][]byte
+	next uint32
+}
+
+func New() *File { return &File{rows: make(map[RID][]byte)} }
+
+func (f *File) Insert(data []byte) (RID, error) {
+	f.next++
+	rid := RID{Page: f.next}
+	f.rows[rid] = data
+	return rid, nil
+}
+
+func (f *File) Update(rid RID, data []byte) error {
+	if _, ok := f.rows[rid]; !ok {
+		return ErrNotFound
+	}
+	f.rows[rid] = data
+	return nil
+}
+
+func (f *File) Delete(rid RID) error {
+	if _, ok := f.rows[rid]; !ok {
+		return ErrNotFound
+	}
+	delete(f.rows, rid)
+	return nil
+}
+
+func (f *File) Get(rid RID) ([]byte, error) {
+	data, ok := f.rows[rid]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return data, nil
+}

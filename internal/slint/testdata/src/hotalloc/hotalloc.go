@@ -1,0 +1,102 @@
+// Package hotalloc exercises the hotalloc analyzer: //slint:hotpath
+// functions and everything they call must be allocation-free, with
+// allocation summaries propagating via Facts.
+package hotalloc
+
+import (
+	"fmt"
+
+	"hotallocdep"
+)
+
+type buf struct {
+	data []byte
+	pos  int
+}
+
+type sink interface{ accept(v any) }
+
+// fillOK copies without allocating; the panic argument is exempt.
+//
+//slint:hotpath
+func fillOK(b *buf, src []byte) int {
+	n := copy(b.data[b.pos:], src)
+	b.pos += n
+	if b.pos > len(b.data) {
+		panic(fmt.Sprintf("overrun: pos %d cap %d", b.pos, len(b.data)))
+	}
+	return n
+}
+
+// localClosureOK: a literal assigned to a local and called in place stays
+// on the stack (the Record.EncodeTo `put` pattern).
+//
+//slint:hotpath
+func localClosureOK(b *buf, vals []uint64) {
+	put := func(v uint64) {
+		b.data[b.pos] = byte(v)
+		b.pos++
+	}
+	for _, v := range vals {
+		put(v)
+	}
+}
+
+//slint:hotpath
+func growHot(b *buf, v byte) {
+	b.data = append(b.data, v) // want `append \(may grow its backing array\) in //slint:hotpath function growHot`
+}
+
+//slint:hotpath
+func fmtHot(n int) {
+	fmt.Println(n) // want `fmt\.Println call in //slint:hotpath function fmtHot`
+}
+
+//slint:hotpath
+func boxHot(s sink, v int) {
+	s.accept(v) // want `interface boxing of int in //slint:hotpath function boxHot`
+}
+
+//slint:hotpath
+func concatHot(a, b string) string {
+	return a + b // want `string concatenation in //slint:hotpath function concatHot`
+}
+
+//slint:hotpath
+func escapeHot(b *buf) *buf {
+	return &buf{data: b.data} // want `escaping composite literal in //slint:hotpath function escapeHot`
+}
+
+var callbacks []func()
+
+//slint:hotpath
+func closureHot(n int) {
+	callbacks = append(callbacks, func() { _ = n }) // want `append \(may grow its backing array\)` `escaping function literal \(closure capture\)`
+}
+
+func helperAlloc() *buf { return &buf{} }
+
+//slint:hotpath
+func indirectHot() *buf {
+	return helperAlloc() // want `call to helperAlloc allocates \(helperAlloc: escaping composite literal\)`
+}
+
+// chainHot's allocation is three calls deep in another package; the
+// witness chain arrives as a fact.
+//
+//slint:hotpath
+func chainHot() {
+	hotallocdep.Record("tx", 1) // want `call to Record allocates \(Record → store → appendSample: append`
+}
+
+// coldPath is not annotated: it may allocate freely.
+func coldPath() []int {
+	return append([]int{}, 1, 2, 3)
+}
+
+var samples []int
+
+//slint:hotpath
+func ignoredHot(v int) {
+	samples = append(samples, v) //slint:ignore hotalloc fixture demonstrating a reasoned suppression
+}

@@ -1,0 +1,21 @@
+// Package hotallocdep buries an allocation two frames below its exported
+// entry point, so the allocation fact chain must carry the witness into
+// the importing package's hot paths.
+package hotallocdep
+
+// Sample is a recorded measurement.
+type Sample struct {
+	Name string
+	V    float64
+}
+
+var sink []Sample
+
+// Record is the exported entry point; the allocation is two calls down. // wantfact "allocates: Record → store → appendSample: append"
+func Record(name string, v float64) { store(name, v) }
+
+func store(name string, v float64) { appendSample(Sample{Name: name, V: v}) }
+
+func appendSample(s Sample) {
+	sink = append(sink, s)
+}

@@ -1,0 +1,30 @@
+// Package locka owns two mutexes and, in LockAThenB, establishes the
+// canonical order: A before B. The order it performs is exported as a fact
+// on LockAThenB; package lockb imports this package, performs the reverse
+// order, and is where the cycle closes.
+package locka
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+var state int
+
+// LockAThenB acquires A then B. // wantfact "lock edges locka.MuA→locka.MuB"
+func LockAThenB() {
+	MuA.Lock()
+	defer MuA.Unlock()
+	MuB.Lock()
+	defer MuB.Unlock()
+	state++
+}
+
+// LockJustA holds only one lock: no order edge, just an acquire set.
+func LockJustA() {
+	MuA.Lock()
+	state++
+	MuA.Unlock()
+}

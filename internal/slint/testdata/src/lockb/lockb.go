@@ -1,0 +1,15 @@
+// Package lockb closes a cross-package lock cycle: it acquires locka.MuA
+// while holding locka.MuB — the reverse of the order locka.LockAThenB
+// documents. locka's edge arrives here as an imported fact, and the cycle
+// is reported at this package's acquisition site with both witnesses.
+package lockb
+
+import "locka"
+
+// LockBThenA performs B → A, closing the cycle against locka's A → B.
+func LockBThenA() {
+	locka.MuB.Lock()
+	defer locka.MuB.Unlock()
+	locka.MuA.Lock() // want `lock acquisition cycle: locka\.MuB → locka\.MuA .* closed by locka\.MuA → locka\.MuB`
+	defer locka.MuA.Unlock()
+}

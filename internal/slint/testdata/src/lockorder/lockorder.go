@@ -1,0 +1,58 @@
+// Package lockorder exercises the intra-package half of the lockorder
+// analyzer: field mutexes, transitive acquisition through callees, and an
+// in-package cycle between two subsystem locks.
+package lockorder
+
+import "sync"
+
+type Engine struct {
+	mu sync.RWMutex
+}
+
+type Log struct {
+	mu sync.Mutex
+}
+
+var (
+	eng Engine
+	wal Log
+)
+
+// commit acquires Engine.mu and then, through flush, Log.mu — the edge is
+// composed from flush's summary at the call site.
+func commit() {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	flush() // want `lock acquisition cycle: lockorder\.Engine\.mu → lockorder\.Log\.mu .* closed by lockorder\.Log\.mu → lockorder\.Engine\.mu`
+}
+
+func flush() {
+	wal.mu.Lock()
+	defer wal.mu.Unlock()
+}
+
+// callback reverses the order through its own callee.
+func callback() {
+	wal.mu.Lock()
+	defer wal.mu.Unlock()
+	poke()
+}
+
+// poke takes a read lock: RLock still participates in cycles.
+func poke() {
+	eng.mu.RLock()
+	defer eng.mu.RUnlock()
+}
+
+// sequentialOK releases the first lock before taking the second in both
+// orders: no edge, no cycle.
+func sequentialOK() {
+	eng.mu.Lock()
+	eng.mu.Unlock()
+	wal.mu.Lock()
+	wal.mu.Unlock()
+	wal.mu.Lock()
+	wal.mu.Unlock()
+	eng.mu.Lock()
+	eng.mu.Unlock()
+}

@@ -1,0 +1,198 @@
+// Package walorder exercises the walorder analyzer: once a Tx method has
+// applied an in-memory mutation, every non-panic return must have either
+// registered the undo (pushUndo) or rolled the mutation back inline, and
+// pushUndo must always follow the log append that set tx.lastLSN.
+package walorder
+
+import (
+	"errors"
+
+	"heap"
+)
+
+// LSN and Record stand in for the wal package's types; keeping them local
+// makes each fixture function self-contained.
+type LSN uint64
+
+type Record struct {
+	Page   uint32
+	Slot   uint16
+	Before []byte
+	After  []byte
+}
+
+var ErrNotFound = errors.New("not found")
+
+// indexTree mirrors the engine's index wrapper; its insert/remove methods
+// are the index-mutation sites walorder tracks.
+type indexTree struct{ m map[string]heap.RID }
+
+func (it *indexTree) insert(key string, rid heap.RID) bool {
+	if _, ok := it.m[key]; ok {
+		return false
+	}
+	it.m[key] = rid
+	return true
+}
+
+func (it *indexTree) remove(key string) bool {
+	if _, ok := it.m[key]; !ok {
+		return false
+	}
+	delete(it.m, key)
+	return true
+}
+
+type undoEntry struct {
+	lsn   LSN
+	apply func(tx *Tx) error
+}
+
+// Tx is the transaction handle the analyzer scopes to.
+type Tx struct {
+	hf       *heap.File
+	pk       *indexTree
+	lastLSN  LSN
+	undoLog  []undoEntry
+	failures int
+	wedged   bool
+}
+
+func (tx *Tx) logAppend(rec Record) error {
+	if tx.wedged {
+		return errors.New("log wedged")
+	}
+	tx.lastLSN++
+	return nil
+}
+
+func (tx *Tx) pushUndo(ent undoEntry) { tx.undoLog = append(tx.undoLog, ent) }
+
+// InsertOK carries the full protocol: mutate, append the record, register
+// the undo; the append-failure path rolls the mutation back inline through
+// the undo closure, and the unique-violation path compensates the heap
+// insert with the inverse delete.
+func (tx *Tx) InsertOK(key string, data []byte) error {
+	rid, err := tx.hf.Insert(data)
+	if err != nil {
+		return err // the mutation itself failed: nothing was applied
+	}
+	if !tx.pk.insert(key, rid) {
+		_ = tx.hf.Delete(rid)
+		return errors.New("duplicate key")
+	}
+	undo := func(tx *Tx) error {
+		tx.pk.remove(key)
+		return tx.hf.Delete(rid)
+	}
+	if err := tx.logAppend(Record{After: data}); err != nil {
+		if uerr := undo(tx); uerr != nil {
+			tx.failures++
+		}
+		return err
+	}
+	tx.pushUndo(undoEntry{lsn: tx.lastLSN, apply: undo})
+	return nil
+}
+
+// DeleteOK compensates the index removal inline when the heap delete fails,
+// then follows the log-then-register protocol.
+func (tx *Tx) DeleteOK(key string, rid heap.RID, oldData []byte) error {
+	if !tx.pk.remove(key) {
+		return ErrNotFound
+	}
+	if err := tx.hf.Delete(rid); err != nil {
+		tx.pk.insert(key, rid)
+		return err
+	}
+	undo := func(tx *Tx) error {
+		newRID, uerr := tx.hf.Insert(oldData)
+		if uerr != nil {
+			return uerr
+		}
+		tx.pk.insert(key, newRID)
+		return nil
+	}
+	if err := tx.logAppend(Record{Before: oldData}); err != nil {
+		if uerr := undo(tx); uerr != nil {
+			tx.failures++
+		}
+		return err
+	}
+	tx.pushUndo(undoEntry{lsn: tx.lastLSN, apply: undo})
+	return nil
+}
+
+// PanicPathOK: a panic after the mutation is not a return path; the
+// obligation ends with the process.
+func (tx *Tx) PanicPathOK(key string, rid heap.RID) {
+	if !tx.pk.insert(key, rid) {
+		panic("corrupt index")
+	}
+	if err := tx.logAppend(Record{}); err != nil {
+		panic("log wedged")
+	}
+	tx.pushUndo(undoEntry{lsn: tx.lastLSN})
+}
+
+// InsertNoRollback is the PR 4 undo-registration bug class verbatim: the
+// log append fails after the row is in the heap and index, and the error
+// path returns with no inline rollback and no registered undo — a wedged
+// log leaves a phantom row nothing can roll back.
+func (tx *Tx) InsertNoRollback(key string, data []byte) error {
+	rid, err := tx.hf.Insert(data)
+	if err != nil {
+		return err
+	}
+	if !tx.pk.insert(key, rid) {
+		_ = tx.hf.Delete(rid)
+		return errors.New("duplicate key")
+	}
+	if err := tx.logAppend(Record{After: data}); err != nil {
+		return err // want `return in InsertNoRollback with the heap insert at line \d+ still applied` `return in InsertNoRollback with the index insert at line \d+ still applied`
+	}
+	tx.pushUndo(undoEntry{lsn: tx.lastLSN, apply: func(tx *Tx) error {
+		tx.pk.remove(key)
+		return tx.hf.Delete(rid)
+	}})
+	return nil
+}
+
+// UpdateStaleLSN registers the undo before appending the record: the entry
+// captures whatever LSN the previous append set, so recovery would pair the
+// undo with the wrong record.
+func (tx *Tx) UpdateStaleLSN(rid heap.RID, oldData, newData []byte) error {
+	if err := tx.hf.Update(rid, newData); err != nil {
+		return err
+	}
+	undo := func(tx *Tx) error { return tx.hf.Update(rid, oldData) }
+	tx.pushUndo(undoEntry{lsn: tx.lastLSN, apply: undo}) // want `pushUndo is reachable without a prior log append`
+	return tx.logAppend(Record{Before: oldData, After: newData})
+}
+
+// DeleteNoLog never appends a record at all; the registered undo's LSN is
+// stale by construction.
+func (tx *Tx) DeleteNoLog(key string, rid heap.RID, oldData []byte) error {
+	if !tx.pk.remove(key) {
+		return ErrNotFound
+	}
+	tx.pushUndo(undoEntry{lsn: tx.lastLSN, apply: func(tx *Tx) error { // want `pushUndo in DeleteNoLog with no log append in the function`
+		newRID, uerr := tx.hf.Insert(oldData)
+		if uerr == nil {
+			tx.pk.insert(key, newRID)
+		}
+		return uerr
+	}})
+	return nil
+}
+
+// RemoveUnprotected mutates the index with no protocol at all and falls off
+// the end of the function.
+func (tx *Tx) RemoveUnprotected(key string) {
+	tx.pk.remove(key) // want `index remove in RemoveUnprotected reaches the end of the function`
+}
+
+// IgnoredRemove records a deliberate exception with a reasoned directive.
+func (tx *Tx) IgnoredRemove(key string) {
+	tx.pk.remove(key) //slint:ignore walorder fixture demonstrating a reasoned suppression
+}

@@ -1,0 +1,48 @@
+package slidb_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSlintTreeClean is the CI-parity gate for the slint analyzer suite: it
+// builds the vettool the same way the lint job does and asserts that
+// go vet -vettool over the whole tree reports nothing. A finding that only
+// CI would catch is a finding this test catches first.
+func TestSlintTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree vet sweep; skipped in -short mode")
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "cmd", "slint")); err != nil {
+		t.Fatalf("cannot locate cmd/slint from %s: %v", root, err)
+	}
+
+	printPath := exec.Command("go", "run", "./cmd/slint", "-print-path")
+	printPath.Dir = root
+	printPath.Stderr = os.Stderr
+	out, err := printPath.Output()
+	if err != nil {
+		t.Fatalf("slint -print-path: %v", err)
+	}
+	vettool := strings.TrimSpace(string(out))
+	if vettool == "" {
+		t.Fatal("slint -print-path printed nothing")
+	}
+
+	var diag bytes.Buffer
+	vet := exec.Command("go", "vet", "-vettool="+vettool, "./...")
+	vet.Dir = root
+	vet.Stdout = &diag
+	vet.Stderr = &diag
+	if err := vet.Run(); err != nil {
+		t.Fatalf("go vet -vettool reported findings:\n%s", diag.String())
+	}
+}
