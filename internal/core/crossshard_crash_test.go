@@ -1,0 +1,225 @@
+package core
+
+import (
+	"io"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slidb/internal/record"
+	"slidb/internal/wal"
+)
+
+// copyTree duplicates a data directory so each crash scenario starts from
+// the same pristine image.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatalf("copy %s -> %s: %v", src, dst, err)
+	}
+}
+
+// truncateShardAt cuts shard's virtual log at offset c: the record starting
+// at c and everything after it vanish, exactly as if the crash hit after
+// the previous byte became durable. Because LSNs are byte offsets, the cut
+// is pure file arithmetic: a segment named wal-<first> keeps
+// segHeaderSize + (c - first) bytes; segments at or past c are deleted.
+func truncateShardAt(t *testing.T, dir string, shard int, c wal.LSN) {
+	t.Helper()
+	shardDir := filepath.Join(dir, wal.ShardDirName(shard))
+	entries, err := os.ReadDir(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+		first := wal.LSN(0)
+		if _, err := fmtSscanHex(hexPart, &first); err != nil {
+			t.Fatalf("parse segment name %s: %v", name, err)
+		}
+		path := filepath.Join(shardDir, name)
+		if first >= c {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		keep := int64(16) + c.Distance(first) // segment header + payload prefix
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() > keep {
+			if err := os.Truncate(path, keep); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// fmtSscanHex parses a fixed-width hex segment-name suffix.
+func fmtSscanHex(s string, out *wal.LSN) (int, error) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		default:
+			return 0, os.ErrInvalid
+		}
+	}
+	*out = wal.LSN(v)
+	return len(s), nil
+}
+
+// shardCommit locates one cross-shard commit record: the shard it lives on,
+// its offset there, and the full participant mask it carries.
+type shardCommit struct {
+	shard int
+	lsn   wal.LSN
+	mask  uint64
+}
+
+// TestCrossShardCommitAtomicity is the tentpole's torture test: for every
+// cross-shard commit record on every participant shard, simulate a crash in
+// which that one record (and that shard's subsequent log) never became
+// durable while the other participants' commit records did. Recovery must
+// treat each such transaction as all-or-nothing — the conserved-balance
+// invariant breaks by exactly the transfer amount if either half of a
+// transfer survives alone.
+func TestCrossShardCommitAtomicity(t *testing.T) {
+	const nShards = 3
+	dir := t.TempDir()
+	e, err := OpenAt(dir, Config{LogShards: nShards})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	const rows = 12
+	shardTestSetup(t, e, rows)
+	for i := 0; i < 10; i++ {
+		if err := transfer(e, i%rows, (i+4)%rows, int64(i+1)); err != nil {
+			t.Fatalf("transfer %d: %v", i, err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	const conserved = int64(2 * rows * 1000)
+
+	// Collect every cross-shard commit record by replaying each shard's
+	// segments offline.
+	var commits []shardCommit
+	for s := 0; s < nShards; s++ {
+		segs, err := wal.OpenSegments(filepath.Join(dir, wal.ShardDirName(s)), wal.DefaultSegmentBytes, false)
+		if err != nil {
+			t.Fatalf("open shard %d segments: %v", s, err)
+		}
+		err = segs.Iterate(0, func(rec wal.Record) error {
+			if rec.Type != wal.RecCommit {
+				return nil
+			}
+			mask, err := wal.DecodeShardMask(rec.After)
+			if err != nil {
+				return err
+			}
+			if bits.OnesCount64(mask) > 1 {
+				commits = append(commits, shardCommit{shard: s, lsn: rec.LSN, mask: mask})
+			}
+			return nil
+		})
+		if cerr := segs.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Fatalf("scan shard %d: %v", s, err)
+		}
+	}
+	if len(commits) == 0 {
+		t.Fatal("no cross-shard commit records found; transfers all routed to one shard")
+	}
+
+	for _, c := range commits {
+		scenario := t.TempDir()
+		copyTree(t, dir, scenario)
+		truncateShardAt(t, scenario, c.shard, c.lsn)
+		re, err := OpenAt(scenario, Config{LogShards: nShards})
+		if err != nil {
+			t.Fatalf("shard %d cut at %d: reopen: %v", c.shard, c.lsn, err)
+		}
+		if re.UndoFailures() != 0 {
+			t.Errorf("shard %d cut at %d: %d undo failures", c.shard, c.lsn, re.UndoFailures())
+		}
+		// All-or-nothing, per transaction. A torn transfer leaves the full
+		// row set with a non-conserved total; a torn seed insert leaves a
+		// partial row set. The two consistent outcomes are "every row, total
+		// conserved" (seed survived) and "no rows at all" (the cut hit the
+		// seed's own commit, rolling it — and every later transfer — back).
+		got, n := balanceAndRows(t, re)
+		switch {
+		case n == 2*rows && got == conserved:
+		case n == 0 && got == 0:
+		default:
+			t.Errorf("shard %d cut at %d (mask %b): %d rows, balance %d — a transaction survived on one shard only",
+				c.shard, c.lsn, c.mask, n, got)
+		}
+		re.Close()
+	}
+}
+
+// balanceAndRows sums both tables and counts their rows.
+func balanceAndRows(t *testing.T, e *Engine) (int64, int) {
+	t.Helper()
+	var total int64
+	var n int
+	if err := e.Exec(func(tx *Tx) error {
+		for _, tbl := range []string{"checking", "savings"} {
+			if err := tx.ScanTable(tbl, func(r record.Row) bool {
+				total += r[1].AsInt()
+				n++
+				return true
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return total, n
+}

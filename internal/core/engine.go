@@ -121,6 +121,27 @@ type Config struct {
 	// LogBufferBytes sizes the consolidated log buffer; zero uses the WAL
 	// default (4 MiB).
 	LogBufferBytes int64
+	// AutoSizeLogBuffer lets each log shard's flusher grow its buffer
+	// (power-of-two, up to LogBufferMaxBytes) when appenders spend a
+	// significant fraction of wall time blocked on a full buffer. The
+	// profiler's log-buffer-full-wait signal drives the decision; see
+	// wal.Config.AutoSizeBuffer.
+	AutoSizeLogBuffer bool
+	// LogBufferMaxBytes caps the auto-sizer; zero uses the WAL default
+	// (64 MiB). Ignored unless AutoSizeLogBuffer.
+	LogBufferMaxBytes int64
+	// LogShards splits the write-ahead log into this many independent
+	// virtual logs, each with its own reserve/fill/publish buffer, flusher
+	// goroutine and segment directory (shard-NN/). Records are routed by the
+	// row's table and primary key, so one row's history lives entirely on
+	// one shard; a transaction touching several shards commits with one
+	// commit record per touched shard (carrying the participant set) and is
+	// treated as committed by recovery only when every participant's commit
+	// record survived. Zero or one keeps the single totally-ordered log —
+	// byte-identical to the pre-shard format. For durable engines the value
+	// must match the directory's existing layout (OpenAt fails loudly with
+	// wal.ErrLogFormat on a mismatch); zero auto-detects it.
+	LogShards int
 	// Dir is the data directory backing the engine's durability subsystem
 	// (WAL segments and checkpoints). It is set by OpenAt; Open ignores it
 	// and runs fully in memory.
@@ -148,6 +169,9 @@ func (c Config) withDefaults() Config {
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = wal.DefaultSegmentBytes
 	}
+	if c.LogShards > wal.MaxLogShards {
+		c.LogShards = wal.MaxLogShards
+	}
 	return c
 }
 
@@ -156,13 +180,18 @@ var ErrClosed = errors.New("core: engine is closed")
 
 // Engine is the storage manager.
 type Engine struct {
-	cfg  Config
-	cat  *catalog.Catalog
-	lm   *lockmgr.Manager
-	log  *wal.Log
-	segs *wal.Segments // nil for in-memory (volatile) engines
-	pool *buffer.Pool
-	prof *profiler.Profiler
+	cfg Config
+	cat *catalog.Catalog
+	lm  *lockmgr.Manager
+	// logs holds one virtual log per shard; log aliases logs[0] so the
+	// single-shard hot paths (and DDL, which always routes to shard 0) pay
+	// no indirection. nShards == len(logs) >= 1.
+	logs    []*wal.Log
+	log     *wal.Log
+	nShards int
+	segs    []*wal.Segments // empty for in-memory (volatile) engines
+	pool    *buffer.Pool
+	prof    *profiler.Profiler
 
 	// execGate serializes checkpoints against running transactions: every
 	// transaction attempt holds it for read, Checkpoint takes it for write.
@@ -200,6 +229,10 @@ type Engine struct {
 	// state may no longer match the pre-transaction state. Always zero in a
 	// healthy engine; torture tests fail when it is not.
 	undoFailures atomic.Uint64
+	// crossShardCommits counts committed transactions whose participant set
+	// spanned more than one log shard — the commits that paid the two-phase
+	// flush rendezvous instead of a single-log group commit.
+	crossShardCommits atomic.Uint64
 }
 
 type job struct {
@@ -237,18 +270,28 @@ type worker struct {
 // For a disk-backed engine with crash recovery, use OpenAt.
 func Open(cfg Config) *Engine {
 	cfg.Dir = ""
-	e := newEngine(cfg.withDefaults(), nil, 0)
+	e := newEngine(cfg.withDefaults(), nil, nil)
 	e.SetConcurrency(e.cfg.Agents)
 	return e
 }
 
-// newEngine builds an engine without starting its agent pool. A non-nil
-// durable sink makes the write-ahead log disk-backed; startLSN (when non-
-// zero) resumes LSN allocation above a recovered log prefix.
-func newEngine(cfg Config, durable *wal.Segments, startLSN wal.LSN) *Engine {
+// newEngine builds an engine without starting its agent pool. A non-empty
+// durable slice makes the write-ahead log disk-backed with one virtual log
+// per segment directory (its length overrides cfg.LogShards); startLSNs
+// (when non-nil) resumes each shard's LSN allocation above its recovered
+// log prefix.
+func newEngine(cfg Config, durable []*wal.Segments, startLSNs []wal.LSN) *Engine {
+	nShards := cfg.LogShards
+	if len(durable) > 0 {
+		nShards = len(durable)
+	}
+	if nShards < 1 {
+		nShards = 1
+	}
 	e := &Engine{
 		cfg:      cfg,
 		cat:      catalog.New(),
+		nShards:  nShards,
 		segs:     durable,
 		prof:     profiler.New(cfg.Profile),
 		heaps:    make(map[uint32]*heap.File),
@@ -263,34 +306,74 @@ func newEngine(cfg Config, durable *wal.Segments, startLSN wal.LSN) *Engine {
 		SLIMinLevel:     cfg.SLIMinLevel,
 		LockTimeout:     cfg.LockTimeout,
 	})
-	var sink wal.DurableSink
 	dropAfterFlush := cfg.DropLogAfterFlush
-	if durable != nil {
-		sink = durable
+	if len(durable) > 0 {
 		// The disk holds the records; retaining them in memory as well would
 		// grow without bound.
 		dropAfterFlush = true
 	}
-	e.log = wal.New(wal.Config{
-		FlushDelay:          cfg.LogFlushDelay,
-		GroupCommitWindow:   cfg.GroupCommitWindow,
-		AdaptiveGroupCommit: cfg.AdaptiveGroupCommit,
-		GroupCommitMin:      cfg.GroupCommitMin,
-		GroupCommitMax:      cfg.GroupCommitMax,
-		StrictFence:         cfg.StrictFence,
-		DropAfterFlush:      dropAfterFlush,
-		Durable:             sink,
-		StartLSN:            startLSN,
-		MutexLog:            cfg.MutexLog,
-		LatchedLog:          cfg.LatchedLog,
-		BufferBytes:         cfg.LogBufferBytes,
-	})
+	e.logs = make([]*wal.Log, nShards)
+	for s := range e.logs {
+		var sink wal.DurableSink
+		if len(durable) > 0 {
+			sink = durable[s]
+		}
+		var startLSN wal.LSN
+		if startLSNs != nil {
+			startLSN = startLSNs[s]
+		}
+		e.logs[s] = wal.New(wal.Config{
+			FlushDelay:          cfg.LogFlushDelay,
+			GroupCommitWindow:   cfg.GroupCommitWindow,
+			AdaptiveGroupCommit: cfg.AdaptiveGroupCommit,
+			GroupCommitMin:      cfg.GroupCommitMin,
+			GroupCommitMax:      cfg.GroupCommitMax,
+			StrictFence:         cfg.StrictFence,
+			DropAfterFlush:      dropAfterFlush,
+			Durable:             sink,
+			StartLSN:            startLSN,
+			MutexLog:            cfg.MutexLog,
+			LatchedLog:          cfg.LatchedLog,
+			BufferBytes:         cfg.LogBufferBytes,
+			AutoSizeBuffer:      cfg.AutoSizeLogBuffer,
+			BufferMaxBytes:      cfg.LogBufferMaxBytes,
+		})
+	}
+	e.log = e.logs[0]
 	e.pool = buffer.NewPool(buffer.NewMemStore(), buffer.Config{
 		Frames:  cfg.BufferFrames,
 		IODelay: cfg.IODelay,
 	})
 	return e
 }
+
+// shardOf routes a row — identified by its table and encoded primary key —
+// to a log shard. Every record of one row (data, CLRs) lands on the same
+// shard, so per-shard redo and undo see each row's full ordered history.
+// FNV-1a over the table ID and key keeps the placement stable across
+// restarts without any shared state on the append path.
+func (e *Engine) shardOf(table uint32, pkKey string) int {
+	if e.nShards == 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(table >> (8 * i)))
+		h *= prime64
+	}
+	for i := 0; i < len(pkKey); i++ {
+		h ^= uint64(pkKey[i])
+		h *= prime64
+	}
+	return int(h % uint64(e.nShards))
+}
+
+// LogShards returns the number of log shards the engine runs with.
+func (e *Engine) LogShards() int { return e.nShards }
 
 // Close stops the agent pool and flushes the log and buffer pool. For
 // durable engines it also drains the log to its segment files and closes
@@ -305,11 +388,13 @@ func (e *Engine) Close() error {
 	// files in particular must be synced and closed regardless — and report
 	// the first error.
 	err := e.pool.FlushAll(nil)
-	if lerr := e.log.Close(); err == nil {
-		err = lerr
+	for _, l := range e.logs {
+		if lerr := l.Close(); err == nil {
+			err = lerr
+		}
 	}
-	if e.segs != nil {
-		if serr := e.segs.Close(); err == nil {
+	for _, sg := range e.segs {
+		if serr := sg.Close(); err == nil {
 			err = serr
 		}
 	}
@@ -347,6 +432,14 @@ func (e *Engine) ELRAborts() uint64 { return e.elrAborts.Load() }
 // transaction's effects could not be fully rolled back.
 func (e *Engine) UndoFailures() uint64 { return e.undoFailures.Load() }
 
+// CrossShardCommits returns the number of committed transactions whose
+// participant set spanned more than one log shard, each paying the
+// two-phase flush rendezvous (one commit record per touched shard) instead
+// of a single-log group commit. The ratio against Committed is the
+// cross-shard fraction of the workload — the knob that bounds how much of
+// the sharded log's contention win a workload can actually collect.
+func (e *Engine) CrossShardCommits() uint64 { return e.crossShardCommits.Load() }
+
 // DurableLag returns the number of log BYTES appended but not yet durable —
 // the depth of the commit pipeline at this instant. With byte-offset LSNs
 // the lag is the distance between the log's virtual end and the durable
@@ -354,11 +447,14 @@ func (e *Engine) UndoFailures() uint64 { return e.undoFailures.Load() }
 // It is zero whenever the flush daemon has caught up (always, between
 // bursts) and grows with AsyncCommit under load.
 func (e *Engine) DurableLag() uint64 {
-	last, durable := e.log.LastLSN(), e.log.DurableLSN()
-	if last <= durable {
-		return 0
+	var lag uint64
+	for _, l := range e.logs {
+		last, durable := l.LastLSN(), l.DurableLSN()
+		if last > durable {
+			lag += uint64(last.Distance(durable))
+		}
 	}
-	return uint64(last.Distance(durable))
+	return lag
 }
 
 // SimulateCrash abandons the engine the way a machine failure would, for
@@ -375,9 +471,11 @@ func (e *Engine) SimulateCrash() {
 		return
 	}
 	close(e.stopping)
-	e.log.Crash()
-	if e.segs != nil {
-		e.segs.Crash()
+	for _, l := range e.logs {
+		l.Crash()
+	}
+	for _, sg := range e.segs {
+		sg.Crash()
 	}
 	e.SetConcurrency(0)
 }
@@ -601,6 +699,9 @@ func (e *Engine) runOnce(w *worker, fn func(*Tx) error) (<-chan error, error) {
 		owner: e.lm.NewOwner(agent, prof),
 		prof:  prof,
 	}
+	if e.nShards > 1 {
+		tx.shardLast = make([]wal.LSN, e.nShards)
+	}
 	var ack <-chan error
 	err := fn(tx)
 	if err == nil {
@@ -737,9 +838,11 @@ func (e *Engine) installIndex(ix *catalog.Index) error {
 // logDDL appends a DDL record and forces it to disk on durable engines; DDL
 // must be durable before data records referencing it can commit. Volatile
 // engines skip DDL logging entirely, matching the original in-memory
-// behavior.
+// behavior. DDL always routes to shard 0, and sharded recovery replays
+// shard 0 before the others, so replayed data records never reference a
+// table whose DDL has not been applied yet.
 func (e *Engine) logDDL(typ wal.RecType, meta []byte) error {
-	if e.segs == nil {
+	if len(e.segs) == 0 {
 		return nil
 	}
 	lsn, err := e.log.Append(wal.Record{Type: typ, After: meta})

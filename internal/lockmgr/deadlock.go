@@ -1,26 +1,60 @@
 package lockmgr
 
 // Deadlock detection. Shore-MT uses the "dreadlocks" algorithm; this
-// reproduction uses a straightforward wait-for-graph search triggered
-// periodically while a transaction is blocked (plus a timeout fallback in
-// waitFor). The search is conservative: it only follows lock heads whose
-// latch it can acquire without blocking, so it never introduces latch
-// deadlocks and may miss a cycle on one probe — the next probe (or the
-// timeout) will catch it.
+// reproduction uses a wait-for-graph search triggered periodically while a
+// transaction is blocked (plus a timeout fallback in waitFor). The search is
+// conservative: it only follows lock heads whose latch it can acquire
+// without blocking, so it never introduces latch deadlocks and may miss a
+// cycle on one probe — the next probe (or the timeout) will catch it.
+//
+// The search is partition-sharded to match the lock table: most deadlocks in
+// a partitioned workload are short cycles between rows that hash to the same
+// lock-table partition, so every probe first walks only same-partition
+// wait-for edges — a search whose frontier (and latch footprint) stays inside
+// one shard of the table. Edges that leave the partition are not followed;
+// they set an "escaped" flag instead, and only when a local probe escaped
+// does every deadlockEscalateEvery-th probe escalate to the full
+// cross-partition search.
 
 // maxDeadlockDepth bounds the wait-for-graph search.
 const maxDeadlockDepth = 64
 
+// deadlockEscalateEvery is how many probe ticks pass between full
+// cross-partition searches while local probes keep escaping. Local probes
+// still run every tick, so same-partition cycles are caught at the base
+// cadence and only the (rarer) cross-partition cycles wait up to
+// deadlockEscalateEvery ticks.
+const deadlockEscalateEvery = 4
+
+// allPartitions disables the partition filter in findCycle.
+const allPartitions = ^uint32(0)
+
 // detectDeadlock reports whether the blocked owner participates in a
 // wait-for cycle. The caller (the detecting owner itself) is the victim.
-func (m *Manager) detectDeadlock(self *Owner, req *Request) bool {
+// tick counts the caller's probe attempts for this wait; it paces escalation.
+func (m *Manager) detectDeadlock(self *Owner, req *Request, tick uint64) bool {
+	m.stats.DeadlockLocalProbes.Add(1)
 	visited := map[*Owner]bool{self: true}
-	return m.findCycle(self, req, visited, 0)
+	escaped := false
+	if m.findCycle(self, req, visited, 0, req.head.part, &escaped) {
+		return true
+	}
+	if !escaped || tick%deadlockEscalateEvery != 0 {
+		return false
+	}
+	// A wait-for edge left req's partition: the cycle (if any) spans
+	// partitions and only a global search can close it.
+	m.stats.DeadlockEscalations.Add(1)
+	visited = map[*Owner]bool{self: true}
+	return m.findCycle(self, req, visited, 0, allPartitions, &escaped)
 }
 
 // findCycle performs a depth-first search of the wait-for graph starting
-// from the owners blocking req, looking for a path back to self.
-func (m *Manager) findCycle(self *Owner, req *Request, visited map[*Owner]bool, depth int) bool {
+// from the owners blocking req, looking for a path back to self. When part
+// is not allPartitions the search stays inside that lock-table partition:
+// an edge whose next lock head lives elsewhere is skipped and *escaped is
+// set so the caller knows the local result is not conclusive.
+func (m *Manager) findCycle(self *Owner, req *Request, visited map[*Owner]bool, depth int, part uint32, escaped *bool) bool {
 	if depth > maxDeadlockDepth {
 		return false
 	}
@@ -36,7 +70,11 @@ func (m *Manager) findCycle(self *Owner, req *Request, visited map[*Owner]bool, 
 		if next == nil {
 			continue
 		}
-		if m.findCycle(self, next, visited, depth+1) {
+		if part != allPartitions && next.head.part != part {
+			*escaped = true
+			continue
+		}
+		if m.findCycle(self, next, visited, depth+1, part, escaped) {
 			return true
 		}
 	}

@@ -14,6 +14,12 @@ import (
 type lockHead struct {
 	id LockID
 
+	// part is the index of the lock-table partition the head lives in,
+	// recorded at creation so deadlock probes can tell local wait-for edges
+	// (both heads in one partition) from cross-partition ones without
+	// re-hashing the LockID on every hop.
+	part uint32
+
 	// latch protects the queue, waiters count, hot-ness window and the dead
 	// flag. The per-acquisition contention signal it reports drives hot-lock
 	// detection.
@@ -96,17 +102,22 @@ func newLockTable(partitions int) *lockTable {
 	return t
 }
 
+func (t *lockTable) partitionIndex(id LockID) uint64 {
+	return id.hash() & t.mask
+}
+
 func (t *lockTable) partitionFor(id LockID) *partition {
-	return &t.parts[id.hash()&t.mask]
+	return &t.parts[t.partitionIndex(id)]
 }
 
 // findOrCreate returns the lock head for id, creating it if necessary.
 func (t *lockTable) findOrCreate(id LockID) *lockHead {
-	p := t.partitionFor(id)
+	idx := t.partitionIndex(id)
+	p := &t.parts[idx]
 	p.mu.Lock()
 	h := p.heads[id]
 	if h == nil {
-		h = &lockHead{id: id}
+		h = &lockHead{id: id, part: uint32(idx)}
 		p.heads[id] = h
 	}
 	p.mu.Unlock()

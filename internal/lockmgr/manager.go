@@ -428,12 +428,14 @@ func (m *Manager) waitFor(o *Owner, req *Request, isConversion bool) error {
 		deadlineC = deadline.C
 	}
 
+	var tick uint64
 	for {
 		select {
 		case err := <-req.ready:
 			return accept(err)
 		case <-check.C:
-			if m.detectDeadlock(o, req) {
+			tick++
+			if m.detectDeadlock(o, req, tick) {
 				if m.cancelWait(o, req, isConversion) {
 					m.stats.Deadlocks.Add(1)
 					o.prof.Add(profiler.LockWait, time.Since(waitStart))

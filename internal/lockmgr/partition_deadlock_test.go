@@ -1,0 +1,99 @@
+package lockmgr
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// crossDeadlock drives the classic two-owner cycle: A holds ra and wants rb,
+// B holds rb and wants ra. It returns once the cycle has been broken and
+// both owners have released, failing the test if detection never fires.
+func crossDeadlock(t *testing.T, m *Manager, ra, rb LockID) {
+	t.Helper()
+	a := m.NewOwner(nil, nil)
+	b := m.NewOwner(nil, nil)
+	if err := a.Lock(ra, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Lock(rb, X); err != nil {
+		t.Fatal(err)
+	}
+	aDone := make(chan error, 1)
+	bDone := make(chan error, 1)
+	go func() {
+		err := a.Lock(rb, X)
+		a.ReleaseAll()
+		aDone <- err
+	}()
+	go func() {
+		err := b.Lock(ra, X)
+		b.ReleaseAll()
+		bDone <- err
+	}()
+	errA, errB := <-aDone, <-bDone
+	victims := 0
+	for _, err := range []error{errA, errB} {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrDeadlock):
+			victims++
+		default:
+			t.Fatalf("unexpected lock error: %v", err)
+		}
+	}
+	if victims == 0 {
+		t.Fatalf("no deadlock victim (errA=%v errB=%v)", errA, errB)
+	}
+}
+
+// TestDeadlockLocalPartition pins the sharded probe's fast path: with a
+// single-partition lock table every wait-for edge is local, so the cycle is
+// found by local probes alone and the global search is never escalated to.
+func TestDeadlockLocalPartition(t *testing.T) {
+	m := New(Config{
+		Partitions:         1,
+		DeadlockCheckEvery: time.Millisecond,
+		LockTimeout:        30 * time.Second,
+	})
+	crossDeadlock(t, m, RecordLock(1, 1, 1, 1), RecordLock(1, 1, 1, 2))
+	s := m.Stats().Snapshot()
+	if s.Deadlocks == 0 {
+		t.Fatal("Deadlocks counter not incremented")
+	}
+	if s.DeadlockLocalProbes == 0 {
+		t.Fatal("DeadlockLocalProbes counter not incremented")
+	}
+	if s.DeadlockEscalations != 0 {
+		t.Fatalf("DeadlockEscalations = %d on a single-partition table, want 0", s.DeadlockEscalations)
+	}
+}
+
+// TestDeadlockCrossPartitionEscalation pins the escalation path: a cycle
+// between two rows whose lock heads hash to different partitions is
+// invisible to local probes (the edge escapes), so detection must come from
+// an escalated cross-partition search.
+func TestDeadlockCrossPartitionEscalation(t *testing.T) {
+	m := New(Config{
+		Partitions:         128,
+		DeadlockCheckEvery: time.Millisecond,
+		LockTimeout:        30 * time.Second,
+	})
+	// Find two record locks in different lock-table partitions.
+	ra := RecordLock(1, 1, 1, 1)
+	rb := ra
+	for slot := uint32(2); ; slot++ {
+		rb = RecordLock(1, 1, 1, slot)
+		if m.table.partitionIndex(rb) != m.table.partitionIndex(ra) {
+			break
+		}
+	}
+	crossDeadlock(t, m, ra, rb)
+	s := m.Stats().Snapshot()
+	if s.Deadlocks == 0 {
+		t.Fatal("Deadlocks counter not incremented")
+	}
+	if s.DeadlockEscalations == 0 {
+		t.Fatal("cross-partition cycle resolved without any DeadlockEscalations")
+	}
+}

@@ -45,6 +45,14 @@ type Stats struct {
 	Waits atomic.Uint64
 	// Deadlocks counts requests aborted by deadlock detection.
 	Deadlocks atomic.Uint64
+	// DeadlockLocalProbes counts wait-for-graph probes confined to the
+	// blocked request's lock-table partition — the cheap, every-tick search.
+	DeadlockLocalProbes atomic.Uint64
+	// DeadlockEscalations counts probes that escalated to the full
+	// cross-partition wait-for search because a local probe hit an edge
+	// leaving its partition. A high escalation:probe ratio means the
+	// workload's conflicts do not respect the partitioning.
+	DeadlockEscalations atomic.Uint64
 	// Timeouts counts requests aborted by lock wait timeout.
 	Timeouts atomic.Uint64
 
@@ -96,6 +104,8 @@ type StatsSnapshot struct {
 	LatchContended      uint64
 	Waits               uint64
 	Deadlocks           uint64
+	DeadlockLocalProbes uint64
+	DeadlockEscalations uint64
 	Timeouts            uint64
 	SLIPassed           uint64
 	SLIReclaimed        uint64
@@ -125,6 +135,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	out.LatchContended = s.LatchContended.Load()
 	out.Waits = s.Waits.Load()
 	out.Deadlocks = s.Deadlocks.Load()
+	out.DeadlockLocalProbes = s.DeadlockLocalProbes.Load()
+	out.DeadlockEscalations = s.DeadlockEscalations.Load()
 	out.Timeouts = s.Timeouts.Load()
 	out.SLIPassed = s.SLIPassed.Load()
 	out.SLIReclaimed = s.SLIReclaimed.Load()
@@ -181,6 +193,8 @@ func (s StatsSnapshot) Diff(earlier StatsSnapshot) StatsSnapshot {
 	out.LatchContended = sub(s.LatchContended, earlier.LatchContended)
 	out.Waits = sub(s.Waits, earlier.Waits)
 	out.Deadlocks = sub(s.Deadlocks, earlier.Deadlocks)
+	out.DeadlockLocalProbes = sub(s.DeadlockLocalProbes, earlier.DeadlockLocalProbes)
+	out.DeadlockEscalations = sub(s.DeadlockEscalations, earlier.DeadlockEscalations)
 	out.Timeouts = sub(s.Timeouts, earlier.Timeouts)
 	out.SLIPassed = sub(s.SLIPassed, earlier.SLIPassed)
 	out.SLIReclaimed = sub(s.SLIReclaimed, earlier.SLIReclaimed)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"net/http"
+	"strconv"
 	"time"
 
 	"slidb/internal/lockmgr"
@@ -21,6 +22,9 @@ type EngineSource interface {
 	// UndoFailures counts failed rollback undo actions (non-zero means
 	// in-memory corruption).
 	UndoFailures() uint64
+	// CrossShardCommits counts commits whose participant set spanned more
+	// than one log shard (each paid the two-phase flush rendezvous).
+	CrossShardCommits() uint64
 	// DurableLag is the appended-but-not-durable log bytes at this instant.
 	DurableLag() uint64
 	// LogErr is the WAL sink error that wedged the log, nil while healthy.
@@ -33,8 +37,14 @@ type EngineSource interface {
 	// Concurrency is the current agent worker count.
 	Concurrency() int
 	// LogTail is the log tail's self-tuning snapshot (group-commit window,
-	// flush cycles, physical sink writes, publish-fence waits).
+	// flush cycles, physical sink writes, publish-fence waits), summed
+	// across every log shard.
 	LogTail() LogTailStats
+	// LogShards is the number of sharded virtual logs; LogTailAt is one
+	// shard's view of the LogTail snapshot, feeding the per-shard metric
+	// families.
+	LogShards() int
+	LogTailAt(s int) LogTailStats
 }
 
 // LogTailStats is the log-tail snapshot the collector exports: the adaptive
@@ -64,11 +74,24 @@ type LogTailStats struct {
 	Rotations         uint64
 	Preallocs         uint64
 	PreallocFallbacks uint64
+	// ReserveWaitSeconds is the cumulative time appenders spent blocked
+	// entering the log buffer's reservation critical section, and
+	// BufferFullWaitSeconds the time they spent stalled on a full buffer
+	// (the auto-sizer's growth signal).
+	ReserveWaitSeconds    float64
+	BufferFullWaitSeconds float64
+	// BufferBytes is the log buffer's current size and BufferGrows how many
+	// times the auto-sizer doubled it.
+	BufferBytes int64
+	BufferGrows uint64
 }
 
 // lockLevelNames maps lockmgr levels to stable label values, indexed like
 // StatsSnapshot.AcquiresByLevel.
 var lockLevelNames = [4]string{"database", "table", "page", "record"}
+
+// shardLabel formats a log-shard index as a metric label value.
+func shardLabel(s int) string { return strconv.Itoa(s) }
 
 // RegisterEngine registers the engine collector's metric families on r. Every
 // sample is read from the engine's existing atomic counters (or cheap
@@ -87,6 +110,9 @@ func RegisterEngine(r *Registry, e EngineSource) {
 	r.CounterFunc("slidb_undo_failures_total",
 		"Rollback undo actions that failed; any non-zero value indicates in-memory corruption.",
 		func() float64 { return float64(e.UndoFailures()) })
+	r.CounterFunc("slidb_cross_shard_commits_total",
+		"Commits whose participant set spanned more than one log shard (two-phase flush rendezvous).",
+		func() float64 { return float64(e.CrossShardCommits()) })
 	r.GaugeFunc("slidb_durable_lag_bytes",
 		"Log bytes appended but not yet forced to stable storage (commit pipeline depth).",
 		func() float64 { return float64(e.DurableLag()) })
@@ -133,6 +159,35 @@ func RegisterEngine(r *Registry, e EngineSource) {
 				{Label: "truncate", Value: float64(lt.PreallocFallbacks)},
 			}
 		})
+
+	// Per-shard log-tail families (one series per virtual log, labeled by
+	// shard index): whether routing balanced the append load shows up as
+	// even reserve-wait and sink-write series; a hot shard sticks out.
+	shardSamples := func(value func(LogTailStats) float64) func() []Sample {
+		return func() []Sample {
+			n := e.LogShards()
+			out := make([]Sample, 0, n)
+			for s := 0; s < n; s++ {
+				out = append(out, Sample{Label: shardLabel(s), Value: value(e.LogTailAt(s))})
+			}
+			return out
+		}
+	}
+	r.LabeledCounterFunc("slidb_log_shard_reserve_wait_seconds_total",
+		"Cumulative appender time blocked entering each log shard's reservation critical section.", "shard",
+		shardSamples(func(lt LogTailStats) float64 { return lt.ReserveWaitSeconds }))
+	r.LabeledCounterFunc("slidb_log_shard_buffer_full_wait_seconds_total",
+		"Cumulative appender time stalled on each log shard's full buffer (the auto-sizer's growth signal).", "shard",
+		shardSamples(func(lt LogTailStats) float64 { return lt.BufferFullWaitSeconds }))
+	r.LabeledCounterFunc("slidb_log_shard_sink_writes_total",
+		"Physical write submissions per log shard's segment files.", "shard",
+		shardSamples(func(lt LogTailStats) float64 { return float64(lt.SinkWrites) }))
+	r.LabeledCounterFunc("slidb_log_shard_flush_cycles_total",
+		"Completed group-commit flush cycles per log shard.", "shard",
+		shardSamples(func(lt LogTailStats) float64 { return float64(lt.FlushCycles) }))
+	r.LabeledGaugeFunc("slidb_log_shard_buffer_bytes",
+		"Current log buffer size per shard (grows under AutoSizeLogBuffer).", "shard",
+		shardSamples(func(lt LogTailStats) float64 { return float64(lt.BufferBytes) }))
 
 	// Lock manager counters (the paper's Figure 8/9 surface). Each family
 	// snapshots the stats once per scrape.
@@ -181,6 +236,12 @@ func RegisterEngine(r *Registry, e EngineSource) {
 	r.CounterFunc("slidb_lock_deadlocks_total",
 		"Lock requests aborted by deadlock detection.",
 		func() float64 { return float64(e.LockStats().Deadlocks) })
+	r.CounterFunc("slidb_lock_deadlock_local_probes_total",
+		"Wait-for-graph probes confined to one lock-table partition.",
+		func() float64 { return float64(e.LockStats().DeadlockLocalProbes) })
+	r.CounterFunc("slidb_lock_deadlock_escalations_total",
+		"Deadlock probes escalated to the full cross-partition search.",
+		func() float64 { return float64(e.LockStats().DeadlockEscalations) })
 	r.CounterFunc("slidb_lock_timeouts_total",
 		"Lock requests aborted by wait timeout.",
 		func() float64 { return float64(e.LockStats().Timeouts) })

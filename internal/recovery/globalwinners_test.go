@@ -1,0 +1,117 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"slidb/internal/wal"
+)
+
+// an builds an Analysis from winner/rolled-back XID sets and participant
+// masks, with the remaining maps empty.
+func an(winners []uint64, rolledBack []uint64, participants map[uint64]uint64) *Analysis {
+	a := &Analysis{
+		Winners:      make(map[uint64]struct{}),
+		Losers:       make(map[uint64]struct{}),
+		RolledBack:   make(map[uint64]struct{}),
+		UndoNext:     make(map[uint64]wal.LSN),
+		Pending:      make(map[uint64][]wal.LSN),
+		Participants: make(map[uint64]uint64),
+	}
+	for _, x := range winners {
+		a.Winners[x] = struct{}{}
+	}
+	for _, x := range rolledBack {
+		a.RolledBack[x] = struct{}{}
+	}
+	for x, m := range participants {
+		a.Participants[x] = m
+	}
+	return a
+}
+
+func wantWinners(t *testing.T, got map[uint64]struct{}, want ...uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d global winners %v, want %d %v", len(got), got, len(want), want)
+	}
+	for _, x := range want {
+		if _, ok := got[x]; !ok {
+			t.Fatalf("xid %d missing from global winners %v", x, got)
+		}
+	}
+}
+
+func TestGlobalWinnersSingleShard(t *testing.T) {
+	// Shard-local winners pass through; a rolled-back (demoted, already
+	// undone) winner does not.
+	got, err := GlobalWinners([]*Analysis{an([]uint64{1, 2}, []uint64{2}, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWinners(t, got, 1)
+}
+
+func TestGlobalWinnersSingleShardForeignMask(t *testing.T) {
+	// A commit record naming shard 1 inside a one-shard directory means the
+	// directory was reopened with too few shards: format error, loudly.
+	_, err := GlobalWinners([]*Analysis{an([]uint64{1}, nil, map[uint64]uint64{1: 0b11})})
+	if !errors.Is(err, wal.ErrLogFormat) {
+		t.Fatalf("err = %v, want ErrLogFormat", err)
+	}
+}
+
+func TestGlobalWinnersAllParticipantsPresent(t *testing.T) {
+	// xid 7 committed on both masked shards; xid 9 is maskless (single-
+	// participant) on shard 1 only.
+	per := []*Analysis{
+		an([]uint64{7}, nil, map[uint64]uint64{7: 0b11}),
+		an([]uint64{7, 9}, nil, map[uint64]uint64{7: 0b11}),
+	}
+	got, err := GlobalWinners(per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWinners(t, got, 7, 9)
+}
+
+func TestGlobalWinnersMissingParticipantDemotes(t *testing.T) {
+	// xid 7's commit record survived on shard 0 but not on shard 1: the
+	// all-or-nothing rule demotes it to a global loser.
+	per := []*Analysis{
+		an([]uint64{7}, nil, map[uint64]uint64{7: 0b11}),
+		an(nil, nil, nil),
+	}
+	got, err := GlobalWinners(per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWinners(t, got)
+}
+
+func TestGlobalWinnersRolledBackAnywhereDemotes(t *testing.T) {
+	// Every participant has the commit record, but shard 1 also scanned a
+	// completed rollback for the xid (an earlier recovery incarnation undid
+	// it): it must stay demoted, or replaying its redo would resurrect it.
+	per := []*Analysis{
+		an([]uint64{7}, nil, map[uint64]uint64{7: 0b11}),
+		an([]uint64{7}, []uint64{7}, map[uint64]uint64{7: 0b11}),
+	}
+	got, err := GlobalWinners(per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWinners(t, got)
+}
+
+func TestGlobalWinnersMaskBeyondShardCount(t *testing.T) {
+	// A mask naming shard 2 in a two-shard directory is a layout mismatch,
+	// never a silent demotion.
+	per := []*Analysis{
+		an([]uint64{7}, nil, map[uint64]uint64{7: 0b101}),
+		an(nil, nil, nil),
+	}
+	if _, err := GlobalWinners(per); !errors.Is(err, wal.ErrLogFormat) {
+		t.Fatalf("err = %v, want ErrLogFormat", err)
+	}
+}

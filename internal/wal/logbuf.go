@@ -44,6 +44,10 @@ import (
 // DefaultLogBufferBytes is the default size of the consolidated log buffer.
 const DefaultLogBufferBytes = 4 << 20
 
+// DefaultLogBufferMaxBytes is the default growth cap under
+// Config.AutoSizeBuffer.
+const DefaultLogBufferMaxBytes = 64 << 20
+
 // minLogBufferBytes bounds how small a configured buffer may be; tiny buffers
 // are allowed (tests use them to force wraparound and buffer-full waits) but
 // must still hold a handful of records.
@@ -91,8 +95,23 @@ type flushRange struct {
 type logBuffer struct {
 	size    int64
 	buf     []byte
-	latched bool // ablation: reserve under mu instead of a head CAS
-	strict  bool // ablation: in-order spin-CAS publish fence instead of completion tracking
+	base    int64 // virtual offset mapped to buf[0]; moves only when the ring is regrown
+	latched bool  // ablation: reserve under mu instead of a head CAS
+	strict  bool  // ablation: in-order spin-CAS publish fence instead of completion tracking
+
+	// Auto-sizing (Config.AutoSizeBuffer): the flusher may replace the ring
+	// with a larger one, but only at a drained instant with no claim in
+	// flight. resizable is immutable; size/buf/base are plain fields whose
+	// writes are ordered against every reader by the protocol below (each
+	// reserver either finished — its active decrement precedes the flusher's
+	// active==0 read — or started after the swap — its resizeWanted load
+	// observes the flusher's store).
+	resizable    bool
+	maxSize      int64        // growth cap (immutable)
+	sizeA        atomic.Int64 // observer mirror of size (stats; hot paths read the plain field)
+	active       atomic.Int64 // claims in flight between reserve success and publish
+	resizeWanted atomic.Bool  // flusher wants the ring drained for a swap; reservers stand aside
+	grows        atomic.Int64 // completed ring growths
 
 	head      atomic.Int64 // next virtual offset to reserve
 	published atomic.Int64 // fence: every byte below it is filled
@@ -104,7 +123,9 @@ type logBuffer struct {
 	fullWaiters atomic.Int32 // reservers blocked on a full buffer (flusher pressure signal)
 	wedged      atomic.Bool  // fast-path mirror of err != nil
 
-	fenceNanos atomic.Int64 // cumulative time appenders spent blocked publishing
+	fenceNanos   atomic.Int64 // cumulative time appenders spent blocked publishing
+	reserveNanos atomic.Int64 // cumulative timed reserve wait (profiled appends only)
+	fullNanos    atomic.Int64 // cumulative buffer-full wait, timed unconditionally (auto-size signal)
 
 	// pubMu guards the relaxed fence's completion tracking: pubPending maps a
 	// completed-but-unmergeable range's claim offset to its end. Under the
@@ -118,7 +139,10 @@ type logBuffer struct {
 	err     error // set once by close: every later reserve fails with it
 }
 
-func newLogBuffer(size int64, start LSN, latched, strict bool) *logBuffer {
+// newLogBuffer builds the ring. maxSize > size enables auto-sizing: the
+// flusher may grow the ring (power of two, capped at maxSize) when reservers
+// spend a threshold fraction of a flush cycle blocked on a full buffer.
+func newLogBuffer(size, maxSize int64, start LSN, latched, strict bool) *logBuffer {
 	if size <= 0 {
 		size = DefaultLogBufferBytes
 	}
@@ -126,6 +150,11 @@ func newLogBuffer(size int64, start LSN, latched, strict bool) *logBuffer {
 		size = minLogBufferBytes
 	}
 	lb := &logBuffer{size: size, buf: make([]byte, size), latched: latched, strict: strict}
+	if maxSize > size {
+		lb.resizable = true
+		lb.maxSize = maxSize
+	}
+	lb.sizeA.Store(size)
 	lb.notFull = sync.NewCond(&lb.mu)
 	lb.pubPending = make(map[int64]int64)
 	lb.head.Store(int64(start))
@@ -135,7 +164,16 @@ func newLogBuffer(size int64, start LSN, latched, strict bool) *logBuffer {
 	return lb
 }
 
-func (lb *logBuffer) phys(off int64) int64 { return off % lb.size }
+func (lb *logBuffer) phys(off int64) int64 { return (off - lb.base) % lb.size }
+
+// sizeNow returns the current ring size for paths outside the reservation
+// protocol (which must not read the plain field while a grow may be racing).
+func (lb *logBuffer) sizeNow() int64 {
+	if lb.resizable {
+		return lb.sizeA.Load()
+	}
+	return lb.size
+}
 
 // padFor returns the zero bytes a frame of n bytes starting after offset
 // head must claim so that it does not wrap the physical end of the ring.
@@ -173,12 +211,12 @@ func (lb *logBuffer) loadErr() error {
 func (lb *logBuffer) reserve(rec Record, kick func(), timed bool) (reservation, AppendWaits, error) {
 	var w AppendWaits
 	n := int64(rec.EncodedSize())
-	if n > maxFrameBytes || n > lb.size/2 {
+	if sz := lb.sizeNow(); n > maxFrameBytes || n > sz/2 {
 		// A frame past maxFrameBytes is undecodable by every reader (the
 		// decoder treats it as corruption), and one past half the buffer
 		// could starve forever behind smaller reservations; reject at append
 		// time instead of corrupting the log.
-		return reservation{}, w, fmt.Errorf("wal: record frame of %d bytes exceeds log buffer capacity (max %d)", n, min(int64(maxFrameBytes), lb.size/2))
+		return reservation{}, w, fmt.Errorf("wal: record frame of %d bytes exceeds log buffer capacity (max %d)", n, min(int64(maxFrameBytes), sz/2))
 	}
 	var start time.Time
 	if timed {
@@ -193,6 +231,7 @@ func (lb *logBuffer) reserve(rec Record, kick func(), timed bool) (reservation, 
 	}
 	if timed && err == nil {
 		w.Reserve = time.Since(start) - w.BufferFull
+		lb.reserveNanos.Add(int64(w.Reserve))
 	}
 	return res, w, err
 }
@@ -209,9 +248,28 @@ func (lb *logBuffer) reserveAtomic(n int64, kick func(), timed bool, w *AppendWa
 		if lb.wedged.Load() {
 			return reservation{}, lb.loadErr()
 		}
+		if lb.resizable {
+			// Announce the attempt before checking the resize flag (both
+			// sequentially consistent): the flusher stores the flag and THEN
+			// reads active, so either we see the flag and stand aside, or it
+			// sees our increment and keeps the old ring until we are done.
+			// The increment is released by fill/padOut (after publish) or by
+			// the retreat paths below.
+			lb.active.Add(1)
+			if lb.resizeWanted.Load() {
+				lb.active.Add(-1)
+				if err := lb.waitResize(kick, timed, w); err != nil {
+					return reservation{}, err
+				}
+				continue
+			}
+		}
 		head := lb.head.Load()
 		pad, ok := lb.fits(head, n)
 		if !ok {
+			if lb.resizable {
+				lb.active.Add(-1)
+			}
 			if err := lb.waitForSpace(n, kick, timed, w); err != nil {
 				return reservation{}, err
 			}
@@ -235,7 +293,69 @@ func (lb *logBuffer) reserveAtomic(n int64, kick func(), timed bool, w *AppendWa
 			}
 			return s, nil
 		}
+		if lb.resizable {
+			lb.active.Add(-1) // lost the CAS; re-enter the protocol from the top
+		}
 	}
+}
+
+// waitResize parks a reserver while the flusher regrows the ring. The wait is
+// charged to the buffer-full category — it is the same backpressure, being
+// fixed. Parked reservers count as full-waiters and kick the flusher: the
+// swap is the flusher's job, so it must keep cycling (workPendingLocked) as
+// long as anyone stands aside.
+func (lb *logBuffer) waitResize(kick func(), timed bool, w *AppendWaits) error {
+	lb.fullWaiters.Add(1)
+	defer lb.fullWaiters.Add(-1)
+	kick()
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	for lb.err == nil && lb.resizeWanted.Load() {
+		start := time.Now()
+		lb.notFull.Wait()
+		d := time.Since(start)
+		lb.fullNanos.Add(int64(d))
+		if timed {
+			w.BufferFull += d
+		}
+	}
+	return lb.err
+}
+
+// tryGrow swaps in a ring of newSize bytes, but only at a fully drained
+// instant: no claim in flight (active == 0, latched claims included) and
+// every published byte consumed and released (head == published == tail).
+// Flusher only, and only after resizeWanted has been set so new reservers
+// stand aside. Returns whether the swap happened; the caller retries on the
+// next cycle otherwise. On a wedged buffer the pending request is cancelled
+// so parked reservers drain out through their error path.
+func (lb *logBuffer) tryGrow(newSize int64) bool {
+	if lb.active.Load() != 0 {
+		return false
+	}
+	head := lb.head.Load()
+	if head != lb.published.Load() || head != lb.tail.Load() {
+		return false
+	}
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if lb.err != nil {
+		lb.resizeWanted.Store(false)
+		lb.notFull.Broadcast()
+		return false
+	}
+	head = lb.head.Load()
+	if lb.active.Load() != 0 || head != lb.published.Load() || head != lb.tail.Load() {
+		return false
+	}
+	lb.buf = make([]byte, newSize)
+	lb.size = newSize
+	lb.base = head
+	lb.sizeA.Store(newSize)
+	lb.grows.Add(1)
+	lb.resizeWanted.Store(false)
+	lb.notFull.Broadcast()
+	return true
 }
 
 // padOut fills an already-claimed reservation entirely with padding bytes
@@ -249,6 +369,9 @@ func (lb *logBuffer) padOut(s reservation) {
 	p := lb.phys(s.off)
 	clear(lb.buf[p : p+s.n])
 	lb.publish(s.off-s.pad, s.off+s.n, false)
+	if lb.resizable {
+		lb.active.Add(-1)
+	}
 }
 
 // publish makes the filled claim [claim, end) consumable. Under the strict
@@ -320,9 +443,35 @@ func (lb *logBuffer) reserveLatched(n int64, kick func(), timed bool, w *AppendW
 			lb.mu.Unlock()
 			return reservation{}, err
 		}
+		if lb.resizable && lb.resizeWanted.Load() {
+			// Stand aside for a ring swap (claims under mu would keep the
+			// ring permanently non-drained under a steady append load). Count
+			// as a full-waiter and kick so the flusher keeps cycling until
+			// the swap lands.
+			lb.fullWaiters.Add(1)
+			lb.mu.Unlock()
+			kick()
+			lb.mu.Lock()
+			if lb.err == nil && lb.resizeWanted.Load() {
+				start := time.Now()
+				lb.notFull.Wait()
+				d := time.Since(start)
+				lb.fullNanos.Add(int64(d))
+				if timed {
+					w.BufferFull += d
+				}
+			}
+			lb.fullWaiters.Add(-1)
+			continue
+		}
 		head := lb.head.Load()
 		if pad, ok := lb.fits(head, n); ok {
 			lb.head.Store(head + pad + n)
+			if lb.resizable {
+				// Claimed under mu, so tryGrow (also under mu) either runs
+				// before this claim or sees the increment; released by fill.
+				lb.active.Add(1)
+			}
 			lb.mu.Unlock()
 			return reservation{off: head + pad, pad: pad, n: n}, nil
 		}
@@ -334,13 +483,15 @@ func (lb *logBuffer) reserveLatched(n int64, kick func(), timed bool, w *AppendW
 		kick()
 		lb.mu.Lock()
 		if _, ok := lb.fits(lb.head.Load(), n); lb.err == nil && !ok {
-			var fullStart time.Time
-			if timed {
-				fullStart = time.Now()
-			}
+			// Timed unconditionally: the wait path already slept, and the
+			// cumulative total is the auto-sizing signal even in unprofiled
+			// runs.
+			fullStart := time.Now()
 			lb.notFull.Wait()
+			d := time.Since(fullStart)
+			lb.fullNanos.Add(int64(d))
 			if timed {
-				w.BufferFull += time.Since(fullStart)
+				w.BufferFull += d
 			}
 		}
 		lb.fullWaiters.Add(-1)
@@ -364,13 +515,14 @@ func (lb *logBuffer) waitForSpace(n int64, kick func(), timed bool, w *AppendWai
 		if _, ok := lb.fits(lb.head.Load(), n); ok {
 			return nil
 		}
-		var fullStart time.Time
-		if timed {
-			fullStart = time.Now()
-		}
+		// Timed unconditionally (see reserveLatched): this total is the
+		// auto-sizing grow signal.
+		fullStart := time.Now()
 		lb.notFull.Wait()
+		d := time.Since(fullStart)
+		lb.fullNanos.Add(int64(d))
 		if timed {
-			w.BufferFull += time.Since(fullStart)
+			w.BufferFull += d
 		}
 	}
 }
@@ -398,7 +550,11 @@ func (lb *logBuffer) fill(rec Record, s reservation, timed bool) time.Duration {
 	// skew (counted now, bytes consumed next cycle) self-corrects through
 	// the flusher's running delta.
 	lb.pubRecs.Add(1)
-	return lb.publish(s.off-s.pad, s.off+s.n, timed)
+	d := lb.publish(s.off-s.pad, s.off+s.n, timed)
+	if lb.resizable {
+		lb.active.Add(-1)
+	}
+	return d
 }
 
 // consume takes the published-but-unconsumed window of the virtual log and

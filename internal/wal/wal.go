@@ -484,6 +484,15 @@ type Config struct {
 	// which would corrupt the log for every reader) is rejected at Append.
 	// Ignored under MutexLog.
 	BufferBytes int64
+	// AutoSizeBuffer lets the flusher grow the buffer from the buffer-full
+	// wait signal: when reservers spent more than a threshold fraction of a
+	// flush cycle blocked on a full buffer, the ring is doubled (at a
+	// drained instant, so no bytes move), up to BufferMaxBytes. BufferBytes
+	// then only sets the starting size. Ignored under MutexLog.
+	AutoSizeBuffer bool
+	// BufferMaxBytes caps AutoSizeBuffer growth (default 64 MiB). Ignored
+	// unless AutoSizeBuffer is set.
+	BufferMaxBytes int64
 }
 
 // noCopy triggers go vet's copylocks check when a struct embedding it is
@@ -561,6 +570,14 @@ type Log struct {
 
 	draining atomic.Bool // Close/Crash started: no new appends can arrive
 
+	// Auto-sizing state, all flusher-private: the buffer-full wait total at
+	// the last grow check, the wall clock of that check, and the size a
+	// requested (but not yet performed) grow is aiming for.
+	bufMax        int64
+	lastFullNanos int64
+	lastGrowCheck time.Time
+	growTarget    int64
+
 	stats Stats
 }
 
@@ -573,7 +590,15 @@ func New(cfg Config) *Log {
 	l := &Log{cfg: cfg, nextLSN: start, flushLSN: start}
 	l.flushWork = sync.NewCond(&l.mu)
 	if !cfg.MutexLog {
-		l.lb = newLogBuffer(cfg.BufferBytes, start, cfg.LatchedLog, cfg.StrictFence)
+		var maxBytes int64
+		if cfg.AutoSizeBuffer {
+			maxBytes = cfg.BufferMaxBytes
+			if maxBytes <= 0 {
+				maxBytes = DefaultLogBufferMaxBytes
+			}
+		}
+		l.lb = newLogBuffer(cfg.BufferBytes, maxBytes, start, cfg.LatchedLog, cfg.StrictFence)
+		l.bufMax = maxBytes
 	}
 	if cfg.Durable != nil {
 		_, l.fastRange = cfg.Durable.(RangeSink)
@@ -875,7 +900,56 @@ func (l *Log) flusherLoop() {
 		} else if l.cfg.AdaptiveGroupCommit && subscriptionsPending {
 			l.tuneWindow(acked, arrived)
 		}
+		l.maybeGrowBuffer()
 	}
+}
+
+// maybeGrowBuffer is the flusher-side half of the auto-sizing protocol
+// (Config.AutoSizeBuffer). Each cycle it compares the buffer-full wait
+// accumulated since its last check against the wall clock that elapsed: when
+// reservers spent more than growWaitFraction of the interval blocked on a
+// full buffer, the flusher requests a grow (reservers stand aside at their
+// next reserve) and then retries the swap every cycle until the ring drains;
+// tryGrow performs it. Growth doubles the ring and caps at Config's
+// BufferMaxBytes, so a mis-sized LogBufferBytes fixes itself in a few cycles
+// instead of showing up as a permanent log-buffer-full-wait plateau in the
+// profile.
+func (l *Log) maybeGrowBuffer() {
+	lb := l.lb
+	if lb == nil || !lb.resizable {
+		return
+	}
+	if lb.resizeWanted.Load() {
+		lb.tryGrow(l.growTarget)
+		return
+	}
+	// The grow threshold: buffer-full wait above 10% of wall time between
+	// checks means the ring, not the sink schedule, is the bottleneck.
+	const growWaitFraction = 0.10
+	now := time.Now()
+	full := lb.fullNanos.Load()
+	if l.lastGrowCheck.IsZero() {
+		l.lastGrowCheck = now
+		l.lastFullNanos = full
+		return
+	}
+	wall := now.Sub(l.lastGrowCheck)
+	delta := full - l.lastFullNanos
+	l.lastGrowCheck = now
+	l.lastFullNanos = full
+	if wall <= 0 || float64(delta) < float64(wall)*growWaitFraction {
+		return
+	}
+	newSize := lb.size * 2 // lb.size is stable here: only tryGrow (this goroutine) writes it
+	if newSize > l.bufMax {
+		newSize = l.bufMax
+	}
+	if newSize <= lb.size {
+		return // already at the cap
+	}
+	l.growTarget = newSize
+	lb.resizeWanted.Store(true)
+	lb.tryGrow(newSize)
 }
 
 // groupCommitPause waits out the group-commit window in short slices so the
@@ -1256,6 +1330,10 @@ type TailStats struct {
 	WindowTotal    time.Duration // window time actually waited across those cycles
 	CurWindow      time.Duration // live window (the fixed value when not adaptive)
 	FenceWait      time.Duration // cumulative publish-fence block time
+	ReserveWait    time.Duration // cumulative reserve wait (profiled appends only)
+	BufferFullWait time.Duration // cumulative buffer-full wait (timed unconditionally)
+	BufferBytes    int64         // current log buffer size (grows under AutoSizeBuffer)
+	BufferGrows    uint64        // auto-size ring growths performed
 }
 
 // AvgWindow returns the average group-commit window time actually waited per
@@ -1277,6 +1355,10 @@ func (l *Log) TailStats() TailStats {
 	}
 	if l.lb != nil {
 		ts.FenceWait = time.Duration(l.lb.fenceNanos.Load())
+		ts.ReserveWait = time.Duration(l.lb.reserveNanos.Load())
+		ts.BufferFullWait = time.Duration(l.lb.fullNanos.Load())
+		ts.BufferBytes = l.lb.sizeNow()
+		ts.BufferGrows = uint64(l.lb.grows.Load())
 	}
 	return ts
 }
